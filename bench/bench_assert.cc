@@ -1,0 +1,84 @@
+// Experiment E2.5 (DESIGN.md): regenerates the assert example — worlds B
+// and D survive with renormalized probabilities 0.44/0.56 — then sweeps
+// the assert pipeline (world filtering + renormalization) over world-sets
+// of growing size and varying surviving fraction.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench/workloads.h"
+#include "isql/session.h"
+
+namespace maybms::bench {
+namespace {
+
+using isql::EngineMode;
+
+void PrintExample25() {
+  auto session = MakeSession(EngineMode::kDecomposed);
+  MustExecute(*session, Fig1Script());
+  MustExecute(*session,
+              "create table I as select A, B, C from R "
+              "repair by key A weight D;");
+  MustExecute(*session,
+              "create table J as select * from I "
+              "assert not exists(select * from I where C = 'c1');");
+  PrintReproduction(
+      "Example 2.5: worlds B and D survive (paper: P = 0.44, 0.56)",
+      *session, "select * from J;");
+}
+
+/// Assert over the repair of `n_keys` binary groups; the condition keeps
+/// worlds whose V-sum is below a threshold controlling survival rate.
+void BM_AssertPipeline(benchmark::State& state, EngineMode mode,
+                       const std::string& threshold) {
+  const int n_keys = static_cast<int>(state.range(0));
+  const std::string script = KeyViolationScript(n_keys, 2);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto session = MakeSession(mode);
+    MustExecute(*session, script);
+    MustExecute(*session,
+                "create table I as select K, V from R repair by key K;");
+    state.ResumeTiming();
+    // Keep worlds where some tuple has V below the threshold — the higher
+    // the threshold, the more worlds survive.
+    auto result = session->Execute(
+        "create table J as select * from I assert exists"
+        "(select * from I where V < " + threshold + ");");
+    benchmark::DoNotOptimize(result.ok());
+  }
+  state.counters["keys"] = n_keys;
+}
+
+void RegisterBenchmarks() {
+  for (EngineMode mode : {EngineMode::kExplicit, EngineMode::kDecomposed}) {
+    std::string prefix =
+        mode == EngineMode::kExplicit ? "assert/explicit" : "assert/decomposed";
+    for (int n_keys : {4, 8, 12, 16}) {
+      for (const char* threshold : {"20", "80"}) {
+        benchmark::RegisterBenchmark(
+            (prefix + "/keys:" + std::to_string(n_keys) + "/threshold:" +
+             threshold)
+                .c_str(),
+            [mode, threshold](benchmark::State& s) {
+              BM_AssertPipeline(s, mode, threshold);
+            })
+            ->Args({n_keys})
+            ->Unit(benchmark::kMicrosecond);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace maybms::bench
+
+int main(int argc, char** argv) {
+  maybms::bench::PrintExample25();
+  maybms::bench::RegisterBenchmarks();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Experiment E2.6/E2.7 (DESIGN.md): regenerates the choice-of examples —
+// two worlds partitioning S by E, and the weighted three-way choice on R
+// with P = 0.35/0.39/0.26 — then sweeps `choice of` over relations with a
+// growing number of partitions.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench/workloads.h"
+#include "isql/session.h"
+
+namespace maybms::bench {
+namespace {
+
+using isql::EngineMode;
+
+void PrintExamples() {
+  auto session = MakeSession(EngineMode::kDecomposed);
+  MustExecute(*session, Fig1Script());
+  PrintReproduction("Example 2.6: select * from S choice of E (two worlds)",
+                    *session, "select * from S choice of E;");
+  PrintReproduction(
+      "Example 2.7: choice of A weight D (paper: P = 0.35, 0.39, 0.26)",
+      *session, "select * from R choice of A weight D;");
+}
+
+/// choice-of over a relation with `partitions` distinct K-values of
+/// `per_partition` rows each — one world per partition.
+void BM_ChoiceOf(benchmark::State& state, EngineMode mode, bool weighted) {
+  const int partitions = static_cast<int>(state.range(0));
+  const int per_partition = static_cast<int>(state.range(1));
+  const std::string script = KeyViolationScript(partitions, per_partition);
+  auto session = MakeSession(mode);
+  MustExecute(*session, script);
+  const std::string query = weighted
+                                ? "select K, V from R choice of K weight W;"
+                                : "select K, V from R choice of K;";
+  for (auto _ : state) {
+    auto result = MustQuery(*session, query);
+    benchmark::DoNotOptimize(result.worlds().size());
+  }
+  state.counters["partitions"] = partitions;
+}
+
+void RegisterBenchmarks() {
+  for (EngineMode mode : {EngineMode::kExplicit, EngineMode::kDecomposed}) {
+    std::string prefix = mode == EngineMode::kExplicit ? "choice_of/explicit"
+                                                       : "choice_of/decomposed";
+    for (int partitions : {2, 8, 32, 128, 512}) {
+      benchmark::RegisterBenchmark(
+          (prefix + "/partitions:" + std::to_string(partitions)).c_str(),
+          [mode](benchmark::State& s) { BM_ChoiceOf(s, mode, false); })
+          ->Args({partitions, 4})
+          ->Unit(benchmark::kMicrosecond);
+    }
+    benchmark::RegisterBenchmark(
+        (prefix + "/weighted/partitions:128").c_str(),
+        [mode](benchmark::State& s) { BM_ChoiceOf(s, mode, true); })
+        ->Args({128, 4})
+        ->Unit(benchmark::kMicrosecond);
+  }
+}
+
+}  // namespace
+}  // namespace maybms::bench
+
+int main(int argc, char** argv) {
+  maybms::bench::PrintExamples();
+  maybms::bench::RegisterBenchmarks();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

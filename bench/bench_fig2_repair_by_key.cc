@@ -1,0 +1,88 @@
+// Experiment F1/F2 (DESIGN.md): regenerates Figure 2 — the four repairs
+// of R's key A with probabilities 0.11/0.33/0.14/0.42 — then sweeps
+// `repair by key` over synthetic key-violating relations on both engines.
+//
+// Expected shape: the explicit engine's cost grows with the number of
+// worlds (g^n), the decomposed engine's with the number of tuples (n*g).
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench/workloads.h"
+#include "isql/session.h"
+
+namespace maybms::bench {
+namespace {
+
+using isql::EngineMode;
+
+void PrintFigure2() {
+  auto session = MakeSession(EngineMode::kDecomposed);
+  MustExecute(*session, Fig1Script());
+  MustExecute(*session,
+              "create table I as select A, B, C from R "
+              "repair by key A weight D;");
+  PrintReproduction(
+      "Figure 2: the four repairs of key A (paper: P = 0.11, 0.33, 0.14, "
+      "0.42)",
+      *session, "select * from I;");
+}
+
+void BM_RepairMaterialize(benchmark::State& state, EngineMode mode) {
+  const int n_keys = static_cast<int>(state.range(0));
+  const int group_size = static_cast<int>(state.range(1));
+  const std::string script = KeyViolationScript(n_keys, group_size);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto session = MakeSession(mode);
+    MustExecute(*session, script);
+    state.ResumeTiming();
+    MustExecute(*session,
+                "create table I as select K, V from R repair by key K "
+                "weight W;");
+    benchmark::DoNotOptimize(session->world_set().NumWorlds());
+  }
+  state.counters["worlds_log10"] =
+      n_keys * std::log10(static_cast<double>(group_size));
+  state.counters["tuples"] = n_keys * group_size;
+}
+
+void RegisterBenchmarks() {
+  // Explicit engine: worlds = g^n, so keep n small.
+  for (auto args : {std::pair{2, 2}, {4, 2}, {8, 2}, {12, 2}, {16, 2},
+                    std::pair{4, 4}, {8, 4}}) {
+    benchmark::RegisterBenchmark(
+        ("repair/explicit/keys:" + std::to_string(args.first) +
+         "/group:" + std::to_string(args.second))
+            .c_str(),
+        [](benchmark::State& s) { BM_RepairMaterialize(s, EngineMode::kExplicit); })
+        ->Args({args.first, args.second})
+        ->Unit(benchmark::kMicrosecond);
+  }
+  // Decomposed engine: same sizes plus sizes far beyond explicit reach.
+  for (auto args :
+       {std::pair{2, 2}, {4, 2}, {8, 2}, {12, 2}, {16, 2}, {4, 4}, {8, 4},
+        std::pair{100, 4}, {1000, 4}, {10000, 4}}) {
+    benchmark::RegisterBenchmark(
+        ("repair/decomposed/keys:" + std::to_string(args.first) +
+         "/group:" + std::to_string(args.second))
+            .c_str(),
+        [](benchmark::State& s) {
+          BM_RepairMaterialize(s, EngineMode::kDecomposed);
+        })
+        ->Args({args.first, args.second})
+        ->Unit(benchmark::kMicrosecond);
+  }
+}
+
+}  // namespace
+}  // namespace maybms::bench
+
+int main(int argc, char** argv) {
+  maybms::bench::PrintFigure2();
+  maybms::bench::RegisterBenchmarks();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Experiment F3/F4 (DESIGN.md): regenerates the whale-tracking scenario
+// of §3.1 — the six worlds of Figure 3 and the two Groups instances of
+// Figure 4 — then sweeps the full pipeline (views with assert, group
+// worlds by) over observation sets with a growing number of worlds.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench/workloads.h"
+#include "isql/session.h"
+
+namespace maybms::bench {
+namespace {
+
+using isql::EngineMode;
+
+const char kGroupsQuery[] =
+    "select possible i2.Gender as G2, i3.Gender as G3 "
+    "from I i2, I i3 where i2.Id = 2 and i3.Id = 3 "
+    "group worlds by (select Pos from I where Id = 2);";
+
+void PrintFigures() {
+  auto session = MakeSession(EngineMode::kDecomposed);
+  MustExecute(*session, Fig3Script(6));
+  PrintReproduction("Figure 3: the six whale-tracking worlds", *session,
+                    "select * from I;");
+  PrintReproduction(
+      "Query Q: possible attack (paper: yes — worlds A through D)", *session,
+      "select possible 'yes' from I where Id=1 and Pos='b';");
+  PrintReproduction(
+      "Figure 4: gender combinations per escape route "
+      "(paper: 4 rows for pos=c, 2 rows for pos=b)",
+      *session, kGroupsQuery);
+}
+
+void BM_GroupWorldsBy(benchmark::State& state, EngineMode mode) {
+  const int worlds = static_cast<int>(state.range(0));
+  auto session = MakeSession(mode);
+  MustExecute(*session, Fig3Script(worlds));
+  for (auto _ : state) {
+    auto result = MustQuery(*session, kGroupsQuery);
+    benchmark::DoNotOptimize(result.groups().size());
+  }
+  state.counters["worlds"] = worlds;
+}
+
+void BM_AssertView(benchmark::State& state, EngineMode mode) {
+  const int worlds = static_cast<int>(state.range(0));
+  auto session = MakeSession(mode);
+  MustExecute(*session, Fig3Script(worlds));
+  MustExecute(*session,
+              "create view Valid as select * from I assert exists"
+              "(select * from I where Gender='cow' and Pos='b');");
+  for (auto _ : state) {
+    auto result = MustQuery(*session, "select certain * from Valid;");
+    benchmark::DoNotOptimize(result.kind());
+  }
+  state.counters["worlds"] = worlds;
+}
+
+void RegisterBenchmarks() {
+  for (EngineMode mode : {EngineMode::kExplicit, EngineMode::kDecomposed}) {
+    std::string engine =
+        mode == EngineMode::kExplicit ? "explicit" : "decomposed";
+    for (int worlds : {6, 24, 96, 384}) {
+      benchmark::RegisterBenchmark(
+          ("group_worlds_by/" + engine + "/worlds:" + std::to_string(worlds))
+              .c_str(),
+          [mode](benchmark::State& s) { BM_GroupWorldsBy(s, mode); })
+          ->Args({worlds})
+          ->Unit(benchmark::kMicrosecond);
+      benchmark::RegisterBenchmark(
+          ("assert_view/" + engine + "/worlds:" + std::to_string(worlds))
+              .c_str(),
+          [mode](benchmark::State& s) { BM_AssertView(s, mode); })
+          ->Args({worlds})
+          ->Unit(benchmark::kMicrosecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace maybms::bench
+
+int main(int argc, char** argv) {
+  maybms::bench::PrintFigures();
+  maybms::bench::RegisterBenchmarks();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

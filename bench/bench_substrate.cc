@@ -1,0 +1,112 @@
+// Experiment S2 (DESIGN.md): microbenchmarks of the relational substrate
+// the I-SQL layer runs on — parser throughput and per-world executor
+// throughput (scan, join, aggregate, subquery).
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+#include <string>
+
+#include "bench/workloads.h"
+#include "engine/executor.h"
+#include "sql/parser.h"
+
+namespace maybms::bench {
+namespace {
+
+const char* const kQueries[] = {
+    "select * from R where A = 'a1'",
+    "select A, B * 2 as x from R where B between 10 and 20 order by B desc",
+    "select A, sum(B) from R group by A having count(*) > 1",
+    "select possible i2.G as G2, i3.G as G3 from I i2, I i3 "
+    "where i2.Id = 2 and i3.Id = 3 "
+    "group worlds by (select Pos from I where Id = 2)",
+    "create table T as select SSN', TEL' from S repair by key SSN, TEL",
+    "select conf from I where 50 > (select sum(B) from I)",
+};
+
+void BM_ParseStatement(benchmark::State& state) {
+  const std::string query = kQueries[state.range(0)];
+  for (auto _ : state) {
+    auto stmt = maybms::sql::Parser::ParseStatement(query);
+    benchmark::DoNotOptimize(stmt.ok());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(query.size()));
+}
+
+/// One world with a table of `rows` rows for executor throughput tests.
+Database MakeWorld(int rows) {
+  Schema schema({Column("K", DataType::kInteger),
+                 Column("V", DataType::kInteger),
+                 Column("G", DataType::kInteger)});
+  Table t(schema);
+  for (int i = 0; i < rows; ++i) {
+    t.AppendUnchecked(Tuple({Value::Integer(i), Value::Integer(i % 97),
+                             Value::Integer(i % 10)}));
+  }
+  Database db;
+  db.PutRelation("T", std::move(t));
+  return db;
+}
+
+void BM_Executor(benchmark::State& state, const std::string& query) {
+  Database db = MakeWorld(static_cast<int>(state.range(0)));
+  auto stmt = maybms::sql::Parser::ParseStatement(query);
+  if (!stmt.ok()) std::abort();
+  const auto& select =
+      static_cast<const maybms::sql::SelectStatement&>(**stmt);
+  for (auto _ : state) {
+    auto result = maybms::engine::ExecuteSelect(select, db);
+    if (!result.ok()) std::abort();
+    benchmark::DoNotOptimize(result->num_rows());
+  }
+  state.counters["rows"] = static_cast<double>(state.range(0));
+}
+
+void RegisterBenchmarks() {
+  for (size_t i = 0; i < std::size(kQueries); ++i) {
+    benchmark::RegisterBenchmark(
+        ("parse/query:" + std::to_string(i)).c_str(), BM_ParseStatement)
+        ->Arg(static_cast<int>(i));
+  }
+  struct Variant {
+    const char* name;
+    const char* query;
+  };
+  const Variant kExec[] = {
+      {"scan_filter", "select K, V from T where V < 10"},
+      {"aggregate", "select G, sum(V), count(*) from T group by G"},
+      {"self_join",
+       "select t1.K from T t1, T t2 where t1.V = t2.V and t1.K < t2.K"},
+      {"correlated_exists",
+       "select K from T where exists "
+       "(select * from T t2 where t2.V = T.V and t2.K <> T.K)"},
+      {"order_limit", "select K from T order by V desc, K limit 10"},
+  };
+  for (const auto& v : kExec) {
+    std::vector<int> sizes = {100, 1000};
+    // Quadratic plans stay at the small size.
+    bool quadratic = std::string(v.name) == "self_join" ||
+                     std::string(v.name) == "correlated_exists";
+    if (!quadratic) sizes.push_back(10000);
+    for (int rows : sizes) {
+      benchmark::RegisterBenchmark(
+          ("exec/" + std::string(v.name) + "/rows:" + std::to_string(rows))
+              .c_str(),
+          [v](benchmark::State& s) { BM_Executor(s, v.query); })
+          ->Arg(rows)
+          ->Unit(benchmark::kMicrosecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace maybms::bench
+
+int main(int argc, char** argv) {
+  maybms::bench::RegisterBenchmarks();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,45 @@
+#ifndef MAYBMS_BENCH_WORKLOADS_H_
+#define MAYBMS_BENCH_WORKLOADS_H_
+
+#include <memory>
+#include <string>
+
+#include "isql/session.h"
+
+namespace maybms::bench {
+
+/// SQL script that loads the paper's Figure 1 database (relations R, S).
+std::string Fig1Script();
+
+/// SQL script for the Figure 3 whale observations; creates relation I with
+/// `worlds` possible worlds via choice-of (6 = the paper's figure; larger
+/// values replicate the observation pattern).
+std::string Fig3Script(int worlds);
+
+/// SQL script for the Figure 5 dirty SSN/TEL relation with `records`
+/// persons (2 = the paper's figure).
+std::string Fig5Script(int records);
+
+/// SQL script creating a key-violating relation R(K, V, W) with `n_keys`
+/// key groups of `group_size` tuples each; repairing K yields
+/// group_size^n_keys worlds.
+std::string KeyViolationScript(int n_keys, int group_size,
+                               uint32_t seed = 42);
+
+/// Fresh session with the given engine, generous display/merge caps.
+std::unique_ptr<isql::Session> MakeSession(isql::EngineMode mode);
+
+/// Runs a script, aborting the process on error (benchmark setup).
+void MustExecute(isql::Session& session, const std::string& sql);
+
+/// Runs one statement, aborting on error; returns the result.
+isql::QueryResult MustQuery(isql::Session& session, const std::string& sql);
+
+/// Prints a banner + rendered result, used by every bench binary to
+/// regenerate its paper figure before timing starts.
+void PrintReproduction(const std::string& title, isql::Session& session,
+                       const std::string& query);
+
+}  // namespace maybms::bench
+
+#endif  // MAYBMS_BENCH_WORKLOADS_H_

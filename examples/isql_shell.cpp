@@ -1,0 +1,154 @@
+// Interactive I-SQL shell — the closest thing to the paper's live
+// demonstration. Type I-SQL statements terminated by ';'.
+//
+// Meta-commands:
+//   \worlds         render the current world-set (like Figure 2)
+//   \top k          render the k most probable worlds
+//   \engine         show the active engine and world count
+//   \views          list defined views
+//   \demo fig1|fig3|fig5   load a paper dataset
+//   \help           this text
+//   \q              quit
+//
+// Run:  ./isql_shell [--explicit]
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "base/string_util.h"
+#include "isql/formatter.h"
+#include "isql/session.h"
+
+namespace {
+
+const char kHelp[] = R"(I-SQL statements end with ';'. Examples:
+  create table R (A text, B integer);
+  insert into R values ('a1', 10), ('a1', 15);
+  create table I as select * from R repair by key A;
+  select possible B from I;
+  select conf, B from I;
+Meta-commands: \worlds \top k \engine \views \demo fig1|fig3|fig5 \help \q
+)";
+
+const char kFig1[] = R"sql(
+  create table R (A text, B integer, C text, D integer);
+  insert into R values ('a1',10,'c1',2), ('a1',15,'c2',6), ('a2',14,'c3',4),
+                       ('a2',20,'c4',5), ('a3',20,'c5',6);
+  create table S (C text, E text);
+  insert into S values ('c2','e1'), ('c4','e1'), ('c4','e2');
+)sql";
+
+const char kFig3[] = R"sql(
+  create table Obs (WID text, Id integer, Species text, Gender text, Pos text);
+  insert into Obs values
+    ('A',1,'sperm','calf','b'), ('A',2,'sperm','cow','c'), ('A',3,'orca','cow','a'),
+    ('B',1,'sperm','calf','b'), ('B',2,'sperm','cow','c'), ('B',3,'orca','bull','a'),
+    ('C',1,'sperm','calf','b'), ('C',2,'sperm','bull','c'), ('C',3,'orca','cow','a'),
+    ('D',1,'sperm','calf','b'), ('D',2,'sperm','bull','c'), ('D',3,'orca','bull','a'),
+    ('E',1,'sperm','calf','c'), ('E',2,'sperm','cow','b'), ('E',3,'orca','cow','a'),
+    ('F',1,'sperm','calf','c'), ('F',2,'sperm','bull','b'), ('F',3,'orca','cow','a');
+  create table I as select Id, Species, Gender, Pos from Obs choice of WID;
+)sql";
+
+const char kFig5[] = R"sql(
+  create table R (SSN integer, TEL integer);
+  insert into R values (123, 456), (789, 123);
+)sql";
+
+void RunMeta(maybms::isql::Session& session, const std::string& command) {
+  using maybms::isql::FormatWorldSet;
+  if (command == "\\help") {
+    std::cout << kHelp;
+  } else if (command == "\\worlds") {
+    std::cout << FormatWorldSet(session.world_set(), 32);
+  } else if (command.rfind("\\top", 0) == 0) {
+    int k = 3;
+    if (command.size() > 4) k = std::max(1, std::atoi(command.c_str() + 4));
+    auto top = session.world_set().TopKWorlds(static_cast<size_t>(k));
+    if (!top.ok()) {
+      std::cout << "error: " << top.status().ToString() << "\n";
+      return;
+    }
+    for (size_t i = 0; i < top->size(); ++i) {
+      std::cout << "== rank " << (i + 1)
+                << " (P = " << maybms::FormatDouble((*top)[i].probability)
+                << ")\n";
+      for (const std::string& name : (*top)[i].db.RelationNames()) {
+        auto table = (*top)[i].db.GetRelation(name);
+        if (!table.ok()) continue;
+        std::cout << name << ":\n"
+                  << maybms::isql::FormatTable(**table);
+      }
+    }
+  } else if (command == "\\engine") {
+    std::cout << session.world_set().EngineName() << " engine, "
+              << session.world_set().NumWorlds() << " worlds (10^"
+              << maybms::FormatDouble(session.world_set().Log10NumWorlds())
+              << ")\n";
+  } else if (command == "\\views") {
+    for (const std::string& v : session.ViewNames()) std::cout << v << "\n";
+  } else if (command.rfind("\\demo", 0) == 0) {
+    const char* script = nullptr;
+    if (command.find("fig1") != std::string::npos) script = kFig1;
+    if (command.find("fig3") != std::string::npos) script = kFig3;
+    if (command.find("fig5") != std::string::npos) script = kFig5;
+    if (script == nullptr) {
+      std::cout << "usage: \\demo fig1|fig3|fig5\n";
+      return;
+    }
+    auto result = session.ExecuteScript(script);
+    if (!result.ok()) {
+      std::cout << "error: " << result.status().ToString() << "\n";
+    } else {
+      std::cout << "demo data loaded\n";
+    }
+  } else {
+    std::cout << "unknown meta-command; try \\help\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  maybms::isql::SessionOptions options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--explicit") == 0) {
+      options.engine = maybms::isql::EngineMode::kExplicit;
+    }
+  }
+  maybms::isql::Session session(options);
+
+  std::cout << "MayBMS I-SQL shell (" << session.world_set().EngineName()
+            << " engine). \\help for help.\n";
+
+  std::string buffer;
+  std::string line;
+  while (true) {
+    std::cout << (buffer.empty() ? "isql> " : "  ... ") << std::flush;
+    if (!std::getline(std::cin, line)) break;
+    std::string_view trimmed = maybms::StripWhitespace(line);
+    if (buffer.empty() && !trimmed.empty() && trimmed[0] == '\\') {
+      if (trimmed == "\\q" || trimmed == "\\quit") break;
+      RunMeta(session, std::string(trimmed));
+      continue;
+    }
+    buffer += line;
+    buffer += "\n";
+    // Execute once the buffer holds a ';'-terminated statement.
+    std::string_view pending = maybms::StripWhitespace(buffer);
+    if (pending.empty() || pending.back() != ';') continue;
+    auto results = session.ExecuteScript(buffer);
+    if (!results.ok()) {
+      std::cout << "error: " << results.status().ToString() << "\n";
+    } else {
+      for (const auto& r : *results) {
+        std::cout << maybms::isql::FormatQueryResult(r);
+      }
+    }
+    buffer.clear();
+  }
+  return 0;
+}

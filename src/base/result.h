@@ -1,0 +1,74 @@
+#ifndef MAYBMS_BASE_RESULT_H_
+#define MAYBMS_BASE_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "base/status.h"
+
+namespace maybms {
+
+/// Either a value of type T or a non-OK Status. The usual Arrow-style
+/// vocabulary type for fallible functions that produce a value.
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from values and statuses keeps call sites terse:
+  //   Result<int> F() { if (bad) return Status::InvalidArgument("..."); return 42; }
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(T value) : value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ has a value
+};
+
+}  // namespace maybms
+
+// Propagates a non-OK Status from an expression returning Status.
+#define MAYBMS_RETURN_NOT_OK(expr)                  \
+  do {                                              \
+    ::maybms::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                      \
+  } while (false)
+
+#define MAYBMS_CONCAT_IMPL(x, y) x##y
+#define MAYBMS_CONCAT(x, y) MAYBMS_CONCAT_IMPL(x, y)
+
+// Evaluates an expression returning Result<T>; on success binds the value
+// to `lhs`, otherwise returns the error status from the enclosing function.
+#define MAYBMS_ASSIGN_OR_RETURN(lhs, rexpr)                               \
+  MAYBMS_ASSIGN_OR_RETURN_IMPL(MAYBMS_CONCAT(_result_, __LINE__), lhs, rexpr)
+
+#define MAYBMS_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+#endif  // MAYBMS_BASE_RESULT_H_

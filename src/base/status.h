@@ -1,0 +1,68 @@
+#ifndef MAYBMS_BASE_STATUS_H_
+#define MAYBMS_BASE_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace maybms {
+
+/// Error categories used across the library. Mirrors the Arrow/RocksDB
+/// status idiom: no exceptions cross public API boundaries.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kParseError,
+  kTypeError,
+  kConstraintViolation,
+  kEmptyWorldSet,   // e.g. `assert` eliminated every world
+  kUnsupported,
+  kRuntimeError,
+};
+
+/// Returns a human-readable name ("ParseError", ...) for a code.
+const char* StatusCodeToString(StatusCode code);
+
+/// Outcome of an operation: a code plus a message for non-OK statuses.
+/// OK is represented without allocation; cheap to copy and move.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg);
+  static Status NotFound(std::string msg);
+  static Status AlreadyExists(std::string msg);
+  static Status ParseError(std::string msg);
+  static Status TypeError(std::string msg);
+  static Status ConstraintViolation(std::string msg);
+  static Status EmptyWorldSet(std::string msg);
+  static Status Unsupported(std::string msg);
+  static Status RuntimeError(std::string msg);
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  const std::string& message() const;
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  std::unique_ptr<Rep> rep_;  // nullptr <=> OK
+};
+
+}  // namespace maybms
+
+#endif  // MAYBMS_BASE_STATUS_H_

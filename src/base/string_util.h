@@ -1,0 +1,37 @@
+#ifndef MAYBMS_BASE_STRING_UTIL_H_
+#define MAYBMS_BASE_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace maybms {
+
+/// Lower-cases ASCII characters only (SQL identifiers/keywords).
+std::string AsciiToLower(std::string_view s);
+
+/// Upper-cases ASCII characters only.
+std::string AsciiToUpper(std::string_view s);
+
+/// Case-insensitive ASCII string equality.
+bool AsciiEqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `s` on `sep`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// True if `s` matches the SQL LIKE `pattern` with wildcards % and _.
+bool LikeMatch(std::string_view s, std::string_view pattern);
+
+/// Formats a double the way we print probabilities/values: shortest
+/// representation that round-trips, without trailing zeros.
+std::string FormatDouble(double value);
+
+}  // namespace maybms
+
+#endif  // MAYBMS_BASE_STRING_UTIL_H_

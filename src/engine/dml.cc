@@ -1,0 +1,219 @@
+#include "engine/dml.h"
+
+#include <set>
+
+#include "base/string_util.h"
+#include "engine/executor.h"
+#include "engine/expr_eval.h"
+
+namespace maybms::engine {
+
+namespace {
+
+/// Coerces `v` for storage into a column of type `target`: exact type or
+/// NULL passes through; integers widen to real. Anything else is an error
+/// (no silent lossy conversions on the write path).
+Result<Value> CoerceForColumn(const Value& v, DataType target,
+                              const std::string& column_name) {
+  if (v.is_null() || v.type() == target) return v;
+  if (target == DataType::kReal && v.type() == DataType::kInteger) {
+    return Value::Real(static_cast<double>(v.AsInteger()));
+  }
+  return Status::TypeError("value " + v.ToString() + " of type " +
+                           DataTypeToString(v.type()) +
+                           " cannot be stored in column " + column_name +
+                           " of type " + DataTypeToString(target));
+}
+
+Result<std::vector<size_t>> ResolveTargetColumns(
+    const Schema& schema, const std::vector<std::string>& names) {
+  std::vector<size_t> indices;
+  if (names.empty()) {
+    indices.resize(schema.num_columns());
+    for (size_t i = 0; i < schema.num_columns(); ++i) indices[i] = i;
+    return indices;
+  }
+  for (const std::string& name : names) {
+    MAYBMS_ASSIGN_OR_RETURN(size_t idx, schema.FindColumn(name));
+    indices.push_back(idx);
+  }
+  return indices;
+}
+
+}  // namespace
+
+Status CheckTableConstraints(const Table& table,
+                             const std::vector<Constraint>& constraints) {
+  for (const Constraint& c : constraints) {
+    std::vector<size_t> indices;
+    for (const std::string& col : c.columns) {
+      auto idx = table.schema().FindColumn(col);
+      if (!idx.ok()) return idx.status();
+      indices.push_back(*idx);
+    }
+    if (c.kind == ConstraintKind::kNotNull ||
+        c.kind == ConstraintKind::kPrimaryKey) {
+      for (const Tuple& row : table.rows()) {
+        for (size_t i : indices) {
+          if (row.value(i).is_null()) {
+            return Status::ConstraintViolation(
+                "NULL value in column " + c.columns[0] +
+                " violates a NOT NULL / PRIMARY KEY constraint");
+          }
+        }
+      }
+    }
+    if (c.kind == ConstraintKind::kPrimaryKey ||
+        c.kind == ConstraintKind::kUnique) {
+      std::set<Tuple> seen;
+      for (const Tuple& row : table.rows()) {
+        Tuple key = row.Project(indices);
+        if (!seen.insert(key).second) {
+          return Status::ConstraintViolation(
+              "duplicate key " + key.ToString() + " violates " +
+              (c.kind == ConstraintKind::kPrimaryKey ? "PRIMARY KEY"
+                                                     : "UNIQUE") +
+              " (" + Join(c.columns, ", ") + ")");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status ExecuteInsert(const sql::InsertStatement& stmt, Database* db,
+                     const Catalog& catalog) {
+  MAYBMS_ASSIGN_OR_RETURN(const Table* existing,
+                          db->GetRelation(stmt.table_name));
+  Table updated = *existing;
+  const Schema& schema = updated.schema();
+  MAYBMS_ASSIGN_OR_RETURN(std::vector<size_t> targets,
+                          ResolveTargetColumns(schema, stmt.columns));
+
+  std::vector<Tuple> new_rows;
+  if (stmt.query) {
+    MAYBMS_ASSIGN_OR_RETURN(Table result,
+                            ExecuteSelect(*stmt.query, *db, nullptr));
+    if (result.schema().num_columns() != targets.size()) {
+      return Status::InvalidArgument(
+          "INSERT ... SELECT column count mismatch");
+    }
+    new_rows = result.rows();
+  } else {
+    for (const auto& row_exprs : stmt.rows) {
+      if (row_exprs.size() != targets.size()) {
+        return Status::InvalidArgument("INSERT row arity mismatch: expected " +
+                                       std::to_string(targets.size()));
+      }
+      Tuple row;
+      EvalContext ctx{db, nullptr, nullptr, nullptr, nullptr};
+      for (const auto& e : row_exprs) {
+        MAYBMS_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, ctx));
+        row.Append(std::move(v));
+      }
+      new_rows.push_back(std::move(row));
+    }
+  }
+
+  for (const Tuple& source : new_rows) {
+    std::vector<Value> values(schema.num_columns(), Value::Null());
+    for (size_t i = 0; i < targets.size(); ++i) {
+      size_t col = targets[i];
+      MAYBMS_ASSIGN_OR_RETURN(
+          values[col], CoerceForColumn(source.value(i), schema.column(col).type,
+                                       schema.column(col).name));
+    }
+    MAYBMS_RETURN_NOT_OK(updated.Append(Tuple(std::move(values))));
+  }
+
+  MAYBMS_RETURN_NOT_OK(CheckTableConstraints(
+      updated, catalog.ConstraintsFor(stmt.table_name)));
+  db->PutRelation(stmt.table_name, std::move(updated));
+  return Status::OK();
+}
+
+Status ExecuteUpdate(const sql::UpdateStatement& stmt, Database* db,
+                     const Catalog& catalog) {
+  MAYBMS_ASSIGN_OR_RETURN(const Table* existing,
+                          db->GetRelation(stmt.table_name));
+  Table updated = *existing;
+  const Schema& schema = updated.schema();
+
+  std::vector<std::pair<size_t, const sql::Expr*>> assignments;
+  for (const auto& [col, expr] : stmt.assignments) {
+    MAYBMS_ASSIGN_OR_RETURN(size_t idx, schema.FindColumn(col));
+    assignments.emplace_back(idx, expr.get());
+  }
+
+  for (Tuple& row : *updated.mutable_rows()) {
+    EvalContext ctx{db, &schema, &row, nullptr, nullptr};
+    if (stmt.where) {
+      MAYBMS_ASSIGN_OR_RETURN(Trivalent match, EvalPredicate(*stmt.where, ctx));
+      if (match != Trivalent::kTrue) continue;
+    }
+    // Evaluate all assignments against the pre-update row, then apply.
+    std::vector<Value> new_values;
+    new_values.reserve(assignments.size());
+    for (const auto& [idx, expr] : assignments) {
+      MAYBMS_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr, ctx));
+      MAYBMS_ASSIGN_OR_RETURN(
+          Value coerced,
+          CoerceForColumn(v, schema.column(idx).type, schema.column(idx).name));
+      new_values.push_back(std::move(coerced));
+    }
+    for (size_t i = 0; i < assignments.size(); ++i) {
+      row.value(assignments[i].first) = std::move(new_values[i]);
+    }
+  }
+
+  MAYBMS_RETURN_NOT_OK(CheckTableConstraints(
+      updated, catalog.ConstraintsFor(stmt.table_name)));
+  db->PutRelation(stmt.table_name, std::move(updated));
+  return Status::OK();
+}
+
+Status ExecuteDelete(const sql::DeleteStatement& stmt, Database* db) {
+  MAYBMS_ASSIGN_OR_RETURN(const Table* existing,
+                          db->GetRelation(stmt.table_name));
+  Table updated(existing->schema());
+  const Schema& schema = existing->schema();
+  for (const Tuple& row : existing->rows()) {
+    bool remove = true;
+    if (stmt.where) {
+      EvalContext ctx{db, &schema, &row, nullptr, nullptr};
+      MAYBMS_ASSIGN_OR_RETURN(Trivalent match, EvalPredicate(*stmt.where, ctx));
+      remove = match == Trivalent::kTrue;
+    }
+    if (!remove) updated.AppendUnchecked(row);
+  }
+  db->PutRelation(stmt.table_name, std::move(updated));
+  return Status::OK();
+}
+
+Result<Table> BuildTableFromDefinition(const sql::CreateTableStatement& stmt) {
+  Schema schema;
+  for (const sql::ColumnDef& col : stmt.columns) {
+    schema.AddColumn(Column(col.name, col.type));
+  }
+  return Table(std::move(schema));
+}
+
+std::vector<Constraint> CollectConstraints(
+    const sql::CreateTableStatement& stmt) {
+  std::vector<Constraint> constraints;
+  for (const sql::ColumnDef& col : stmt.columns) {
+    if (col.primary_key) {
+      constraints.push_back(Constraint{ConstraintKind::kPrimaryKey, {col.name}});
+    }
+    if (col.unique) {
+      constraints.push_back(Constraint{ConstraintKind::kUnique, {col.name}});
+    }
+    if (col.not_null && !col.primary_key) {
+      constraints.push_back(Constraint{ConstraintKind::kNotNull, {col.name}});
+    }
+  }
+  for (const Constraint& c : stmt.table_constraints) constraints.push_back(c);
+  return constraints;
+}
+
+}  // namespace maybms::engine

@@ -1,0 +1,41 @@
+#ifndef MAYBMS_ENGINE_DML_H_
+#define MAYBMS_ENGINE_DML_H_
+
+#include "base/result.h"
+#include "sql/ast.h"
+#include "storage/catalog.h"
+
+namespace maybms::engine {
+
+/// Verifies every declared constraint of `table` (primary key uniqueness +
+/// NOT NULL, UNIQUE, NOT NULL columns). Returns ConstraintViolation with a
+/// description of the first violated constraint.
+Status CheckTableConstraints(const Table& table,
+                             const std::vector<Constraint>& constraints);
+
+/// Executes INSERT against one world. Values are type-checked/coerced to
+/// the column types; constraints from `catalog` are verified afterwards.
+/// On any error the world is left unmodified.
+Status ExecuteInsert(const sql::InsertStatement& stmt, Database* db,
+                     const Catalog& catalog);
+
+/// Executes UPDATE against one world; constraint-checked like insert.
+Status ExecuteUpdate(const sql::UpdateStatement& stmt, Database* db,
+                     const Catalog& catalog);
+
+/// Executes DELETE against one world.
+Status ExecuteDelete(const sql::DeleteStatement& stmt, Database* db);
+
+/// Creates an empty table with the declared schema in one world and
+/// registers its constraints in `catalog` (idempotent per world; the
+/// caller registers constraints once).
+Result<Table> BuildTableFromDefinition(const sql::CreateTableStatement& stmt);
+
+/// Collects the constraints declared by a CREATE TABLE statement (column
+/// shorthands plus table-level constraints).
+std::vector<Constraint> CollectConstraints(
+    const sql::CreateTableStatement& stmt);
+
+}  // namespace maybms::engine
+
+#endif  // MAYBMS_ENGINE_DML_H_

@@ -1,0 +1,44 @@
+#ifndef MAYBMS_ENGINE_EXECUTOR_H_
+#define MAYBMS_ENGINE_EXECUTOR_H_
+
+#include "base/result.h"
+#include "engine/expr_eval.h"
+#include "sql/ast.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+
+namespace maybms::engine {
+
+/// True if the statement uses any of the I-SQL world-set operations
+/// (possible/certain/conf, repair by key, choice of, assert, group worlds
+/// by) at its top level or in a UNION branch. Such statements must be
+/// evaluated by the world-set layer, not by the per-world executor.
+bool HasWorldOps(const sql::SelectStatement& stmt);
+
+/// Evaluates the SQL core of `stmt` in a single world `db` under standard
+/// (per-world) semantics. `outer` is the enclosing row context for
+/// correlated subqueries (null at top level).
+///
+/// Returns Unsupported if the statement carries world-set operations.
+Result<Table> ExecuteSelect(const sql::SelectStatement& stmt,
+                            const Database& db,
+                            const EvalContext* outer = nullptr);
+
+/// Builds the cross product of the FROM clause (with alias-qualified
+/// schemas) and applies the WHERE filter. Exposed for the world-set layer,
+/// which reuses it for repair/choice input relations.
+Result<Table> ExecuteFromWhere(const sql::SelectStatement& stmt,
+                               const Database& db,
+                               const EvalContext* outer = nullptr);
+
+/// Projects `rows` (with schema `source`) through the statement's select
+/// list. Aggregates are rejected. Used by the world-set layer to build the
+/// per-world result of `repair by key` / `choice of` statements, whose
+/// select list applies to the chosen tuple subset.
+Result<Table> ProjectTuples(const sql::SelectStatement& stmt,
+                            const Database& db, const Schema& source,
+                            const std::vector<Tuple>& rows);
+
+}  // namespace maybms::engine
+
+#endif  // MAYBMS_ENGINE_EXECUTOR_H_

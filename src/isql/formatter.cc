@@ -1,0 +1,119 @@
+#include "isql/formatter.h"
+
+#include <algorithm>
+
+#include "base/string_util.h"
+#include "worlds/world.h"
+
+namespace maybms::isql {
+
+std::string FormatTable(const Table& table) {
+  const Schema& schema = table.schema();
+  size_t cols = schema.num_columns();
+  if (cols == 0) {
+    return table.empty() ? "(empty, 0 columns)\n"
+                         : "(" + std::to_string(table.num_rows()) +
+                               " row(s), 0 columns)\n";
+  }
+
+  std::vector<std::vector<std::string>> cells;
+  std::vector<size_t> widths(cols);
+  std::vector<std::string> header(cols);
+  for (size_t c = 0; c < cols; ++c) {
+    header[c] = schema.column(c).name;
+    widths[c] = header[c].size();
+  }
+  for (const Tuple& row : table.rows()) {
+    std::vector<std::string> line(cols);
+    for (size_t c = 0; c < cols; ++c) {
+      line[c] = row.value(c).ToString();
+      widths[c] = std::max(widths[c], line[c].size());
+    }
+    cells.push_back(std::move(line));
+  }
+
+  auto render_row = [&](const std::vector<std::string>& line) {
+    std::string out;
+    for (size_t c = 0; c < cols; ++c) {
+      if (c > 0) out += " | ";
+      out += line[c];
+      out.append(widths[c] - line[c].size(), ' ');
+    }
+    // Trim trailing spaces.
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    return out + "\n";
+  };
+
+  std::string out = render_row(header);
+  std::string rule;
+  for (size_t c = 0; c < cols; ++c) {
+    if (c > 0) rule += "-+-";
+    rule.append(widths[c], '-');
+  }
+  out += rule + "\n";
+  for (const auto& line : cells) out += render_row(line);
+  if (table.empty()) out += "(no rows)\n";
+  return out;
+}
+
+std::string FormatQueryResult(const QueryResult& result) {
+  switch (result.kind()) {
+    case QueryResult::Kind::kMessage:
+      return result.message() + "\n";
+    case QueryResult::Kind::kTable:
+      return FormatTable(result.table());
+    case QueryResult::Kind::kWorlds: {
+      std::string out;
+      const auto& worlds = result.worlds();
+      for (size_t i = 0; i < worlds.size(); ++i) {
+        out += "-- world " + worlds::WorldLabel(i) +
+               " (P = " + FormatDouble(worlds[i].first) + ")\n";
+        out += FormatTable(worlds[i].second);
+      }
+      if (result.truncated()) {
+        out += "-- ... (world enumeration truncated)\n";
+      }
+      if (worlds.empty()) out += "(no worlds)\n";
+      return out;
+    }
+    case QueryResult::Kind::kGroups: {
+      std::string out;
+      size_t index = 0;
+      for (const auto& group : result.groups()) {
+        out += "-- group " + std::to_string(++index) +
+               " (P = " + FormatDouble(group.probability) +
+               "), grouping answer:\n";
+        out += FormatTable(group.key);
+        out += "result:\n";
+        out += FormatTable(group.table);
+      }
+      return out;
+    }
+  }
+  return "";
+}
+
+std::string FormatWorldSet(const worlds::WorldSet& world_set,
+                           size_t max_worlds) {
+  bool truncated = false;
+  auto worlds = world_set.MaterializeWorlds(max_worlds, &truncated);
+  if (!worlds.ok()) return "error: " + worlds.status().ToString() + "\n";
+
+  std::string out = "world-set (" + world_set.EngineName() + " engine, " +
+                    std::to_string(world_set.NumWorlds()) + " worlds)\n";
+  for (size_t i = 0; i < worlds->size(); ++i) {
+    const worlds::World& world = (*worlds)[i];
+    out += "== world " + worlds::WorldLabel(i) +
+           " (P = " + FormatDouble(world.probability) + ")\n";
+    for (const std::string& name : world.db.RelationNames()) {
+      auto table = world.db.GetRelation(name);
+      if (!table.ok()) continue;
+      out += name + ":\n";
+      out += FormatTable(**table);
+    }
+  }
+  if (truncated) out += "... (truncated)\n";
+  return out;
+}
+
+}  // namespace maybms::isql

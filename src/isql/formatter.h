@@ -1,0 +1,31 @@
+#ifndef MAYBMS_ISQL_FORMATTER_H_
+#define MAYBMS_ISQL_FORMATTER_H_
+
+#include <string>
+
+#include "isql/query_result.h"
+#include "storage/table.h"
+#include "worlds/world_set.h"
+
+namespace maybms::isql {
+
+/// Renders a table with aligned columns:
+///
+///   A  | B  | C
+///   ---+----+---
+///   a1 | 10 | c1
+std::string FormatTable(const Table& table);
+
+/// Renders a query result: message, per-world tables with labels and
+/// probabilities (the paper's Figure 2 style), a single answer table, or
+/// per-group results.
+std::string FormatQueryResult(const QueryResult& result);
+
+/// Renders the current world-set: world labels, probabilities, and every
+/// relation instance per world (up to `max_worlds`).
+std::string FormatWorldSet(const worlds::WorldSet& world_set,
+                           size_t max_worlds);
+
+}  // namespace maybms::isql
+
+#endif  // MAYBMS_ISQL_FORMATTER_H_

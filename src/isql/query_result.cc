@@ -1,0 +1,45 @@
+#include "isql/query_result.h"
+
+namespace maybms::isql {
+
+QueryResult QueryResult::Message(std::string text) {
+  QueryResult r;
+  r.kind_ = Kind::kMessage;
+  r.message_ = std::move(text);
+  return r;
+}
+
+QueryResult QueryResult::Worlds(std::vector<std::pair<double, Table>> worlds,
+                                bool truncated) {
+  QueryResult r;
+  r.kind_ = Kind::kWorlds;
+  r.worlds_ = std::move(worlds);
+  r.truncated_ = truncated;
+  return r;
+}
+
+QueryResult QueryResult::SingleTable(Table table) {
+  QueryResult r;
+  r.kind_ = Kind::kTable;
+  r.table_ = std::move(table);
+  return r;
+}
+
+QueryResult QueryResult::Groups(
+    std::vector<worlds::SelectEvaluation::GroupResult> groups) {
+  QueryResult r;
+  r.kind_ = Kind::kGroups;
+  r.groups_ = std::move(groups);
+  return r;
+}
+
+Result<const Table*> QueryResult::RequireTable() const {
+  if (kind_ == Kind::kTable) return &*table_;
+  if (kind_ == Kind::kWorlds && worlds_.size() == 1) {
+    return &worlds_[0].second;
+  }
+  return Status::InvalidArgument(
+      "query result is not a single table (kind mismatch)");
+}
+
+}  // namespace maybms::isql

@@ -1,0 +1,61 @@
+#ifndef MAYBMS_ISQL_QUERY_RESULT_H_
+#define MAYBMS_ISQL_QUERY_RESULT_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+#include "worlds/world_set.h"
+
+namespace maybms::isql {
+
+/// The answer of one I-SQL statement.
+///
+/// DDL/DML statements produce a `kMessage`. Queries produce, depending on
+/// their world operations:
+///  * `kWorlds` — one answer relation per (derived) world, with world
+///    probabilities (plain SQL core, repair/choice/assert pipelines);
+///  * `kTable` — a single certain answer (possible/certain/conf);
+///  * `kGroups` — per world-group answers (group worlds by).
+class QueryResult {
+ public:
+  enum class Kind { kMessage, kWorlds, kTable, kGroups };
+
+  static QueryResult Message(std::string text);
+  static QueryResult Worlds(std::vector<std::pair<double, Table>> worlds,
+                            bool truncated);
+  static QueryResult SingleTable(Table table);
+  static QueryResult Groups(
+      std::vector<worlds::SelectEvaluation::GroupResult> groups);
+
+  Kind kind() const { return kind_; }
+  const std::string& message() const { return message_; }
+  const std::vector<std::pair<double, Table>>& worlds() const {
+    return worlds_;
+  }
+  bool truncated() const { return truncated_; }
+  const Table& table() const { return *table_; }
+  bool has_table() const { return table_.has_value(); }
+  const std::vector<worlds::SelectEvaluation::GroupResult>& groups() const {
+    return groups_;
+  }
+
+  /// Convenience for tests: the single combined table for kTable results;
+  /// for kWorlds results with exactly one world, that world's table.
+  Result<const Table*> RequireTable() const;
+
+ private:
+  QueryResult() = default;
+
+  Kind kind_ = Kind::kMessage;
+  std::string message_;
+  std::vector<std::pair<double, Table>> worlds_;
+  bool truncated_ = false;
+  std::optional<Table> table_;
+  std::vector<worlds::SelectEvaluation::GroupResult> groups_;
+};
+
+}  // namespace maybms::isql
+
+#endif  // MAYBMS_ISQL_QUERY_RESULT_H_

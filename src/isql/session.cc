@@ -1,0 +1,198 @@
+#include "isql/session.h"
+
+#include "base/string_util.h"
+#include "engine/dml.h"
+#include "sql/parser.h"
+#include "worlds/decomposed_world_set.h"
+#include "worlds/explicit_world_set.h"
+
+namespace maybms::isql {
+
+Session::Session(SessionOptions options) : options_(options) {
+  worlds_ = MakeWorldSet();
+}
+
+std::unique_ptr<worlds::WorldSet> Session::MakeWorldSet() const {
+  if (options_.engine == EngineMode::kExplicit) {
+    return std::make_unique<worlds::ExplicitWorldSet>(
+        options_.max_explicit_worlds);
+  }
+  return std::make_unique<worlds::DecomposedWorldSet>(options_.max_merge);
+}
+
+Result<QueryResult> Session::Execute(const std::string& sql) {
+  MAYBMS_ASSIGN_OR_RETURN(sql::StatementPtr stmt,
+                          sql::Parser::ParseStatement(sql));
+  return ExecuteStatement(*stmt);
+}
+
+Result<std::vector<QueryResult>> Session::ExecuteScript(
+    const std::string& sql) {
+  MAYBMS_ASSIGN_OR_RETURN(std::vector<sql::StatementPtr> statements,
+                          sql::Parser::ParseScript(sql));
+  std::vector<QueryResult> results;
+  results.reserve(statements.size());
+  for (const sql::StatementPtr& stmt : statements) {
+    MAYBMS_ASSIGN_OR_RETURN(QueryResult r, ExecuteStatement(*stmt));
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+Result<QueryResult> Session::ExecuteStatement(const sql::Statement& stmt) {
+  switch (stmt.kind) {
+    case sql::StatementKind::kSelect:
+      return EvaluateSelect(static_cast<const sql::SelectStatement&>(stmt));
+    case sql::StatementKind::kCreateTable:
+      return ExecuteCreateTable(
+          static_cast<const sql::CreateTableStatement&>(stmt));
+    case sql::StatementKind::kCreateTableAs:
+      return ExecuteCreateTableAs(
+          static_cast<const sql::CreateTableAsStatement&>(stmt));
+    case sql::StatementKind::kDropTable:
+      return ExecuteDrop(static_cast<const sql::DropTableStatement&>(stmt));
+    case sql::StatementKind::kInsert:
+    case sql::StatementKind::kUpdate:
+    case sql::StatementKind::kDelete:
+      return ExecuteDml(stmt);
+  }
+  return Status::InvalidArgument("unknown statement kind");
+}
+
+std::vector<std::string> Session::ViewNames() const {
+  std::vector<std::string> names;
+  names.reserve(views_.size());
+  for (const auto& [name, def] : views_) names.push_back(name);
+  return names;
+}
+
+bool Session::ReferencesViews(const sql::SelectStatement& stmt) const {
+  std::set<std::string> referenced;
+  worlds::CollectReferencedRelations(stmt, &referenced);
+  for (const std::string& name : referenced) {
+    if (views_.count(name) > 0) return true;
+  }
+  return false;
+}
+
+Status Session::MaterializeViewsInto(worlds::WorldSet* target,
+                                     const sql::SelectStatement& stmt,
+                                     std::set<std::string>* in_progress) const {
+  std::set<std::string> referenced;
+  worlds::CollectReferencedRelations(stmt, &referenced);
+  for (const std::string& name : referenced) {
+    auto it = views_.find(name);
+    if (it == views_.end()) continue;
+    if (target->HasRelation(name)) continue;  // already materialized
+    if (!in_progress->insert(name).second) {
+      return Status::InvalidArgument("cyclic view definition: " + name);
+    }
+    // Dependencies first.
+    MAYBMS_RETURN_NOT_OK(
+        MaterializeViewsInto(target, *it->second, in_progress));
+    MAYBMS_RETURN_NOT_OK(target->MaterializeSelect(name, *it->second));
+    in_progress->erase(name);
+  }
+  return Status::OK();
+}
+
+Result<QueryResult> Session::EvaluateSelect(const sql::SelectStatement& stmt) {
+  const worlds::WorldSet* ws = worlds_.get();
+  std::unique_ptr<worlds::WorldSet> derived;
+  if (ReferencesViews(stmt)) {
+    derived = worlds_->Clone();
+    std::set<std::string> in_progress;
+    MAYBMS_RETURN_NOT_OK(
+        MaterializeViewsInto(derived.get(), stmt, &in_progress));
+    ws = derived.get();
+  }
+
+  MAYBMS_ASSIGN_OR_RETURN(
+      worlds::SelectEvaluation eval,
+      ws->EvaluateSelect(stmt, options_.max_display_worlds));
+
+  if (!eval.groups.empty()) {
+    return QueryResult::Groups(std::move(eval.groups));
+  }
+  if (eval.combined.has_value()) {
+    return QueryResult::SingleTable(std::move(*eval.combined));
+  }
+  return QueryResult::Worlds(std::move(eval.per_world), eval.truncated);
+}
+
+Result<QueryResult> Session::ExecuteCreateTable(
+    const sql::CreateTableStatement& stmt) {
+  if (views_.count(AsciiToLower(stmt.table_name)) > 0) {
+    return Status::AlreadyExists("a view named " + stmt.table_name +
+                                 " already exists");
+  }
+  MAYBMS_ASSIGN_OR_RETURN(Table prototype,
+                          engine::BuildTableFromDefinition(stmt));
+  MAYBMS_RETURN_NOT_OK(worlds_->CreateBaseTable(stmt.table_name, prototype));
+  for (Constraint& c : engine::CollectConstraints(stmt)) {
+    catalog_.AddConstraint(stmt.table_name, std::move(c));
+  }
+  return QueryResult::Message("created table " + stmt.table_name);
+}
+
+Result<QueryResult> Session::ExecuteCreateTableAs(
+    const sql::CreateTableAsStatement& stmt) {
+  const std::string lower = AsciiToLower(stmt.table_name);
+  if (views_.count(lower) > 0 || worlds_->HasRelation(stmt.table_name)) {
+    return Status::AlreadyExists("relation or view already exists: " +
+                                 stmt.table_name);
+  }
+
+  if (stmt.is_view) {
+    views_[lower] =
+        std::shared_ptr<const sql::SelectStatement>(stmt.query->Clone());
+    return QueryResult::Message("created view " + stmt.table_name);
+  }
+
+  if (ReferencesViews(*stmt.query)) {
+    // Materialize referenced views first; view world operations (e.g. an
+    // `assert` inside the view) become part of the session's world-set —
+    // CREATE TABLE makes the derived world-set real.
+    std::unique_ptr<worlds::WorldSet> derived = worlds_->Clone();
+    std::set<std::string> in_progress;
+    MAYBMS_RETURN_NOT_OK(
+        MaterializeViewsInto(derived.get(), *stmt.query, &in_progress));
+    MAYBMS_RETURN_NOT_OK(
+        derived->MaterializeSelect(stmt.table_name, *stmt.query));
+    worlds_ = std::move(derived);
+  } else {
+    MAYBMS_RETURN_NOT_OK(
+        worlds_->MaterializeSelect(stmt.table_name, *stmt.query));
+  }
+  return QueryResult::Message("created table " + stmt.table_name);
+}
+
+Result<QueryResult> Session::ExecuteDrop(const sql::DropTableStatement& stmt) {
+  const std::string lower = AsciiToLower(stmt.table_name);
+  if (views_.erase(lower) > 0) {
+    return QueryResult::Message("dropped view " + stmt.table_name);
+  }
+  Status status = worlds_->DropRelation(stmt.table_name);
+  if (!status.ok()) {
+    if (stmt.if_exists && status.code() == StatusCode::kNotFound) {
+      return QueryResult::Message("nothing to drop");
+    }
+    return status;
+  }
+  catalog_.DropConstraints(stmt.table_name);
+  return QueryResult::Message("dropped table " + stmt.table_name);
+}
+
+Result<QueryResult> Session::ExecuteDml(const sql::Statement& stmt) {
+  MAYBMS_RETURN_NOT_OK(worlds_->ApplyDml(stmt, catalog_));
+  switch (stmt.kind) {
+    case sql::StatementKind::kInsert:
+      return QueryResult::Message("insert applied in all worlds");
+    case sql::StatementKind::kUpdate:
+      return QueryResult::Message("update applied in all worlds");
+    default:
+      return QueryResult::Message("delete applied in all worlds");
+  }
+}
+
+}  // namespace maybms::isql

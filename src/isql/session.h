@@ -1,0 +1,105 @@
+#ifndef MAYBMS_ISQL_SESSION_H_
+#define MAYBMS_ISQL_SESSION_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "isql/query_result.h"
+#include "sql/ast.h"
+#include "storage/catalog.h"
+#include "worlds/world_set.h"
+
+namespace maybms::isql {
+
+/// Which world-set representation backs the session.
+enum class EngineMode {
+  kExplicit,    // one materialized database per world (baseline)
+  kDecomposed,  // MayBMS world-set decomposition
+};
+
+struct SessionOptions {
+  EngineMode engine = EngineMode::kDecomposed;
+
+  /// Cap on per-world answers rendered/returned by SELECT queries.
+  size_t max_display_worlds = 64;
+
+  /// Cap on materialized worlds in the explicit engine.
+  size_t max_explicit_worlds = 1 << 20;
+
+  /// Cap on alternatives a single component merge may produce in the
+  /// decomposed engine.
+  size_t max_merge = 1 << 20;
+};
+
+/// An I-SQL session: parses statements, resolves views, and evaluates
+/// against the configured world-set engine. This is the main public entry
+/// point of the library.
+///
+///   maybms::isql::Session session;
+///   auto r = session.Execute("create table R (A text, B integer);");
+///   ...
+///   auto q = session.Execute("select possible sum(B) from I;");
+///
+/// Statement semantics follow the paper:
+///  * SELECT queries (including those with repair/choice/assert) do not
+///    modify the session's world-set;
+///  * CREATE TABLE ... AS materializes the statement's world operations;
+///  * INSERT/UPDATE/DELETE run in every world; a constraint violation in
+///    any world discards the update in all worlds;
+///  * views are named queries; views may contain world operations (e.g.
+///    `assert`), in which case querying the view evaluates against the
+///    derived world-set the view denotes.
+class Session {
+ public:
+  explicit Session(SessionOptions options = SessionOptions());
+
+  /// Parses and executes a single statement.
+  Result<QueryResult> Execute(const std::string& sql);
+
+  /// Parses and executes a ';'-separated script; returns the result of
+  /// every statement.
+  Result<std::vector<QueryResult>> ExecuteScript(const std::string& sql);
+
+  /// Executes an already parsed statement.
+  Result<QueryResult> ExecuteStatement(const sql::Statement& stmt);
+
+  const worlds::WorldSet& world_set() const { return *worlds_; }
+  const Catalog& catalog() const { return catalog_; }
+  const SessionOptions& options() const { return options_; }
+
+  /// Names of defined views (lower-cased).
+  std::vector<std::string> ViewNames() const;
+
+ private:
+  Result<QueryResult> EvaluateSelect(const sql::SelectStatement& stmt);
+  Result<QueryResult> ExecuteCreateTable(const sql::CreateTableStatement& stmt);
+  Result<QueryResult> ExecuteCreateTableAs(
+      const sql::CreateTableAsStatement& stmt);
+  Result<QueryResult> ExecuteDrop(const sql::DropTableStatement& stmt);
+  Result<QueryResult> ExecuteDml(const sql::Statement& stmt);
+
+  /// True if `stmt` (transitively) references any defined view.
+  bool ReferencesViews(const sql::SelectStatement& stmt) const;
+
+  /// Materializes every view referenced by `stmt` into `target`
+  /// (recursively, dependency-first). `in_progress` detects cycles.
+  Status MaterializeViewsInto(worlds::WorldSet* target,
+                              const sql::SelectStatement& stmt,
+                              std::set<std::string>* in_progress) const;
+
+  std::unique_ptr<worlds::WorldSet> MakeWorldSet() const;
+
+  SessionOptions options_;
+  std::unique_ptr<worlds::WorldSet> worlds_;
+  Catalog catalog_;
+  // View name (lower-cased) -> definition.
+  std::map<std::string, std::shared_ptr<const sql::SelectStatement>> views_;
+};
+
+}  // namespace maybms::isql
+
+#endif  // MAYBMS_ISQL_SESSION_H_

@@ -1,0 +1,460 @@
+#include "sql/ast.h"
+
+#include "base/string_util.h"
+
+namespace maybms::sql {
+
+const char* BinaryOpToString(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSubtract:
+      return "-";
+    case BinaryOp::kMultiply:
+      return "*";
+    case BinaryOp::kDivide:
+      return "/";
+    case BinaryOp::kModulo:
+      return "%";
+    case BinaryOp::kEquals:
+      return "=";
+    case BinaryOp::kNotEquals:
+      return "<>";
+    case BinaryOp::kLess:
+      return "<";
+    case BinaryOp::kLessEquals:
+      return "<=";
+    case BinaryOp::kGreater:
+      return ">";
+    case BinaryOp::kGreaterEquals:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "AND";
+    case BinaryOp::kOr:
+      return "OR";
+    case BinaryOp::kLike:
+      return "LIKE";
+  }
+  return "?";
+}
+
+// --------------------------- Clone implementations -------------------------
+
+std::unique_ptr<Expr> LiteralExpr::Clone() const {
+  return std::make_unique<LiteralExpr>(value);
+}
+
+std::unique_ptr<Expr> ColumnRefExpr::Clone() const {
+  return std::make_unique<ColumnRefExpr>(qualifier, name);
+}
+
+std::unique_ptr<Expr> UnaryExpr::Clone() const {
+  return std::make_unique<UnaryExpr>(op, operand->Clone());
+}
+
+std::unique_ptr<Expr> BinaryExpr::Clone() const {
+  return std::make_unique<BinaryExpr>(op, left->Clone(), right->Clone());
+}
+
+std::unique_ptr<Expr> FunctionCallExpr::Clone() const {
+  std::vector<ExprPtr> cloned_args;
+  cloned_args.reserve(args.size());
+  for (const auto& a : args) cloned_args.push_back(a->Clone());
+  return std::make_unique<FunctionCallExpr>(name, std::move(cloned_args),
+                                            distinct, star);
+}
+
+std::unique_ptr<Expr> IsNullExpr::Clone() const {
+  return std::make_unique<IsNullExpr>(operand->Clone(), negated);
+}
+
+std::unique_ptr<Expr> InListExpr::Clone() const {
+  std::vector<ExprPtr> cloned;
+  cloned.reserve(items.size());
+  for (const auto& i : items) cloned.push_back(i->Clone());
+  return std::make_unique<InListExpr>(operand->Clone(), std::move(cloned),
+                                      negated);
+}
+
+InSubqueryExpr::InSubqueryExpr(ExprPtr operand_in,
+                               std::unique_ptr<SelectStatement> sub,
+                               bool negated_in)
+    : Expr(ExprKind::kInSubquery),
+      operand(std::move(operand_in)),
+      subquery(std::move(sub)),
+      negated(negated_in) {}
+InSubqueryExpr::~InSubqueryExpr() = default;
+
+std::unique_ptr<Expr> InSubqueryExpr::Clone() const {
+  return std::make_unique<InSubqueryExpr>(operand->Clone(), subquery->Clone(),
+                                          negated);
+}
+
+ExistsExpr::ExistsExpr(std::unique_ptr<SelectStatement> sub, bool negated_in)
+    : Expr(ExprKind::kExists), subquery(std::move(sub)), negated(negated_in) {}
+ExistsExpr::~ExistsExpr() = default;
+
+std::unique_ptr<Expr> ExistsExpr::Clone() const {
+  return std::make_unique<ExistsExpr>(subquery->Clone(), negated);
+}
+
+ScalarSubqueryExpr::ScalarSubqueryExpr(std::unique_ptr<SelectStatement> sub)
+    : Expr(ExprKind::kScalarSubquery), subquery(std::move(sub)) {}
+ScalarSubqueryExpr::~ScalarSubqueryExpr() = default;
+
+std::unique_ptr<Expr> ScalarSubqueryExpr::Clone() const {
+  return std::make_unique<ScalarSubqueryExpr>(subquery->Clone());
+}
+
+std::unique_ptr<Expr> BetweenExpr::Clone() const {
+  return std::make_unique<BetweenExpr>(operand->Clone(), low->Clone(),
+                                       high->Clone(), negated);
+}
+
+std::unique_ptr<Expr> CaseExpr::Clone() const {
+  std::vector<WhenClause> cloned;
+  cloned.reserve(whens.size());
+  for (const auto& w : whens) {
+    cloned.push_back(WhenClause{w.condition->Clone(), w.result->Clone()});
+  }
+  return std::make_unique<CaseExpr>(std::move(cloned), CloneExpr(else_result));
+}
+
+std::unique_ptr<Expr> CastExpr::Clone() const {
+  return std::make_unique<CastExpr>(operand->Clone(), target);
+}
+
+// --------------------------- ToString implementations ----------------------
+
+std::string LiteralExpr::ToString() const {
+  if (value.type() == DataType::kText) return "'" + value.AsText() + "'";
+  return value.ToString();
+}
+
+std::string ColumnRefExpr::ToString() const {
+  return qualifier.empty() ? name : qualifier + "." + name;
+}
+
+std::string UnaryExpr::ToString() const {
+  return (op == UnaryOp::kNot ? "NOT (" : "-(") + operand->ToString() + ")";
+}
+
+std::string BinaryExpr::ToString() const {
+  return "(" + left->ToString() + " " + BinaryOpToString(op) + " " +
+         right->ToString() + ")";
+}
+
+std::string FunctionCallExpr::ToString() const {
+  std::string out = AsciiToUpper(name) + "(";
+  if (star) {
+    out += "*";
+  } else {
+    if (distinct) out += "DISTINCT ";
+    for (size_t i = 0; i < args.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += args[i]->ToString();
+    }
+  }
+  return out + ")";
+}
+
+std::string IsNullExpr::ToString() const {
+  return "(" + operand->ToString() + (negated ? " IS NOT NULL" : " IS NULL") +
+         ")";
+}
+
+std::string InListExpr::ToString() const {
+  std::string out = "(" + operand->ToString() + (negated ? " NOT IN (" : " IN (");
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += items[i]->ToString();
+  }
+  return out + "))";
+}
+
+std::string InSubqueryExpr::ToString() const {
+  return "(" + operand->ToString() + (negated ? " NOT IN (" : " IN (") +
+         subquery->ToString() + "))";
+}
+
+std::string ExistsExpr::ToString() const {
+  return std::string(negated ? "NOT EXISTS (" : "EXISTS (") +
+         subquery->ToString() + ")";
+}
+
+std::string ScalarSubqueryExpr::ToString() const {
+  return "(" + subquery->ToString() + ")";
+}
+
+std::string BetweenExpr::ToString() const {
+  return "(" + operand->ToString() + (negated ? " NOT BETWEEN " : " BETWEEN ") +
+         low->ToString() + " AND " + high->ToString() + ")";
+}
+
+std::string CaseExpr::ToString() const {
+  std::string out = "CASE";
+  for (const auto& w : whens) {
+    out += " WHEN " + w.condition->ToString() + " THEN " + w.result->ToString();
+  }
+  if (else_result) out += " ELSE " + else_result->ToString();
+  return out + " END";
+}
+
+std::string CastExpr::ToString() const {
+  return "CAST(" + operand->ToString() + " AS " + DataTypeToString(target) +
+         ")";
+}
+
+// --------------------------- JoinClause ------------------------------------
+
+JoinClause JoinClause::Clone() const {
+  JoinClause out;
+  out.kind = kind;
+  out.table = table;
+  out.on = CloneExpr(on);
+  return out;
+}
+
+// --------------------------- SelectItem ------------------------------------
+
+SelectItem SelectItem::Clone() const {
+  SelectItem item;
+  item.expr = CloneExpr(expr);
+  item.alias = alias;
+  item.star = star;
+  item.star_qualifier = star_qualifier;
+  return item;
+}
+
+std::string SelectItem::ToString() const {
+  if (star) return star_qualifier.empty() ? "*" : star_qualifier + ".*";
+  std::string out = expr->ToString();
+  if (!alias.empty()) out += " AS " + alias;
+  return out;
+}
+
+// --------------------------- Statements ------------------------------------
+
+std::unique_ptr<Statement> SelectStatement::CloneStatement() const {
+  return Clone();
+}
+
+std::unique_ptr<SelectStatement> SelectStatement::Clone() const {
+  auto out = std::make_unique<SelectStatement>();
+  out->distinct = distinct;
+  out->quantifier = quantifier;
+  for (const auto& item : items) out->items.push_back(item.Clone());
+  out->from = from;
+  for (const auto& join : joins) out->joins.push_back(join.Clone());
+  out->where = CloneExpr(where);
+  for (const auto& g : group_by) out->group_by.push_back(g->Clone());
+  out->having = CloneExpr(having);
+  for (const auto& o : order_by) {
+    out->order_by.push_back(OrderItem{o.expr->Clone(), o.descending});
+  }
+  out->limit = limit;
+  out->repair = repair;
+  out->choice = choice;
+  out->assert_condition = CloneExpr(assert_condition);
+  if (group_worlds_by) out->group_worlds_by = group_worlds_by->Clone();
+  if (union_next) out->union_next = union_next->Clone();
+  out->set_op = set_op;
+  return out;
+}
+
+std::string SelectStatement::ToString() const {
+  std::string out = "SELECT ";
+  if (distinct) out += "DISTINCT ";
+  switch (quantifier) {
+    case WorldQuantifier::kPossible:
+      out += "POSSIBLE ";
+      break;
+    case WorldQuantifier::kCertain:
+      out += "CERTAIN ";
+      break;
+    case WorldQuantifier::kConf:
+      out += "CONF ";
+      break;
+    case WorldQuantifier::kNone:
+      break;
+  }
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += items[i].ToString();
+  }
+  if (!from.empty()) {
+    out += " FROM ";
+    for (size_t i = 0; i < from.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += from[i].table_name;
+      if (!from[i].alias.empty()) out += " " + from[i].alias;
+    }
+  }
+  for (const JoinClause& join : joins) {
+    out += join.kind == JoinKind::kLeftOuter ? " LEFT JOIN " : " JOIN ";
+    out += join.table.table_name;
+    if (!join.table.alias.empty()) out += " " + join.table.alias;
+    out += " ON " + join.on->ToString();
+  }
+  if (where) out += " WHERE " + where->ToString();
+  if (!group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += group_by[i]->ToString();
+    }
+  }
+  if (having) out += " HAVING " + having->ToString();
+  if (!order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += order_by[i].expr->ToString();
+      if (order_by[i].descending) out += " DESC";
+    }
+  }
+  if (limit.has_value()) out += " LIMIT " + std::to_string(*limit);
+  if (repair.has_value()) {
+    out += " REPAIR BY KEY " + Join(repair->key_columns, ", ");
+    if (!repair->weight_column.empty()) out += " WEIGHT " + repair->weight_column;
+  }
+  if (choice.has_value()) {
+    out += " CHOICE OF " + Join(choice->columns, ", ");
+    if (!choice->weight_column.empty()) out += " WEIGHT " + choice->weight_column;
+  }
+  if (assert_condition) out += " ASSERT " + assert_condition->ToString();
+  if (group_worlds_by) {
+    out += " GROUP WORLDS BY (" + group_worlds_by->ToString() + ")";
+  }
+  if (union_next) {
+    switch (set_op) {
+      case SetOpKind::kUnion:
+        out += " UNION ";
+        break;
+      case SetOpKind::kUnionAll:
+        out += " UNION ALL ";
+        break;
+      case SetOpKind::kIntersect:
+        out += " INTERSECT ";
+        break;
+      case SetOpKind::kExcept:
+        out += " EXCEPT ";
+        break;
+    }
+    out += union_next->ToString();
+  }
+  return out;
+}
+
+std::unique_ptr<Statement> CreateTableStatement::CloneStatement() const {
+  auto out = std::make_unique<CreateTableStatement>();
+  out->table_name = table_name;
+  out->columns = columns;
+  out->table_constraints = table_constraints;
+  return out;
+}
+
+std::string CreateTableStatement::ToString() const {
+  std::string out = "CREATE TABLE " + table_name + " (";
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns[i].name;
+    out += " ";
+    out += DataTypeToString(columns[i].type);
+    if (columns[i].primary_key) out += " PRIMARY KEY";
+    if (columns[i].unique) out += " UNIQUE";
+    if (columns[i].not_null) out += " NOT NULL";
+  }
+  return out + ")";
+}
+
+std::unique_ptr<Statement> CreateTableAsStatement::CloneStatement() const {
+  auto out = std::make_unique<CreateTableAsStatement>();
+  out->table_name = table_name;
+  out->is_view = is_view;
+  out->query = query->Clone();
+  return out;
+}
+
+std::string CreateTableAsStatement::ToString() const {
+  return std::string("CREATE ") + (is_view ? "VIEW " : "TABLE ") + table_name +
+         " AS " + query->ToString();
+}
+
+std::unique_ptr<Statement> DropTableStatement::CloneStatement() const {
+  auto out = std::make_unique<DropTableStatement>();
+  out->table_name = table_name;
+  out->if_exists = if_exists;
+  return out;
+}
+
+std::string DropTableStatement::ToString() const {
+  return "DROP TABLE " + std::string(if_exists ? "IF EXISTS " : "") +
+         table_name;
+}
+
+std::unique_ptr<Statement> InsertStatement::CloneStatement() const {
+  auto out = std::make_unique<InsertStatement>();
+  out->table_name = table_name;
+  out->columns = columns;
+  for (const auto& row : rows) {
+    std::vector<ExprPtr> cloned;
+    cloned.reserve(row.size());
+    for (const auto& e : row) cloned.push_back(e->Clone());
+    out->rows.push_back(std::move(cloned));
+  }
+  if (query) out->query = query->Clone();
+  return out;
+}
+
+std::string InsertStatement::ToString() const {
+  std::string out = "INSERT INTO " + table_name;
+  if (!columns.empty()) out += " (" + Join(columns, ", ") + ")";
+  if (query) return out + " " + query->ToString();
+  out += " VALUES ";
+  for (size_t r = 0; r < rows.size(); ++r) {
+    if (r > 0) out += ", ";
+    out += "(";
+    for (size_t i = 0; i < rows[r].size(); ++i) {
+      if (i > 0) out += ", ";
+      out += rows[r][i]->ToString();
+    }
+    out += ")";
+  }
+  return out;
+}
+
+std::unique_ptr<Statement> UpdateStatement::CloneStatement() const {
+  auto out = std::make_unique<UpdateStatement>();
+  out->table_name = table_name;
+  for (const auto& [col, e] : assignments) {
+    out->assignments.emplace_back(col, e->Clone());
+  }
+  out->where = CloneExpr(where);
+  return out;
+}
+
+std::string UpdateStatement::ToString() const {
+  std::string out = "UPDATE " + table_name + " SET ";
+  for (size_t i = 0; i < assignments.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += assignments[i].first + " = " + assignments[i].second->ToString();
+  }
+  if (where) out += " WHERE " + where->ToString();
+  return out;
+}
+
+std::unique_ptr<Statement> DeleteStatement::CloneStatement() const {
+  auto out = std::make_unique<DeleteStatement>();
+  out->table_name = table_name;
+  out->where = CloneExpr(where);
+  return out;
+}
+
+std::string DeleteStatement::ToString() const {
+  std::string out = "DELETE FROM " + table_name;
+  if (where) out += " WHERE " + where->ToString();
+  return out;
+}
+
+}  // namespace maybms::sql

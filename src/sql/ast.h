@@ -1,0 +1,432 @@
+#ifndef MAYBMS_SQL_AST_H_
+#define MAYBMS_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "storage/catalog.h"
+#include "types/value.h"
+
+namespace maybms::sql {
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind {
+  kLiteral,
+  kColumnRef,
+  kUnary,
+  kBinary,
+  kFunctionCall,     // aggregate or scalar function
+  kIsNull,           // expr IS [NOT] NULL
+  kInList,           // expr [NOT] IN (e1, e2, ...)
+  kInSubquery,       // expr [NOT] IN (select ...)
+  kExists,           // [NOT] EXISTS (select ...)
+  kScalarSubquery,   // (select ...)
+  kBetween,          // expr [NOT] BETWEEN lo AND hi
+  kCase,             // CASE WHEN ... THEN ... [ELSE ...] END
+  kCast,             // CAST(expr AS type)
+};
+
+enum class UnaryOp { kNot, kNegate };
+
+enum class BinaryOp {
+  kAdd,
+  kSubtract,
+  kMultiply,
+  kDivide,
+  kModulo,
+  kEquals,
+  kNotEquals,
+  kLess,
+  kLessEquals,
+  kGreater,
+  kGreaterEquals,
+  kAnd,
+  kOr,
+  kLike,
+};
+
+const char* BinaryOpToString(BinaryOp op);
+
+struct SelectStatement;
+
+/// Base class of all expression AST nodes.
+struct Expr {
+  explicit Expr(ExprKind kind_in) : kind(kind_in) {}
+  virtual ~Expr() = default;
+
+  Expr(const Expr&) = delete;
+  Expr& operator=(const Expr&) = delete;
+
+  /// Deep copy (needed when a statement template is evaluated in many
+  /// worlds with per-world rewrites, and for view expansion).
+  virtual std::unique_ptr<Expr> Clone() const = 0;
+
+  /// SQL-ish rendering for diagnostics and golden tests.
+  virtual std::string ToString() const = 0;
+
+  ExprKind kind;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct LiteralExpr : Expr {
+  explicit LiteralExpr(Value v) : Expr(ExprKind::kLiteral), value(std::move(v)) {}
+  std::unique_ptr<Expr> Clone() const override;
+  std::string ToString() const override;
+
+  Value value;
+};
+
+struct ColumnRefExpr : Expr {
+  ColumnRefExpr(std::string qualifier_in, std::string name_in)
+      : Expr(ExprKind::kColumnRef),
+        qualifier(std::move(qualifier_in)),
+        name(std::move(name_in)) {}
+  std::unique_ptr<Expr> Clone() const override;
+  std::string ToString() const override;
+
+  std::string qualifier;  // table alias or empty
+  std::string name;
+};
+
+struct UnaryExpr : Expr {
+  UnaryExpr(UnaryOp op_in, ExprPtr operand_in)
+      : Expr(ExprKind::kUnary), op(op_in), operand(std::move(operand_in)) {}
+  std::unique_ptr<Expr> Clone() const override;
+  std::string ToString() const override;
+
+  UnaryOp op;
+  ExprPtr operand;
+};
+
+struct BinaryExpr : Expr {
+  BinaryExpr(BinaryOp op_in, ExprPtr left_in, ExprPtr right_in)
+      : Expr(ExprKind::kBinary),
+        op(op_in),
+        left(std::move(left_in)),
+        right(std::move(right_in)) {}
+  std::unique_ptr<Expr> Clone() const override;
+  std::string ToString() const override;
+
+  BinaryOp op;
+  ExprPtr left;
+  ExprPtr right;
+};
+
+/// Function calls cover both aggregates (SUM/COUNT/AVG/MIN/MAX, detected by
+/// name during planning) and scalar functions (ABS, LOWER, UPPER, LENGTH,
+/// ROUND, COALESCE).
+struct FunctionCallExpr : Expr {
+  FunctionCallExpr(std::string name_in, std::vector<ExprPtr> args_in,
+                   bool distinct_in, bool star_in)
+      : Expr(ExprKind::kFunctionCall),
+        name(std::move(name_in)),
+        args(std::move(args_in)),
+        distinct(distinct_in),
+        star(star_in) {}
+  std::unique_ptr<Expr> Clone() const override;
+  std::string ToString() const override;
+
+  std::string name;           // lower-cased
+  std::vector<ExprPtr> args;
+  bool distinct = false;      // COUNT(DISTINCT x)
+  bool star = false;          // COUNT(*)
+};
+
+struct IsNullExpr : Expr {
+  IsNullExpr(ExprPtr operand_in, bool negated_in)
+      : Expr(ExprKind::kIsNull),
+        operand(std::move(operand_in)),
+        negated(negated_in) {}
+  std::unique_ptr<Expr> Clone() const override;
+  std::string ToString() const override;
+
+  ExprPtr operand;
+  bool negated;
+};
+
+struct InListExpr : Expr {
+  InListExpr(ExprPtr operand_in, std::vector<ExprPtr> items_in, bool negated_in)
+      : Expr(ExprKind::kInList),
+        operand(std::move(operand_in)),
+        items(std::move(items_in)),
+        negated(negated_in) {}
+  std::unique_ptr<Expr> Clone() const override;
+  std::string ToString() const override;
+
+  ExprPtr operand;
+  std::vector<ExprPtr> items;
+  bool negated;
+};
+
+struct InSubqueryExpr : Expr {
+  InSubqueryExpr(ExprPtr operand_in, std::unique_ptr<SelectStatement> sub,
+                 bool negated_in);
+  ~InSubqueryExpr() override;
+  std::unique_ptr<Expr> Clone() const override;
+  std::string ToString() const override;
+
+  ExprPtr operand;
+  std::unique_ptr<SelectStatement> subquery;
+  bool negated;
+};
+
+struct ExistsExpr : Expr {
+  ExistsExpr(std::unique_ptr<SelectStatement> sub, bool negated_in);
+  ~ExistsExpr() override;
+  std::unique_ptr<Expr> Clone() const override;
+  std::string ToString() const override;
+
+  std::unique_ptr<SelectStatement> subquery;
+  bool negated;
+};
+
+struct ScalarSubqueryExpr : Expr {
+  explicit ScalarSubqueryExpr(std::unique_ptr<SelectStatement> sub);
+  ~ScalarSubqueryExpr() override;
+  std::unique_ptr<Expr> Clone() const override;
+  std::string ToString() const override;
+
+  std::unique_ptr<SelectStatement> subquery;
+};
+
+struct BetweenExpr : Expr {
+  BetweenExpr(ExprPtr operand_in, ExprPtr low_in, ExprPtr high_in,
+              bool negated_in)
+      : Expr(ExprKind::kBetween),
+        operand(std::move(operand_in)),
+        low(std::move(low_in)),
+        high(std::move(high_in)),
+        negated(negated_in) {}
+  std::unique_ptr<Expr> Clone() const override;
+  std::string ToString() const override;
+
+  ExprPtr operand;
+  ExprPtr low;
+  ExprPtr high;
+  bool negated;
+};
+
+struct CaseExpr : Expr {
+  struct WhenClause {
+    ExprPtr condition;
+    ExprPtr result;
+  };
+  CaseExpr(std::vector<WhenClause> whens_in, ExprPtr else_result_in)
+      : Expr(ExprKind::kCase),
+        whens(std::move(whens_in)),
+        else_result(std::move(else_result_in)) {}
+  std::unique_ptr<Expr> Clone() const override;
+  std::string ToString() const override;
+
+  std::vector<WhenClause> whens;
+  ExprPtr else_result;  // may be null
+};
+
+struct CastExpr : Expr {
+  CastExpr(ExprPtr operand_in, DataType target_in)
+      : Expr(ExprKind::kCast),
+        operand(std::move(operand_in)),
+        target(target_in) {}
+  std::unique_ptr<Expr> Clone() const override;
+  std::string ToString() const override;
+
+  ExprPtr operand;
+  DataType target;
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+/// `possible` / `certain` / `conf` prefix of a select list — the I-SQL
+/// operations that cross world borders (paper §2, Ex. 2.8–2.10).
+enum class WorldQuantifier { kNone, kPossible, kCertain, kConf };
+
+/// One item of a select list.
+struct SelectItem {
+  ExprPtr expr;            // null for star
+  std::string alias;       // output column name override
+  bool star = false;       // `*`
+  std::string star_qualifier;  // `t.*`
+
+  SelectItem Clone() const;
+  std::string ToString() const;
+};
+
+struct TableRef {
+  std::string table_name;
+  std::string alias;  // empty -> table_name
+
+  const std::string& effective_alias() const {
+    return alias.empty() ? table_name : alias;
+  }
+};
+
+enum class JoinKind { kInner, kLeftOuter };
+
+/// An explicit `[INNER | LEFT [OUTER]] JOIN table ON condition` following
+/// the comma-separated FROM items.
+struct JoinClause {
+  JoinKind kind = JoinKind::kInner;
+  TableRef table;
+  ExprPtr on;  // required
+
+  JoinClause Clone() const;
+};
+
+/// Set operation linking a select to `union_next`.
+enum class SetOpKind { kUnion, kUnionAll, kIntersect, kExcept };
+
+struct OrderItem {
+  ExprPtr expr;
+  bool descending = false;
+};
+
+/// `repair by key A, B [weight W]` (paper Ex. 2.3, 2.4).
+struct RepairClause {
+  std::vector<std::string> key_columns;
+  std::string weight_column;  // empty -> uniform weights
+};
+
+/// `choice of A, B [weight W]` (paper Ex. 2.6, 2.7).
+struct ChoiceClause {
+  std::vector<std::string> columns;
+  std::string weight_column;  // empty -> uniform weights
+};
+
+enum class StatementKind {
+  kSelect,
+  kCreateTable,
+  kCreateTableAs,  // CREATE TABLE ... AS and CREATE VIEW ... AS (is_view)
+  kDropTable,
+  kInsert,
+  kUpdate,
+  kDelete,
+};
+
+struct Statement {
+  explicit Statement(StatementKind kind_in) : kind(kind_in) {}
+  virtual ~Statement() = default;
+  Statement(const Statement&) = delete;
+  Statement& operator=(const Statement&) = delete;
+
+  virtual std::unique_ptr<Statement> CloneStatement() const = 0;
+  virtual std::string ToString() const = 0;
+
+  StatementKind kind;
+};
+
+using StatementPtr = std::unique_ptr<Statement>;
+
+/// A full I-SQL select query. The world-set clauses (`repair by key`,
+/// `choice of`, `assert`, `group worlds by`) extend the per-world SQL
+/// core; see the paper's §2 for their semantics.
+struct SelectStatement : Statement {
+  SelectStatement() : Statement(StatementKind::kSelect) {}
+
+  std::unique_ptr<Statement> CloneStatement() const override;
+  std::unique_ptr<SelectStatement> Clone() const;
+  std::string ToString() const override;
+
+  bool distinct = false;
+  WorldQuantifier quantifier = WorldQuantifier::kNone;
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  std::vector<JoinClause> joins;  // explicit JOIN ... ON clauses
+  ExprPtr where;                 // may be null
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;                // may be null
+  std::vector<OrderItem> order_by;
+  std::optional<int64_t> limit;
+
+  std::optional<RepairClause> repair;
+  std::optional<ChoiceClause> choice;
+  ExprPtr assert_condition;                       // may be null
+  std::unique_ptr<SelectStatement> group_worlds_by;  // may be null
+
+  /// Set-operation chain (left-associative):
+  /// `this <set_op> union_next`. The I-SQL tail clauses above always
+  /// belong to the head statement of a chain.
+  std::unique_ptr<SelectStatement> union_next;
+  SetOpKind set_op = SetOpKind::kUnion;
+};
+
+struct ColumnDef {
+  std::string name;
+  DataType type = DataType::kText;
+  bool not_null = false;
+  bool primary_key = false;  // single-column shorthand
+  bool unique = false;
+};
+
+struct CreateTableStatement : Statement {
+  CreateTableStatement() : Statement(StatementKind::kCreateTable) {}
+  std::unique_ptr<Statement> CloneStatement() const override;
+  std::string ToString() const override;
+
+  std::string table_name;
+  std::vector<ColumnDef> columns;
+  std::vector<Constraint> table_constraints;  // PRIMARY KEY(...) / UNIQUE(...)
+};
+
+struct CreateTableAsStatement : Statement {
+  CreateTableAsStatement() : Statement(StatementKind::kCreateTableAs) {}
+  std::unique_ptr<Statement> CloneStatement() const override;
+  std::string ToString() const override;
+
+  std::string table_name;
+  bool is_view = false;  // CREATE VIEW name AS ...
+  std::unique_ptr<SelectStatement> query;
+};
+
+struct DropTableStatement : Statement {
+  DropTableStatement() : Statement(StatementKind::kDropTable) {}
+  std::unique_ptr<Statement> CloneStatement() const override;
+  std::string ToString() const override;
+
+  std::string table_name;
+  bool if_exists = false;
+};
+
+struct InsertStatement : Statement {
+  InsertStatement() : Statement(StatementKind::kInsert) {}
+  std::unique_ptr<Statement> CloneStatement() const override;
+  std::string ToString() const override;
+
+  std::string table_name;
+  std::vector<std::string> columns;            // may be empty -> all columns
+  std::vector<std::vector<ExprPtr>> rows;      // VALUES (...), (...)
+  std::unique_ptr<SelectStatement> query;      // INSERT INTO t SELECT ...
+};
+
+struct UpdateStatement : Statement {
+  UpdateStatement() : Statement(StatementKind::kUpdate) {}
+  std::unique_ptr<Statement> CloneStatement() const override;
+  std::string ToString() const override;
+
+  std::string table_name;
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  ExprPtr where;  // may be null
+};
+
+struct DeleteStatement : Statement {
+  DeleteStatement() : Statement(StatementKind::kDelete) {}
+  std::unique_ptr<Statement> CloneStatement() const override;
+  std::string ToString() const override;
+
+  std::string table_name;
+  ExprPtr where;  // may be null
+};
+
+/// Deep-copies an optional expression.
+inline ExprPtr CloneExpr(const ExprPtr& e) { return e ? e->Clone() : nullptr; }
+
+}  // namespace maybms::sql
+
+#endif  // MAYBMS_SQL_AST_H_

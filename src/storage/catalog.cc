@@ -1,0 +1,75 @@
+#include "storage/catalog.h"
+
+#include "base/string_util.h"
+
+namespace maybms {
+
+bool Database::HasRelation(const std::string& name) const {
+  return relations_.count(AsciiToLower(name)) > 0;
+}
+
+Result<const Table*> Database::GetRelation(const std::string& name) const {
+  auto it = relations_.find(AsciiToLower(name));
+  if (it == relations_.end()) {
+    return Status::NotFound("relation not found: " + name);
+  }
+  return &it->second.table;
+}
+
+Result<Table*> Database::GetMutableRelation(const std::string& name) {
+  auto it = relations_.find(AsciiToLower(name));
+  if (it == relations_.end()) {
+    return Status::NotFound("relation not found: " + name);
+  }
+  return &it->second.table;
+}
+
+void Database::PutRelation(const std::string& name, Table table) {
+  relations_[AsciiToLower(name)] = Entry{name, std::move(table)};
+}
+
+Status Database::DropRelation(const std::string& name) {
+  auto it = relations_.find(AsciiToLower(name));
+  if (it == relations_.end()) {
+    return Status::NotFound("relation not found: " + name);
+  }
+  relations_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> Database::RelationNames() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [key, entry] : relations_) names.push_back(entry.display_name);
+  return names;
+}
+
+bool Database::ContentEquals(const Database& other) const {
+  if (relations_.size() != other.relations_.size()) return false;
+  auto it = relations_.begin();
+  auto jt = other.relations_.begin();
+  for (; it != relations_.end(); ++it, ++jt) {
+    if (it->first != jt->first) return false;
+    if (!it->second.table.SetEquals(jt->second.table)) return false;
+  }
+  return true;
+}
+
+void Catalog::AddConstraint(const std::string& table_name,
+                            Constraint constraint) {
+  constraints_[AsciiToLower(table_name)].push_back(std::move(constraint));
+}
+
+const std::vector<Constraint>& Catalog::ConstraintsFor(
+    const std::string& table_name) const {
+  static const std::vector<Constraint>* const kEmpty =
+      new std::vector<Constraint>();
+  auto it = constraints_.find(AsciiToLower(table_name));
+  return it == constraints_.end() ? *kEmpty : it->second;
+}
+
+void Catalog::DropConstraints(const std::string& table_name) {
+  constraints_.erase(AsciiToLower(table_name));
+}
+
+}  // namespace maybms

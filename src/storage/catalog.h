@@ -1,0 +1,80 @@
+#ifndef MAYBMS_STORAGE_CATALOG_H_
+#define MAYBMS_STORAGE_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "storage/table.h"
+
+namespace maybms {
+
+/// The relation contents of one possible world: relation name -> instance.
+/// Names are case-insensitive (stored lower-cased, original case kept in
+/// the table's display name map).
+class Database {
+ public:
+  Database() = default;
+
+  bool HasRelation(const std::string& name) const;
+
+  /// Returns the relation or NotFound.
+  Result<const Table*> GetRelation(const std::string& name) const;
+  Result<Table*> GetMutableRelation(const std::string& name);
+
+  /// Adds or replaces a relation.
+  void PutRelation(const std::string& name, Table table);
+
+  Status DropRelation(const std::string& name);
+
+  /// Relation names in deterministic (sorted) order, original case.
+  std::vector<std::string> RelationNames() const;
+
+  size_t num_relations() const { return relations_.size(); }
+
+  /// Two worlds are equal iff they have the same relations with set-equal
+  /// contents. Used by group-worlds-by and tests.
+  bool ContentEquals(const Database& other) const;
+
+ private:
+  struct Entry {
+    std::string display_name;
+    Table table;
+  };
+  std::map<std::string, Entry> relations_;  // key: lower-cased name
+};
+
+/// Kinds of integrity constraints enforced on insert/update.
+enum class ConstraintKind {
+  kPrimaryKey,  // uniqueness + NOT NULL on the key columns
+  kUnique,
+  kNotNull,
+};
+
+/// A declared constraint over named columns of one table.
+struct Constraint {
+  ConstraintKind kind = ConstraintKind::kUnique;
+  std::vector<std::string> columns;
+};
+
+/// World-set-level metadata shared by all worlds: which constraints each
+/// relation carries. (Relation *schemas* travel with the Table instances;
+/// view definitions live in the isql layer because views may contain
+/// world-set operations.)
+class Catalog {
+ public:
+  void AddConstraint(const std::string& table_name, Constraint constraint);
+
+  const std::vector<Constraint>& ConstraintsFor(
+      const std::string& table_name) const;
+
+  void DropConstraints(const std::string& table_name);
+
+ private:
+  std::map<std::string, std::vector<Constraint>> constraints_;  // lower-case
+};
+
+}  // namespace maybms
+
+#endif  // MAYBMS_STORAGE_CATALOG_H_

@@ -1,0 +1,73 @@
+#ifndef MAYBMS_STORAGE_TABLE_H_
+#define MAYBMS_STORAGE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "types/schema.h"
+#include "types/tuple.h"
+
+namespace maybms {
+
+/// An in-memory relation instance: a schema plus a bag of tuples.
+///
+/// SQL evaluation uses bag semantics; the world-set operations of I-SQL
+/// (possible/certain/conf and world comparison) use the set view obtained
+/// via SortedDistinct()/ContainsTuple(). Tables are value types — copying
+/// a Table copies its rows, which is exactly what per-world semantics
+/// require.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+  Table(Schema schema, std::vector<Tuple> rows)
+      : schema_(std::move(schema)), rows_(std::move(rows)) {}
+
+  const Schema& schema() const { return schema_; }
+  Schema* mutable_schema() { return &schema_; }
+
+  size_t num_rows() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+  const Tuple& row(size_t i) const { return rows_[i]; }
+  const std::vector<Tuple>& rows() const { return rows_; }
+  std::vector<Tuple>* mutable_rows() { return &rows_; }
+
+  /// Appends a row; validates arity (types are checked by the caller that
+  /// produced the tuple).
+  Status Append(Tuple row);
+
+  /// Appends without arity checks (internal fast path).
+  void AppendUnchecked(Tuple row) { rows_.push_back(std::move(row)); }
+
+  void Clear() { rows_.clear(); }
+
+  /// Returns a copy with rows sorted and duplicates removed.
+  Table SortedDistinct() const;
+
+  /// Sorts rows in place (total order); used for canonical comparison.
+  void SortRows();
+
+  /// In-place duplicate elimination (sorts first).
+  void DeduplicateRows();
+
+  bool ContainsTuple(const Tuple& t) const;
+
+  /// Set-equality of the two tables' rows (ignores duplicates and order);
+  /// schemas must have equal arity.
+  bool SetEquals(const Table& other) const;
+
+  /// Bag-equality after canonical sorting.
+  bool BagEquals(const Table& other) const;
+
+  /// Multi-line textual rendering with a header; used by the formatter.
+  std::string ToString() const;
+
+ private:
+  Schema schema_;
+  std::vector<Tuple> rows_;
+};
+
+}  // namespace maybms
+
+#endif  // MAYBMS_STORAGE_TABLE_H_

@@ -1,0 +1,51 @@
+#ifndef MAYBMS_TYPES_TUPLE_H_
+#define MAYBMS_TYPES_TUPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "types/value.h"
+
+namespace maybms {
+
+/// A row of values. Tuples are plain data: ordering, equality, and hashing
+/// are element-wise by Value's total order, giving deterministic set
+/// semantics for possible/certain/conf computations.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+
+  size_t size() const { return values_.size(); }
+  const Value& value(size_t i) const { return values_[i]; }
+  Value& value(size_t i) { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  void Append(Value v) { values_.push_back(std::move(v)); }
+
+  /// Concatenation for joins.
+  static Tuple Concat(const Tuple& left, const Tuple& right);
+
+  /// Projection onto the given column indices.
+  Tuple Project(const std::vector<size_t>& indices) const;
+
+  int Compare(const Tuple& other) const;
+  bool operator==(const Tuple& other) const { return Compare(other) == 0; }
+  bool operator<(const Tuple& other) const { return Compare(other) < 0; }
+
+  size_t Hash() const;
+
+  /// "(v1, v2, ...)".
+  std::string ToString() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const { return t.Hash(); }
+};
+
+}  // namespace maybms
+
+#endif  // MAYBMS_TYPES_TUPLE_H_

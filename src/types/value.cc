@@ -1,0 +1,245 @@
+#include "types/value.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <functional>
+
+#include "base/string_util.h"
+
+namespace maybms {
+
+const char* DataTypeToString(DataType type) {
+  switch (type) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kInteger:
+      return "INTEGER";
+    case DataType::kReal:
+      return "REAL";
+    case DataType::kText:
+      return "TEXT";
+    case DataType::kBoolean:
+      return "BOOLEAN";
+  }
+  return "UNKNOWN";
+}
+
+Result<DataType> DataTypeFromString(const std::string& name) {
+  std::string lower = AsciiToLower(name);
+  if (lower == "integer" || lower == "int" || lower == "bigint") {
+    return DataType::kInteger;
+  }
+  if (lower == "real" || lower == "float" || lower == "double" ||
+      lower == "numeric" || lower == "decimal") {
+    return DataType::kReal;
+  }
+  if (lower == "text" || lower == "varchar" || lower == "string" ||
+      lower == "char") {
+    return DataType::kText;
+  }
+  if (lower == "boolean" || lower == "bool") {
+    return DataType::kBoolean;
+  }
+  return Status::ParseError("unknown type name: " + name);
+}
+
+Trivalent TrivalentAnd(Trivalent a, Trivalent b) {
+  if (a == Trivalent::kFalse || b == Trivalent::kFalse) {
+    return Trivalent::kFalse;
+  }
+  if (a == Trivalent::kUnknown || b == Trivalent::kUnknown) {
+    return Trivalent::kUnknown;
+  }
+  return Trivalent::kTrue;
+}
+
+Trivalent TrivalentOr(Trivalent a, Trivalent b) {
+  if (a == Trivalent::kTrue || b == Trivalent::kTrue) return Trivalent::kTrue;
+  if (a == Trivalent::kUnknown || b == Trivalent::kUnknown) {
+    return Trivalent::kUnknown;
+  }
+  return Trivalent::kFalse;
+}
+
+Trivalent TrivalentNot(Trivalent a) {
+  switch (a) {
+    case Trivalent::kTrue:
+      return Trivalent::kFalse;
+    case Trivalent::kFalse:
+      return Trivalent::kTrue;
+    case Trivalent::kUnknown:
+      return Trivalent::kUnknown;
+  }
+  return Trivalent::kUnknown;
+}
+
+DataType Value::type() const {
+  switch (storage_.index()) {
+    case 0:
+      return DataType::kNull;
+    case 1:
+      return DataType::kInteger;
+    case 2:
+      return DataType::kReal;
+    case 3:
+      return DataType::kText;
+    case 4:
+      return DataType::kBoolean;
+  }
+  return DataType::kNull;
+}
+
+double Value::NumericValue() const {
+  if (type() == DataType::kInteger) return static_cast<double>(AsInteger());
+  return AsReal();
+}
+
+Result<Trivalent> Value::SqlEquals(const Value& other) const {
+  if (is_null() || other.is_null()) return Trivalent::kUnknown;
+  if (IsNumeric() && other.IsNumeric()) {
+    return NumericValue() == other.NumericValue() ? Trivalent::kTrue
+                                                  : Trivalent::kFalse;
+  }
+  if (type() != other.type()) {
+    return Status::TypeError(std::string("cannot compare ") +
+                             DataTypeToString(type()) + " with " +
+                             DataTypeToString(other.type()));
+  }
+  if (type() == DataType::kText) {
+    return AsText() == other.AsText() ? Trivalent::kTrue : Trivalent::kFalse;
+  }
+  return AsBoolean() == other.AsBoolean() ? Trivalent::kTrue
+                                          : Trivalent::kFalse;
+}
+
+Result<Trivalent> Value::SqlLess(const Value& other) const {
+  if (is_null() || other.is_null()) return Trivalent::kUnknown;
+  if (IsNumeric() && other.IsNumeric()) {
+    return NumericValue() < other.NumericValue() ? Trivalent::kTrue
+                                                 : Trivalent::kFalse;
+  }
+  if (type() != other.type()) {
+    return Status::TypeError(std::string("cannot order ") +
+                             DataTypeToString(type()) + " against " +
+                             DataTypeToString(other.type()));
+  }
+  if (type() == DataType::kText) {
+    return AsText() < other.AsText() ? Trivalent::kTrue : Trivalent::kFalse;
+  }
+  return (!AsBoolean() && other.AsBoolean()) ? Trivalent::kTrue
+                                             : Trivalent::kFalse;
+}
+
+int Value::TotalOrderCompare(const Value& other) const {
+  // Numerics of different concrete types compare by numeric value first so
+  // that Integer(1) and Real(1.0) coincide in sets (SQL value semantics);
+  // ties broken by type tag for a strict weak order.
+  if (IsNumeric() && other.IsNumeric()) {
+    double a = NumericValue(), b = other.NumericValue();
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  if (storage_.index() != other.storage_.index()) {
+    return storage_.index() < other.storage_.index() ? -1 : 1;
+  }
+  switch (type()) {
+    case DataType::kNull:
+      return 0;
+    case DataType::kInteger:
+    case DataType::kReal:
+      return 0;  // handled above
+    case DataType::kText: {
+      int c = AsText().compare(other.AsText());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    case DataType::kBoolean:
+      return static_cast<int>(AsBoolean()) - static_cast<int>(other.AsBoolean());
+  }
+  return 0;
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case DataType::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case DataType::kInteger:
+      // Hash integers by their double value so Integer(1)/Real(1.0) agree,
+      // consistent with TotalOrderCompare.
+      return std::hash<double>()(static_cast<double>(AsInteger()));
+    case DataType::kReal:
+      return std::hash<double>()(AsReal());
+    case DataType::kText:
+      return std::hash<std::string>()(AsText());
+    case DataType::kBoolean:
+      return AsBoolean() ? 0x5bd1e995 : 0xc2b2ae35;
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kInteger:
+      return std::to_string(AsInteger());
+    case DataType::kReal:
+      return FormatDouble(AsReal());
+    case DataType::kText:
+      return AsText();
+    case DataType::kBoolean:
+      return AsBoolean() ? "true" : "false";
+  }
+  return "?";
+}
+
+Result<Value> Value::CastTo(DataType target) const {
+  if (is_null() || target == type()) return *this;
+  switch (target) {
+    case DataType::kInteger:
+      if (type() == DataType::kReal) {
+        return Value::Integer(static_cast<int64_t>(AsReal()));
+      }
+      if (type() == DataType::kText) {
+        char* end = nullptr;
+        const std::string& s = AsText();
+        long long v = std::strtoll(s.c_str(), &end, 10);
+        if (end != s.c_str() + s.size() || s.empty()) {
+          return Status::TypeError("cannot cast '" + s + "' to INTEGER");
+        }
+        return Value::Integer(v);
+      }
+      if (type() == DataType::kBoolean) {
+        return Value::Integer(AsBoolean() ? 1 : 0);
+      }
+      break;
+    case DataType::kReal:
+      if (type() == DataType::kInteger) {
+        return Value::Real(static_cast<double>(AsInteger()));
+      }
+      if (type() == DataType::kText) {
+        char* end = nullptr;
+        const std::string& s = AsText();
+        double v = std::strtod(s.c_str(), &end);
+        if (end != s.c_str() + s.size() || s.empty()) {
+          return Status::TypeError("cannot cast '" + s + "' to REAL");
+        }
+        return Value::Real(v);
+      }
+      break;
+    case DataType::kText:
+      return Value::Text(ToString());
+    case DataType::kBoolean:
+      if (type() == DataType::kInteger) {
+        return Value::Boolean(AsInteger() != 0);
+      }
+      break;
+    case DataType::kNull:
+      break;
+  }
+  return Status::TypeError(std::string("cannot cast ") +
+                           DataTypeToString(type()) + " to " +
+                           DataTypeToString(target));
+}
+
+}  // namespace maybms

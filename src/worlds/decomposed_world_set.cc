@@ -1,0 +1,1066 @@
+#include "worlds/decomposed_world_set.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <queue>
+
+#include "base/string_util.h"
+#include "engine/dml.h"
+#include "engine/executor.h"
+#include "engine/expr_eval.h"
+#include "worlds/explicit_world_set.h"
+#include "worlds/partition.h"
+
+namespace maybms::worlds {
+
+namespace {
+
+/// Key under which pipeline results are stored in new components before a
+/// materialization assigns the real relation name.
+const char kResultKey[] = "__result";
+
+bool ContainsSubquery(const sql::Expr& expr) {
+  switch (expr.kind) {
+    case sql::ExprKind::kExists:
+    case sql::ExprKind::kInSubquery:
+    case sql::ExprKind::kScalarSubquery:
+      return true;
+    case sql::ExprKind::kLiteral:
+    case sql::ExprKind::kColumnRef:
+      return false;
+    case sql::ExprKind::kUnary:
+      return ContainsSubquery(
+          *static_cast<const sql::UnaryExpr&>(expr).operand);
+    case sql::ExprKind::kBinary: {
+      const auto& b = static_cast<const sql::BinaryExpr&>(expr);
+      return ContainsSubquery(*b.left) || ContainsSubquery(*b.right);
+    }
+    case sql::ExprKind::kFunctionCall: {
+      const auto& f = static_cast<const sql::FunctionCallExpr&>(expr);
+      for (const auto& a : f.args) {
+        if (ContainsSubquery(*a)) return true;
+      }
+      return false;
+    }
+    case sql::ExprKind::kIsNull:
+      return ContainsSubquery(
+          *static_cast<const sql::IsNullExpr&>(expr).operand);
+    case sql::ExprKind::kInList: {
+      const auto& in = static_cast<const sql::InListExpr&>(expr);
+      if (ContainsSubquery(*in.operand)) return true;
+      for (const auto& i : in.items) {
+        if (ContainsSubquery(*i)) return true;
+      }
+      return false;
+    }
+    case sql::ExprKind::kBetween: {
+      const auto& b = static_cast<const sql::BetweenExpr&>(expr);
+      return ContainsSubquery(*b.operand) || ContainsSubquery(*b.low) ||
+             ContainsSubquery(*b.high);
+    }
+    case sql::ExprKind::kCase: {
+      const auto& c = static_cast<const sql::CaseExpr&>(expr);
+      for (const auto& w : c.whens) {
+        if (ContainsSubquery(*w.condition) || ContainsSubquery(*w.result)) {
+          return true;
+        }
+      }
+      return c.else_result && ContainsSubquery(*c.else_result);
+    }
+    case sql::ExprKind::kCast:
+      return ContainsSubquery(
+          *static_cast<const sql::CastExpr&>(expr).operand);
+  }
+  return false;
+}
+
+Result<Table> CombineByQuantifier(
+    sql::WorldQuantifier quantifier,
+    const std::vector<std::pair<double, Table>>& entries) {
+  switch (quantifier) {
+    case sql::WorldQuantifier::kPossible:
+      return CombinePossible(entries);
+    case sql::WorldQuantifier::kCertain:
+      return CombineCertain(entries);
+    case sql::WorldQuantifier::kConf:
+      return CombineConf(entries);
+    case sql::WorldQuantifier::kNone:
+      break;
+  }
+  return Status::InvalidArgument(
+      "group worlds by requires possible, certain, or conf");
+}
+
+/// Filters `rows` (over qualified schema `schema`) by the statement's
+/// WHERE clause and projects them through its select list. The fast path
+/// guarantees there are no subqueries, so `db` is only a formality for the
+/// evaluation context.
+Result<std::vector<Tuple>> FilterProjectRows(
+    const sql::SelectStatement& core, const Database& db, const Schema& schema,
+    const std::vector<Tuple>& rows, Schema* out_schema) {
+  std::vector<Tuple> kept;
+  kept.reserve(rows.size());
+  for (const Tuple& row : rows) {
+    if (core.where) {
+      engine::EvalContext ctx{&db, &schema, &row, nullptr, nullptr};
+      MAYBMS_ASSIGN_OR_RETURN(Trivalent keep,
+                              engine::EvalPredicate(*core.where, ctx));
+      if (keep != Trivalent::kTrue) continue;
+    }
+    kept.push_back(row);
+  }
+  MAYBMS_ASSIGN_OR_RETURN(Table projected,
+                          engine::ProjectTuples(core, db, schema, kept));
+  if (out_schema != nullptr) *out_schema = projected.schema();
+  return projected.rows();
+}
+
+}  // namespace
+
+DecomposedWorldSet::DecomposedWorldSet(size_t max_merge)
+    : max_merge_(max_merge) {}
+
+std::unique_ptr<WorldSet> DecomposedWorldSet::Clone() const {
+  return std::make_unique<DecomposedWorldSet>(*this);
+}
+
+uint64_t DecomposedWorldSet::NumWorlds() const {
+  uint64_t total = 1;
+  for (const Component& c : components_) {
+    uint64_t size = static_cast<uint64_t>(c.size());
+    if (size != 0 &&
+        total > std::numeric_limits<uint64_t>::max() / size) {
+      return std::numeric_limits<uint64_t>::max();  // saturate
+    }
+    total *= size;
+  }
+  return total;
+}
+
+double DecomposedWorldSet::Log10NumWorlds() const {
+  double log_total = 0;
+  for (const Component& c : components_) {
+    log_total += std::log10(static_cast<double>(c.size()));
+  }
+  return log_total;
+}
+
+std::vector<std::string> DecomposedWorldSet::RelationNames() const {
+  return certain_.RelationNames();
+}
+
+bool DecomposedWorldSet::HasRelation(const std::string& name) const {
+  return certain_.HasRelation(name);
+}
+
+Database DecomposedWorldSet::BuildLocalDatabase(
+    const std::vector<const Alternative*>& chosen) const {
+  Database db = certain_;
+  for (const Alternative* alt : chosen) {
+    for (const auto& [rel, tuples] : alt->tuples) {
+      auto table = db.GetMutableRelation(rel);
+      if (!table.ok()) continue;  // relation dropped; stale contribution
+      for (const Tuple& t : tuples) (*table)->AppendUnchecked(t);
+    }
+  }
+  return db;
+}
+
+Result<std::vector<World>> DecomposedWorldSet::MaterializeWorlds(
+    size_t max_worlds, bool* truncated) const {
+  std::vector<World> worlds;
+  if (truncated != nullptr) *truncated = false;
+
+  std::vector<size_t> pick(components_.size(), 0);
+  while (true) {
+    if (worlds.size() >= max_worlds) {
+      if (truncated != nullptr) *truncated = true;
+      break;
+    }
+    std::vector<const Alternative*> chosen;
+    double prob = 1.0;
+    chosen.reserve(components_.size());
+    for (size_t i = 0; i < components_.size(); ++i) {
+      const Alternative& alt = components_[i].alternatives[pick[i]];
+      chosen.push_back(&alt);
+      prob *= alt.probability;
+    }
+    worlds.emplace_back(BuildLocalDatabase(chosen), prob);
+
+    size_t i = 0;
+    for (; i < components_.size(); ++i) {
+      if (++pick[i] < components_[i].size()) break;
+      pick[i] = 0;
+    }
+    if (i == components_.size()) break;
+  }
+  return worlds;
+}
+
+Result<std::vector<World>> DecomposedWorldSet::TopKWorlds(size_t k) const {
+  // Best-first search over the product of per-component alternatives
+  // sorted by decreasing probability: the most probable world picks rank
+  // 0 everywhere; successors bump one rank. Never enumerates more than
+  // O(k * n) states, independent of the total world count.
+  const size_t n = components_.size();
+  std::vector<std::vector<size_t>> sorted(n);  // rank -> alternative index
+  for (size_t c = 0; c < n; ++c) {
+    sorted[c].resize(components_[c].size());
+    for (size_t j = 0; j < sorted[c].size(); ++j) sorted[c][j] = j;
+    std::stable_sort(sorted[c].begin(), sorted[c].end(),
+                     [&](size_t a, size_t b) {
+                       return components_[c].alternatives[a].probability >
+                              components_[c].alternatives[b].probability;
+                     });
+  }
+
+  auto probability_of = [&](const std::vector<size_t>& ranks) {
+    double p = 1.0;
+    for (size_t c = 0; c < n; ++c) {
+      p *= components_[c].alternatives[sorted[c][ranks[c]]].probability;
+    }
+    return p;
+  };
+
+  struct State {
+    double probability;
+    std::vector<size_t> ranks;
+    bool operator<(const State& other) const {
+      return probability < other.probability;  // max-heap
+    }
+  };
+  std::priority_queue<State> frontier;
+  std::set<std::vector<size_t>> seen;
+  std::vector<size_t> initial(n, 0);
+  frontier.push(State{probability_of(initial), initial});
+  seen.insert(std::move(initial));
+
+  std::vector<World> top;
+  while (!frontier.empty() && top.size() < k) {
+    State state = frontier.top();
+    frontier.pop();
+    std::vector<const Alternative*> chosen;
+    chosen.reserve(n);
+    for (size_t c = 0; c < n; ++c) {
+      chosen.push_back(
+          &components_[c].alternatives[sorted[c][state.ranks[c]]]);
+    }
+    top.emplace_back(BuildLocalDatabase(chosen), state.probability);
+
+    for (size_t c = 0; c < n; ++c) {
+      if (state.ranks[c] + 1 >= sorted[c].size()) continue;
+      std::vector<size_t> next = state.ranks;
+      ++next[c];
+      if (seen.insert(next).second) {
+        frontier.push(State{probability_of(next), std::move(next)});
+      }
+    }
+  }
+  return top;
+}
+
+Result<World> DecomposedWorldSet::SampleWorld(std::mt19937* rng) const {
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  std::vector<const Alternative*> chosen;
+  chosen.reserve(components_.size());
+  double probability = 1.0;
+  for (const Component& component : components_) {
+    if (component.alternatives.empty()) {
+      return Status::EmptyWorldSet("component with no alternatives");
+    }
+    double u = uniform(*rng);
+    double cumulative = 0;
+    const Alternative* pick = &component.alternatives.back();
+    for (const Alternative& alt : component.alternatives) {
+      cumulative += alt.probability;
+      if (u <= cumulative) {
+        pick = &alt;
+        break;
+      }
+    }
+    probability *= pick->probability;
+    chosen.push_back(pick);
+  }
+  return World(BuildLocalDatabase(chosen), probability);
+}
+
+Status DecomposedWorldSet::CreateBaseTable(const std::string& name,
+                                           const Table& prototype) {
+  if (certain_.HasRelation(name)) {
+    return Status::AlreadyExists("relation already exists: " + name);
+  }
+  certain_.PutRelation(name, prototype);
+  return Status::OK();
+}
+
+Status DecomposedWorldSet::DropRelation(const std::string& name) {
+  MAYBMS_RETURN_NOT_OK(certain_.DropRelation(name));
+  std::string lower = AsciiToLower(name);
+  for (Component& c : components_) {
+    for (Alternative& alt : c.alternatives) alt.tuples.erase(lower);
+  }
+  return Status::OK();
+}
+
+std::vector<size_t> DecomposedWorldSet::RelevantComponents(
+    const std::set<std::string>& relations) const {
+  std::vector<size_t> indices;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    for (const std::string& rel : relations) {
+      if (components_[i].ContributesTo(rel)) {
+        indices.push_back(i);
+        break;
+      }
+    }
+  }
+  return indices;
+}
+
+Result<Component> DecomposedWorldSet::MergeRelevant(
+    const std::vector<size_t>& indices) const {
+  std::vector<const Component*> parts;
+  parts.reserve(indices.size());
+  for (size_t i : indices) parts.push_back(&components_[i]);
+  return MergeComponents(parts, max_merge_);
+}
+
+Status DecomposedWorldSet::ApplyDml(const sql::Statement& stmt,
+                                    const Catalog& catalog) {
+  std::set<std::string> referenced;
+  std::string target;
+  switch (stmt.kind) {
+    case sql::StatementKind::kInsert: {
+      const auto& insert = static_cast<const sql::InsertStatement&>(stmt);
+      target = insert.table_name;
+      if (insert.query) CollectReferencedRelations(*insert.query, &referenced);
+      for (const auto& row : insert.rows) {
+        for (const auto& e : row) CollectReferencedRelations(*e, &referenced);
+      }
+      break;
+    }
+    case sql::StatementKind::kUpdate: {
+      const auto& update = static_cast<const sql::UpdateStatement&>(stmt);
+      target = update.table_name;
+      if (update.where) CollectReferencedRelations(*update.where, &referenced);
+      for (const auto& [col, e] : update.assignments) {
+        CollectReferencedRelations(*e, &referenced);
+      }
+      break;
+    }
+    case sql::StatementKind::kDelete: {
+      const auto& del = static_cast<const sql::DeleteStatement&>(stmt);
+      target = del.table_name;
+      if (del.where) CollectReferencedRelations(*del.where, &referenced);
+      break;
+    }
+    default:
+      return Status::InvalidArgument("not a DML statement");
+  }
+  referenced.insert(AsciiToLower(target));
+
+  auto apply = [&](Database* db) -> Status {
+    switch (stmt.kind) {
+      case sql::StatementKind::kInsert:
+        return engine::ExecuteInsert(
+            static_cast<const sql::InsertStatement&>(stmt), db, catalog);
+      case sql::StatementKind::kUpdate:
+        return engine::ExecuteUpdate(
+            static_cast<const sql::UpdateStatement&>(stmt), db, catalog);
+      case sql::StatementKind::kDelete:
+        return engine::ExecuteDelete(
+            static_cast<const sql::DeleteStatement&>(stmt), db);
+      default:
+        return Status::InvalidArgument("not a DML statement");
+    }
+  };
+
+  std::vector<size_t> relevant = RelevantComponents(referenced);
+  if (relevant.empty()) {
+    // All referenced relations are certain: apply once to the core.
+    return apply(&certain_);
+  }
+
+  // General path: the update's effect may differ per world. Merge the
+  // relevant components; apply the update in each local world; the target
+  // relation becomes per-alternative content.
+  MAYBMS_ASSIGN_OR_RETURN(Component merged, MergeRelevant(relevant));
+  std::string target_lower = AsciiToLower(target);
+  std::vector<Table> new_contents;
+  new_contents.reserve(merged.size());
+  for (const Alternative& alt : merged.alternatives) {
+    Database local = BuildLocalDatabase({&alt});
+    MAYBMS_RETURN_NOT_OK(apply(&local));  // all-or-nothing across worlds
+    MAYBMS_ASSIGN_OR_RETURN(const Table* updated, local.GetRelation(target));
+    new_contents.push_back(*updated);
+  }
+
+  // Commit: the merged component carries the full per-world contents of
+  // the target relation; its certain part becomes empty.
+  for (size_t i = 0; i < merged.alternatives.size(); ++i) {
+    merged.alternatives[i].tuples[target_lower] = new_contents[i].rows();
+  }
+  MAYBMS_ASSIGN_OR_RETURN(Table* core_table,
+                          certain_.GetMutableRelation(target));
+  core_table->Clear();
+
+  std::sort(relevant.rbegin(), relevant.rend());
+  for (size_t i : relevant) {
+    components_.erase(components_.begin() + static_cast<long>(i));
+  }
+  components_.push_back(std::move(merged));
+  return Status::OK();
+}
+
+bool DecomposedWorldSet::QualifiesForFastPath(
+    const sql::SelectStatement& stmt,
+    const std::set<std::string>& referenced) const {
+  if (stmt.from.size() != 1 || referenced.size() != 1) return false;
+  if (!stmt.joins.empty()) return false;  // self-joins correlate tuples
+  if (stmt.union_next || stmt.distinct) return false;
+  if (!stmt.group_by.empty() || stmt.having || !stmt.order_by.empty() ||
+      stmt.limit.has_value()) {
+    return false;
+  }
+  if (stmt.where &&
+      (ContainsSubquery(*stmt.where) || engine::ContainsAggregate(*stmt.where))) {
+    return false;
+  }
+  for (const sql::SelectItem& item : stmt.items) {
+    if (item.star) continue;
+    if (ContainsSubquery(*item.expr) || engine::ContainsAggregate(*item.expr)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<DecomposedWorldSet::PipelineOutput> DecomposedWorldSet::RunPipeline(
+    const sql::SelectStatement& stmt, const std::string& result_name) const {
+  if ((stmt.repair.has_value() || stmt.choice.has_value()) &&
+      stmt.union_next) {
+    return Status::Unsupported(
+        "repair by key / choice of cannot be combined with UNION");
+  }
+  if (stmt.repair.has_value() && stmt.choice.has_value()) {
+    return Status::Unsupported(
+        "repair by key and choice of cannot be combined in one statement");
+  }
+  if (stmt.union_next && engine::HasWorldOps(*stmt.union_next)) {
+    return Status::Unsupported(
+        "world-set operations are not allowed in UNION branches");
+  }
+  if (stmt.group_worlds_by && engine::HasWorldOps(*stmt.group_worlds_by)) {
+    return Status::Unsupported(
+        "the GROUP WORLDS BY query must be a plain SQL query");
+  }
+
+  std::unique_ptr<sql::SelectStatement> core = StripWorldOps(stmt);
+  std::set<std::string> referenced;
+  CollectReferencedRelations(stmt, &referenced);
+  std::vector<size_t> relevant = RelevantComponents(referenced);
+
+  const bool needs_merge_tail =
+      stmt.assert_condition != nullptr || stmt.group_worlds_by != nullptr;
+
+  PipelineOutput out;
+
+  // ---- Step 1: compute the result representation. ----
+  if (stmt.repair.has_value() || stmt.choice.has_value()) {
+    if (relevant.empty()) {
+      // The clean product construction: repair creates one component per
+      // key group, choice a single component. This is the O(n·g)
+      // representation of g^n worlds.
+      MAYBMS_ASSIGN_OR_RETURN(Table source,
+                              engine::ExecuteFromWhere(stmt, certain_));
+      std::vector<PartitionBlock> blocks;
+      if (stmt.repair.has_value()) {
+        MAYBMS_ASSIGN_OR_RETURN(blocks, RepairPartition(source, *stmt.repair));
+      } else {
+        MAYBMS_ASSIGN_OR_RETURN(blocks, ChoicePartition(source, *stmt.choice));
+      }
+      DecomposedResult result;
+      {
+        // Result schema from projecting the full source.
+        MAYBMS_ASSIGN_OR_RETURN(
+            Table projected,
+            engine::ProjectTuples(*core, certain_, source.schema(),
+                                  source.rows()));
+        result.schema = projected.schema();
+      }
+      for (const PartitionBlock& block : blocks) {
+        Component comp;
+        for (const WeightedChoice& choice : block.choices) {
+          std::vector<Tuple> chosen;
+          chosen.reserve(choice.row_indices.size());
+          for (size_t r : choice.row_indices) chosen.push_back(source.row(r));
+          MAYBMS_ASSIGN_OR_RETURN(
+              Table projected,
+              engine::ProjectTuples(*core, certain_, source.schema(), chosen));
+          Alternative alt;
+          alt.probability = choice.probability;
+          alt.tuples[kResultKey] = projected.rows();
+          comp.alternatives.push_back(std::move(alt));
+        }
+        result.new_components.push_back(std::move(comp));
+      }
+      out.decomposed = std::move(result);
+    } else {
+      // Repair/choice over an uncertain source: flatten within each local
+      // world of the relevant sub-product.
+      MAYBMS_ASSIGN_OR_RETURN(Component merged_src, MergeRelevant(relevant));
+      MergedResult merged;
+      merged.replaced = relevant;
+      for (const Alternative& alt : merged_src.alternatives) {
+        Database local = BuildLocalDatabase({&alt});
+        MAYBMS_ASSIGN_OR_RETURN(Table source,
+                                engine::ExecuteFromWhere(stmt, local));
+        std::vector<PartitionBlock> blocks;
+        if (stmt.repair.has_value()) {
+          MAYBMS_ASSIGN_OR_RETURN(blocks,
+                                  RepairPartition(source, *stmt.repair));
+        } else {
+          MAYBMS_ASSIGN_OR_RETURN(blocks,
+                                  ChoicePartition(source, *stmt.choice));
+        }
+        std::vector<size_t> pick(blocks.size(), 0);
+        while (true) {
+          double prob = alt.probability;
+          std::vector<size_t> rows;
+          for (size_t b = 0; b < blocks.size(); ++b) {
+            const WeightedChoice& choice = blocks[b].choices[pick[b]];
+            prob *= choice.probability;
+            rows.insert(rows.end(), choice.row_indices.begin(),
+                        choice.row_indices.end());
+          }
+          std::vector<Tuple> chosen;
+          chosen.reserve(rows.size());
+          for (size_t r : rows) chosen.push_back(source.row(r));
+          MAYBMS_ASSIGN_OR_RETURN(
+              Table result,
+              engine::ProjectTuples(*core, local, source.schema(), chosen));
+          Alternative flat = alt;
+          flat.probability = prob;
+          merged.component.alternatives.push_back(std::move(flat));
+          merged.results.push_back(std::move(result));
+          if (max_merge_ != 0 &&
+              merged.component.alternatives.size() > max_merge_) {
+            return Status::Unsupported(
+                "repair/choice over an uncertain source exceeds the merge "
+                "cap of " +
+                std::to_string(max_merge_) + " alternatives");
+          }
+          size_t b = 0;
+          for (; b < blocks.size(); ++b) {
+            if (++pick[b] < blocks[b].choices.size()) break;
+            pick[b] = 0;
+          }
+          if (b == blocks.size()) break;
+        }
+      }
+      out.merged = std::move(merged);
+    }
+  } else if (relevant.empty()) {
+    // Entirely certain input: one evaluation suffices.
+    MAYBMS_ASSIGN_OR_RETURN(Table result,
+                            engine::ExecuteSelect(*core, certain_));
+    out.certain_result = std::move(result);
+  } else if (!needs_merge_tail && QualifiesForFastPath(stmt, referenced)) {
+    // Fast path: push selection/projection into each alternative — no
+    // component merging, component structure preserved.
+    const std::string rel = AsciiToLower(stmt.from[0].table_name);
+    MAYBMS_ASSIGN_OR_RETURN(const Table* base, certain_.GetRelation(rel));
+    Schema qualified =
+        base->schema().WithQualifier(stmt.from[0].effective_alias());
+
+    DecomposedResult result;
+    MAYBMS_ASSIGN_OR_RETURN(
+        result.certain_rows,
+        FilterProjectRows(*core, certain_, qualified, base->rows(),
+                          &result.schema));
+    result.component_indices = relevant;
+    for (size_t idx : relevant) {
+      std::vector<std::vector<Tuple>> per_alt;
+      per_alt.reserve(components_[idx].size());
+      for (const Alternative& alt : components_[idx].alternatives) {
+        const std::vector<Tuple>* rows = alt.TuplesFor(rel);
+        std::vector<Tuple> projected;
+        if (rows != nullptr) {
+          MAYBMS_ASSIGN_OR_RETURN(
+              projected, FilterProjectRows(*core, certain_, qualified, *rows,
+                                           nullptr));
+        }
+        per_alt.push_back(std::move(projected));
+      }
+      result.contributions.push_back(std::move(per_alt));
+    }
+    out.decomposed = std::move(result);
+  } else {
+    // General path: enumerate the relevant sub-product, evaluate the SQL
+    // core in each local world.
+    MAYBMS_ASSIGN_OR_RETURN(Component merged_src, MergeRelevant(relevant));
+    MergedResult merged;
+    merged.replaced = relevant;
+    merged.component = std::move(merged_src);
+    merged.results.reserve(merged.component.size());
+    for (const Alternative& alt : merged.component.alternatives) {
+      Database local = BuildLocalDatabase({&alt});
+      MAYBMS_ASSIGN_OR_RETURN(Table result, engine::ExecuteSelect(*core, local));
+      merged.results.push_back(std::move(result));
+    }
+    out.merged = std::move(merged);
+  }
+
+  // ---- Step 2: assert. ----
+  if (stmt.assert_condition) {
+    if (out.certain_result.has_value()) {
+      Database extended = certain_;
+      extended.PutRelation(result_name, *out.certain_result);
+      engine::EvalContext ctx{&extended, nullptr, nullptr, nullptr, nullptr};
+      MAYBMS_ASSIGN_OR_RETURN(
+          Trivalent keep, engine::EvalPredicate(*stmt.assert_condition, ctx));
+      if (keep != Trivalent::kTrue) {
+        return Status::EmptyWorldSet("assert eliminated every world");
+      }
+    } else {
+      // Convert the repair/choice product into merged form if needed
+      // (assert correlates the blocks).
+      if (out.decomposed.has_value()) {
+        const DecomposedResult& dec = *out.decomposed;
+        std::vector<const Component*> parts;
+        for (const Component& c : dec.new_components) parts.push_back(&c);
+        MAYBMS_ASSIGN_OR_RETURN(Component flat,
+                                MergeComponents(parts, max_merge_));
+        MergedResult merged;
+        merged.replaced = dec.component_indices;  // empty for repair/choice
+        for (Alternative& alt : flat.alternatives) {
+          Table result(dec.schema);
+          for (const Tuple& t : dec.certain_rows) result.AppendUnchecked(t);
+          auto it = alt.tuples.find(kResultKey);
+          if (it != alt.tuples.end()) {
+            for (const Tuple& t : it->second) result.AppendUnchecked(t);
+            alt.tuples.erase(it);
+          }
+          merged.results.push_back(std::move(result));
+        }
+        merged.component = std::move(flat);
+        out.merged = std::move(merged);
+        out.decomposed.reset();
+      }
+      MergedResult& merged = *out.merged;
+      Component surviving;
+      std::vector<Table> surviving_results;
+      for (size_t i = 0; i < merged.component.alternatives.size(); ++i) {
+        Database local =
+            BuildLocalDatabase({&merged.component.alternatives[i]});
+        local.PutRelation(result_name, merged.results[i]);
+        engine::EvalContext ctx{&local, nullptr, nullptr, nullptr, nullptr};
+        MAYBMS_ASSIGN_OR_RETURN(
+            Trivalent keep,
+            engine::EvalPredicate(*stmt.assert_condition, ctx));
+        if (keep == Trivalent::kTrue) {
+          surviving.alternatives.push_back(
+              std::move(merged.component.alternatives[i]));
+          surviving_results.push_back(std::move(merged.results[i]));
+        }
+      }
+      if (surviving.alternatives.empty()) {
+        return Status::EmptyWorldSet("assert eliminated every world");
+      }
+      MAYBMS_RETURN_NOT_OK(surviving.Normalize());
+      merged.component = std::move(surviving);
+      merged.results = std::move(surviving_results);
+    }
+  }
+
+  // ---- Step 3: group worlds by / quantifier. ----
+  if (stmt.group_worlds_by) {
+    // Grouping needs per-world answers: merge if not already merged.
+    if (out.decomposed.has_value()) {
+      const DecomposedResult& dec = *out.decomposed;
+      std::vector<const Component*> parts;
+      for (const Component& c : dec.new_components) parts.push_back(&c);
+      std::vector<size_t> replaced = dec.component_indices;
+      if (!replaced.empty()) {
+        MAYBMS_ASSIGN_OR_RETURN(Component flat, MergeRelevant(replaced));
+        // Rebuild per-alternative result tables from the contributions.
+        // For simplicity fall back to the general merged evaluation.
+        MergedResult merged;
+        merged.replaced = replaced;
+        merged.component = std::move(flat);
+        for (const Alternative& alt : merged.component.alternatives) {
+          Database local = BuildLocalDatabase({&alt});
+          MAYBMS_ASSIGN_OR_RETURN(Table result,
+                                  engine::ExecuteSelect(*core, local));
+          merged.results.push_back(std::move(result));
+        }
+        out.merged = std::move(merged);
+      } else {
+        MAYBMS_ASSIGN_OR_RETURN(Component flat,
+                                MergeComponents(parts, max_merge_));
+        MergedResult merged;
+        for (Alternative& alt : flat.alternatives) {
+          Table result(dec.schema);
+          for (const Tuple& t : dec.certain_rows) result.AppendUnchecked(t);
+          auto it = alt.tuples.find(kResultKey);
+          if (it != alt.tuples.end()) {
+            for (const Tuple& t : it->second) result.AppendUnchecked(t);
+            alt.tuples.erase(it);
+          }
+          merged.results.push_back(std::move(result));
+        }
+        merged.component = std::move(flat);
+        out.merged = std::move(merged);
+      }
+      out.decomposed.reset();
+    }
+    if (out.certain_result.has_value()) {
+      // Single (class of) world(s): one group.
+      Database extended = certain_;
+      extended.PutRelation(result_name, *out.certain_result);
+      MAYBMS_ASSIGN_OR_RETURN(
+          Table key, engine::ExecuteSelect(*stmt.group_worlds_by, extended));
+      std::vector<std::pair<double, Table>> entries = {
+          {1.0, *out.certain_result}};
+      MAYBMS_ASSIGN_OR_RETURN(Table combined,
+                              CombineByQuantifier(stmt.quantifier, entries));
+      out.groups.push_back(SelectEvaluation::GroupResult{
+          1.0, CanonicalizeGroupKey(key), combined});
+      out.certain_result = std::move(combined);
+    } else {
+      MergedResult& merged = *out.merged;
+      std::map<std::vector<Tuple>, std::vector<size_t>> groups;
+      std::map<std::vector<Tuple>, Table> key_tables;
+      for (size_t i = 0; i < merged.component.alternatives.size(); ++i) {
+        Database local =
+            BuildLocalDatabase({&merged.component.alternatives[i]});
+        local.PutRelation(result_name, merged.results[i]);
+        MAYBMS_ASSIGN_OR_RETURN(
+            Table answer,
+            engine::ExecuteSelect(*stmt.group_worlds_by, local));
+        Table canonical = CanonicalizeGroupKey(answer);
+        std::vector<Tuple> key = canonical.rows();
+        key_tables.emplace(key, std::move(canonical));
+        groups[std::move(key)].push_back(i);
+      }
+      for (const auto& [key, members] : groups) {
+        double group_prob = 0;
+        for (size_t i : members) {
+          group_prob += merged.component.alternatives[i].probability;
+        }
+        std::vector<std::pair<double, Table>> entries;
+        for (size_t i : members) {
+          entries.emplace_back(
+              group_prob > 0
+                  ? merged.component.alternatives[i].probability / group_prob
+                  : 0,
+              merged.results[i]);
+        }
+        MAYBMS_ASSIGN_OR_RETURN(Table combined,
+                                CombineByQuantifier(stmt.quantifier, entries));
+        for (size_t i : members) merged.results[i] = combined;
+        out.groups.push_back(SelectEvaluation::GroupResult{
+            group_prob, key_tables.at(key), std::move(combined)});
+      }
+    }
+  } else if (stmt.quantifier != sql::WorldQuantifier::kNone) {
+    if (out.certain_result.has_value()) {
+      std::vector<std::pair<double, Table>> entries = {
+          {1.0, *out.certain_result}};
+      MAYBMS_ASSIGN_OR_RETURN(out.combined,
+                              CombineByQuantifier(stmt.quantifier, entries));
+    } else if (out.merged.has_value()) {
+      std::vector<std::pair<double, Table>> entries;
+      const MergedResult& merged = *out.merged;
+      for (size_t i = 0; i < merged.component.alternatives.size(); ++i) {
+        entries.emplace_back(merged.component.alternatives[i].probability,
+                             merged.results[i]);
+      }
+      MAYBMS_ASSIGN_OR_RETURN(out.combined,
+                              CombineByQuantifier(stmt.quantifier, entries));
+    } else {
+      // Decomposed result: per-component math, no enumeration.
+      const DecomposedResult& dec = *out.decomposed;
+
+      // View: per component, (probability, rows) per alternative.
+      struct ContribView {
+        double probability;
+        const std::vector<Tuple>* rows;
+      };
+      std::vector<std::vector<ContribView>> views;
+      for (size_t k = 0; k < dec.component_indices.size(); ++k) {
+        const Component& comp = components_[dec.component_indices[k]];
+        std::vector<ContribView> view;
+        for (size_t j = 0; j < comp.size(); ++j) {
+          view.push_back(ContribView{comp.alternatives[j].probability,
+                                     &dec.contributions[k][j]});
+        }
+        views.push_back(std::move(view));
+      }
+      static const std::vector<Tuple>* const kNoRows = new std::vector<Tuple>();
+      for (const Component& comp : dec.new_components) {
+        std::vector<ContribView> view;
+        for (const Alternative& alt : comp.alternatives) {
+          const std::vector<Tuple>* rows = alt.TuplesFor(kResultKey);
+          view.push_back(
+              ContribView{alt.probability, rows != nullptr ? rows : kNoRows});
+        }
+        views.push_back(std::move(view));
+      }
+
+      if (stmt.quantifier == sql::WorldQuantifier::kPossible) {
+        Table result(dec.schema);
+        for (const Tuple& t : dec.certain_rows) result.AppendUnchecked(t);
+        for (const auto& view : views) {
+          for (const ContribView& cv : view) {
+            for (const Tuple& t : *cv.rows) result.AppendUnchecked(t);
+          }
+        }
+        result.DeduplicateRows();
+        out.combined = std::move(result);
+      } else if (stmt.quantifier == sql::WorldQuantifier::kCertain) {
+        // t is certain iff it is in the certain part or some component
+        // yields it in every alternative.
+        Table result(dec.schema);
+        std::set<Tuple> emitted;
+        for (const Tuple& t : dec.certain_rows) emitted.insert(t);
+        for (const auto& view : views) {
+          if (view.empty()) continue;
+          std::set<Tuple> candidates(view[0].rows->begin(),
+                                     view[0].rows->end());
+          for (size_t j = 1; j < view.size() && !candidates.empty(); ++j) {
+            std::set<Tuple> next;
+            for (const Tuple& t : *view[j].rows) {
+              if (candidates.count(t)) next.insert(t);
+            }
+            candidates = std::move(next);
+          }
+          emitted.insert(candidates.begin(), candidates.end());
+        }
+        for (const Tuple& t : emitted) result.AppendUnchecked(t);
+        out.combined = std::move(result);
+      } else {  // conf — closed form 1 - prod_c (1 - p_c(t)).
+        std::map<Tuple, double> not_prob;  // t -> prod (1 - p_c(t))
+        std::set<Tuple> certain_set(dec.certain_rows.begin(),
+                                    dec.certain_rows.end());
+        for (const auto& view : views) {
+          std::map<Tuple, double> p_c;
+          for (const ContribView& cv : view) {
+            std::set<Tuple> distinct(cv.rows->begin(), cv.rows->end());
+            for (const Tuple& t : distinct) p_c[t] += cv.probability;
+          }
+          for (const auto& [t, p] : p_c) {
+            auto [it, inserted] = not_prob.emplace(t, 1.0);
+            it->second *= (1.0 - p);
+          }
+        }
+        bool zero_ary = dec.schema.num_columns() == 0;
+        if (zero_ary) {
+          double conf = certain_set.empty()
+                            ? (not_prob.empty() ? 0.0
+                                                : 1.0 - not_prob.begin()->second)
+                            : 1.0;
+          Schema schema;
+          schema.AddColumn(Column("conf", DataType::kReal));
+          Table result(std::move(schema));
+          result.AppendUnchecked(Tuple({Value::Real(conf)}));
+          out.combined = std::move(result);
+        } else {
+          Schema schema = dec.schema;
+          schema.AddColumn(Column("conf", DataType::kReal));
+          Table result(std::move(schema));
+          std::map<Tuple, double> conf;
+          for (const Tuple& t : certain_set) conf[t] = 1.0;
+          for (const auto& [t, np] : not_prob) {
+            if (certain_set.count(t)) continue;
+            conf[t] = 1.0 - np;
+          }
+          for (const auto& [t, p] : conf) {
+            Tuple extended = t;
+            extended.Append(Value::Real(p));
+            result.AppendUnchecked(std::move(extended));
+          }
+          out.combined = std::move(result);
+        }
+      }
+    }
+  }
+
+  return out;
+}
+
+Result<SelectEvaluation> DecomposedWorldSet::EvaluateSelect(
+    const sql::SelectStatement& stmt, size_t max_worlds) const {
+  MAYBMS_ASSIGN_OR_RETURN(PipelineOutput out, RunPipeline(stmt, "__result"));
+  SelectEvaluation eval;
+  eval.combined = std::move(out.combined);
+  eval.groups = std::move(out.groups);
+  if (eval.combined.has_value() || !eval.groups.empty()) {
+    if (!eval.groups.empty() && !eval.combined.has_value()) {
+      // Groups carry the results; leave per_world empty.
+      return eval;
+    }
+    return eval;
+  }
+
+  if (out.certain_result.has_value()) {
+    eval.per_world.emplace_back(1.0, std::move(*out.certain_result));
+    return eval;
+  }
+
+  if (out.merged.has_value()) {
+    const MergedResult& merged = *out.merged;
+    for (size_t i = 0; i < merged.component.alternatives.size(); ++i) {
+      if (eval.per_world.size() >= max_worlds) {
+        eval.truncated = true;
+        break;
+      }
+      eval.per_world.emplace_back(merged.component.alternatives[i].probability,
+                                  merged.results[i]);
+    }
+    return eval;
+  }
+
+  // Decomposed result: enumerate the product of the involved components
+  // only (all other components leave the answer unchanged).
+  const DecomposedResult& dec = *out.decomposed;
+  struct Involved {
+    std::vector<double> probs;
+    std::vector<const std::vector<Tuple>*> rows;
+  };
+  std::vector<Involved> involved;
+  for (size_t k = 0; k < dec.component_indices.size(); ++k) {
+    const Component& comp = components_[dec.component_indices[k]];
+    Involved inv;
+    for (size_t j = 0; j < comp.size(); ++j) {
+      inv.probs.push_back(comp.alternatives[j].probability);
+      inv.rows.push_back(&dec.contributions[k][j]);
+    }
+    involved.push_back(std::move(inv));
+  }
+  static const std::vector<Tuple>* const kNoRows = new std::vector<Tuple>();
+  for (const Component& comp : dec.new_components) {
+    Involved inv;
+    for (const Alternative& alt : comp.alternatives) {
+      inv.probs.push_back(alt.probability);
+      const std::vector<Tuple>* rows = alt.TuplesFor(kResultKey);
+      inv.rows.push_back(rows != nullptr ? rows : kNoRows);
+    }
+    involved.push_back(std::move(inv));
+  }
+
+  std::vector<size_t> pick(involved.size(), 0);
+  while (true) {
+    if (eval.per_world.size() >= max_worlds) {
+      eval.truncated = true;
+      break;
+    }
+    double prob = 1.0;
+    Table result(dec.schema);
+    for (const Tuple& t : dec.certain_rows) result.AppendUnchecked(t);
+    for (size_t k = 0; k < involved.size(); ++k) {
+      prob *= involved[k].probs[pick[k]];
+      for (const Tuple& t : *involved[k].rows[pick[k]]) {
+        result.AppendUnchecked(t);
+      }
+    }
+    eval.per_world.emplace_back(prob, std::move(result));
+
+    size_t k = 0;
+    for (; k < involved.size(); ++k) {
+      if (++pick[k] < involved[k].probs.size()) break;
+      pick[k] = 0;
+    }
+    if (k == involved.size()) break;
+  }
+  return eval;
+}
+
+Status DecomposedWorldSet::MaterializeSelect(const std::string& name,
+                                             const sql::SelectStatement& stmt) {
+  if (HasRelation(name)) {
+    return Status::AlreadyExists("relation already exists: " + name);
+  }
+  MAYBMS_ASSIGN_OR_RETURN(PipelineOutput out, RunPipeline(stmt, name));
+  const std::string lower = AsciiToLower(name);
+  const bool structure_dirty = stmt.assert_condition != nullptr;
+
+  auto commit_merged = [&](MergedResult& merged, bool store_results) {
+    // Replace the merged-away components.
+    std::vector<size_t> replaced = merged.replaced;
+    std::sort(replaced.rbegin(), replaced.rend());
+    for (size_t i : replaced) {
+      components_.erase(components_.begin() + static_cast<long>(i));
+    }
+    Schema schema = merged.results.empty() ? Schema() :
+                    merged.results[0].schema();
+    if (store_results) {
+      for (size_t i = 0; i < merged.component.alternatives.size(); ++i) {
+        merged.component.alternatives[i].tuples[lower] =
+            merged.results[i].rows();
+      }
+    }
+    certain_.PutRelation(name, Table(schema));
+    components_.push_back(std::move(merged.component));
+  };
+
+  if (!out.groups.empty()) {
+    // Per-group results: store per alternative (group-combined already).
+    if (out.merged.has_value()) {
+      commit_merged(*out.merged, /*store_results=*/true);
+    } else if (out.certain_result.has_value()) {
+      certain_.PutRelation(name, std::move(*out.certain_result));
+    }
+    return Status::OK();
+  }
+
+  if (out.combined.has_value()) {
+    // Quantifier collapsed the answer to a certain relation.
+    if (structure_dirty && out.merged.has_value()) {
+      commit_merged(*out.merged, /*store_results=*/false);
+      MAYBMS_ASSIGN_OR_RETURN(Table* stored,
+                              certain_.GetMutableRelation(name));
+      *stored = std::move(*out.combined);
+    } else {
+      certain_.PutRelation(name, std::move(*out.combined));
+    }
+    return Status::OK();
+  }
+
+  if (out.certain_result.has_value()) {
+    certain_.PutRelation(name, std::move(*out.certain_result));
+    return Status::OK();
+  }
+
+  if (out.merged.has_value()) {
+    commit_merged(*out.merged, /*store_results=*/true);
+    return Status::OK();
+  }
+
+  // Decomposed result: attach contributions in place (fast path) and/or
+  // append the new repair/choice components.
+  DecomposedResult& dec = *out.decomposed;
+  certain_.PutRelation(name, Table(dec.schema, std::move(dec.certain_rows)));
+  for (size_t k = 0; k < dec.component_indices.size(); ++k) {
+    Component& comp = components_[dec.component_indices[k]];
+    for (size_t j = 0; j < comp.size(); ++j) {
+      comp.alternatives[j].tuples[lower] = std::move(dec.contributions[k][j]);
+    }
+  }
+  for (Component& comp : dec.new_components) {
+    for (Alternative& alt : comp.alternatives) {
+      auto it = alt.tuples.find(kResultKey);
+      if (it != alt.tuples.end()) {
+        alt.tuples[lower] = std::move(it->second);
+        alt.tuples.erase(kResultKey);
+      } else {
+        alt.tuples[lower] = {};
+      }
+    }
+    components_.push_back(std::move(comp));
+  }
+  return Status::OK();
+}
+
+}  // namespace maybms::worlds

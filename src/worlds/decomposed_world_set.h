@@ -1,0 +1,131 @@
+#ifndef MAYBMS_WORLDS_DECOMPOSED_WORLD_SET_H_
+#define MAYBMS_WORLDS_DECOMPOSED_WORLD_SET_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "worlds/component.h"
+#include "worlds/world_set.h"
+
+namespace maybms::worlds {
+
+/// MayBMS-style world-set decomposition (WSD): the world-set is the
+/// product of independent components over a certain core database.
+///
+///   worlds = { certain ⊎ a_1 ⊎ ... ⊎ a_m : a_i ∈ component_i }
+///
+/// `repair by key` over a certain relation creates one component per key
+/// group; `choice of` creates a single component — so a repair with n key
+/// groups of size g represents g^n worlds in O(n·g) space, the companion
+/// ICDE'07 paper's "10^10^6 worlds" point.
+///
+/// Query processing avoids world enumeration wherever the paper's
+/// operations allow:
+///  * selections/projections over one uncertain relation are pushed into
+///    each alternative (no component merging — the fast path);
+///  * possible/certain/conf over decomposable results use per-component
+///    math (conf uses the closed form 1 − ∏_c (1 − p_c(t)));
+///  * only `assert`, `group worlds by`, and queries that genuinely
+///    correlate components (joins of uncertain relations, aggregates over
+///    them, subqueries) enumerate the *relevant* sub-product and merge
+///    those components — never the full world-set.
+class DecomposedWorldSet : public WorldSet {
+ public:
+  /// `max_merge` caps the alternatives a single merge may produce (the
+  /// correlated sub-product); 0 = unlimited.
+  static constexpr size_t kDefaultMaxMerge = 1 << 20;
+
+  explicit DecomposedWorldSet(size_t max_merge = kDefaultMaxMerge);
+
+  std::unique_ptr<WorldSet> Clone() const override;
+  std::string EngineName() const override { return "decomposed"; }
+
+  uint64_t NumWorlds() const override;
+  double Log10NumWorlds() const override;
+  std::vector<std::string> RelationNames() const override;
+  bool HasRelation(const std::string& name) const override;
+  Result<std::vector<World>> MaterializeWorlds(
+      size_t max_worlds, bool* truncated = nullptr) const override;
+  Result<std::vector<World>> TopKWorlds(size_t k) const override;
+  Result<World> SampleWorld(std::mt19937* rng) const override;
+
+  Status CreateBaseTable(const std::string& name,
+                         const Table& prototype) override;
+  Status DropRelation(const std::string& name) override;
+  Status ApplyDml(const sql::Statement& stmt, const Catalog& catalog) override;
+
+  Result<SelectEvaluation> EvaluateSelect(const sql::SelectStatement& stmt,
+                                          size_t max_worlds) const override;
+  Status MaterializeSelect(const std::string& name,
+                           const sql::SelectStatement& stmt) override;
+
+  /// Introspection for tests and benchmarks.
+  const Database& certain_part() const { return certain_; }
+  const std::vector<Component>& components() const { return components_; }
+  size_t num_components() const { return components_.size(); }
+
+ private:
+  /// The decomposed (non-merged) form of a query result: a certain part
+  /// plus per-alternative contributions aligned with components.
+  /// `components[i]`'s alternative j contributes `contributions[i][j]`.
+  struct DecomposedResult {
+    Schema schema;
+    std::vector<Tuple> certain_rows;
+    std::vector<size_t> component_indices;            // into components_
+    std::vector<std::vector<std::vector<Tuple>>> contributions;
+    std::vector<Component> new_components;            // repair/choice output
+  };
+
+  /// The merged form: one flattened component (replacing `replaced`
+  /// components of components_) whose alternative i has full result table
+  /// `results[i]`.
+  struct MergedResult {
+    Component component;
+    std::vector<Table> results;
+    std::vector<size_t> replaced;  // indices into components_
+  };
+
+  struct PipelineOutput {
+    std::optional<Table> certain_result;      // result certain in all worlds
+    std::optional<DecomposedResult> decomposed;
+    std::optional<MergedResult> merged;
+    std::optional<Table> combined;            // quantifier answer
+    std::vector<SelectEvaluation::GroupResult> groups;
+  };
+
+  /// `result_name` is the relation name under which the statement's
+  /// per-world result is visible to `assert` conditions and
+  /// `group worlds by` queries (the CREATE TABLE target name, or
+  /// "__result" for plain selects) — mirroring the explicit engine.
+  Result<PipelineOutput> RunPipeline(const sql::SelectStatement& stmt,
+                                     const std::string& result_name) const;
+
+  /// Indices of components contributing to any of `relations` (lower-case).
+  std::vector<size_t> RelevantComponents(
+      const std::set<std::string>& relations) const;
+
+  /// Builds the database of one local world: the certain core plus the
+  /// contributions of the given alternatives.
+  Database BuildLocalDatabase(const std::vector<const Alternative*>& chosen)
+      const;
+
+  /// Merges the given components into a single flattened component
+  /// (enumerating their sub-product, capped by max_merge_).
+  Result<Component> MergeRelevant(const std::vector<size_t>& indices) const;
+
+  /// True if the statement qualifies for the per-alternative push-down
+  /// fast path (single uncertain relation scan, per-tuple predicate, plain
+  /// projection).
+  bool QualifiesForFastPath(const sql::SelectStatement& stmt,
+                            const std::set<std::string>& referenced) const;
+
+  Database certain_;
+  std::vector<Component> components_;
+  size_t max_merge_;
+};
+
+}  // namespace maybms::worlds
+
+#endif  // MAYBMS_WORLDS_DECOMPOSED_WORLD_SET_H_

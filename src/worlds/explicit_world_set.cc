@@ -1,0 +1,361 @@
+#include "worlds/explicit_world_set.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "base/string_util.h"
+#include "engine/dml.h"
+#include "engine/executor.h"
+#include "engine/expr_eval.h"
+#include "worlds/partition.h"
+
+namespace maybms::worlds {
+
+namespace {
+
+/// Canonical map key for group-worlds-by: the sorted distinct rows of the
+/// grouping query answer.
+std::vector<Tuple> GroupKeyRows(const Table& table) {
+  return table.SortedDistinct().rows();
+}
+
+Result<Table> CombineByQuantifier(
+    sql::WorldQuantifier quantifier,
+    const std::vector<std::pair<double, Table>>& entries) {
+  switch (quantifier) {
+    case sql::WorldQuantifier::kPossible:
+      return CombinePossible(entries);
+    case sql::WorldQuantifier::kCertain:
+      return CombineCertain(entries);
+    case sql::WorldQuantifier::kConf:
+      return CombineConf(entries);
+    case sql::WorldQuantifier::kNone:
+      break;
+  }
+  return Status::InvalidArgument(
+      "group worlds by requires possible, certain, or conf");
+}
+
+}  // namespace
+
+std::unique_ptr<sql::SelectStatement> StripWorldOps(
+    const sql::SelectStatement& stmt) {
+  std::unique_ptr<sql::SelectStatement> core = stmt.Clone();
+  core->quantifier = sql::WorldQuantifier::kNone;
+  core->repair.reset();
+  core->choice.reset();
+  core->assert_condition.reset();
+  core->group_worlds_by.reset();
+  return core;
+}
+
+ExplicitWorldSet::ExplicitWorldSet(size_t max_worlds)
+    : max_worlds_(max_worlds) {
+  worlds_.emplace_back(Database(), 1.0);
+}
+
+std::unique_ptr<WorldSet> ExplicitWorldSet::Clone() const {
+  return std::make_unique<ExplicitWorldSet>(*this);
+}
+
+double ExplicitWorldSet::Log10NumWorlds() const {
+  return std::log10(static_cast<double>(worlds_.size()));
+}
+
+std::vector<std::string> ExplicitWorldSet::RelationNames() const {
+  return worlds_.empty() ? std::vector<std::string>{}
+                         : worlds_.front().db.RelationNames();
+}
+
+bool ExplicitWorldSet::HasRelation(const std::string& name) const {
+  return !worlds_.empty() && worlds_.front().db.HasRelation(name);
+}
+
+Result<std::vector<World>> ExplicitWorldSet::MaterializeWorlds(
+    size_t max_worlds, bool* truncated) const {
+  if (truncated != nullptr) *truncated = worlds_.size() > max_worlds;
+  if (worlds_.size() <= max_worlds) return worlds_;
+  return std::vector<World>(worlds_.begin(), worlds_.begin() + max_worlds);
+}
+
+Result<std::vector<World>> ExplicitWorldSet::TopKWorlds(size_t k) const {
+  std::vector<size_t> order(worlds_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return worlds_[a].probability > worlds_[b].probability;
+  });
+  std::vector<World> top;
+  top.reserve(std::min(k, order.size()));
+  for (size_t i = 0; i < order.size() && top.size() < k; ++i) {
+    top.push_back(worlds_[order[i]]);
+  }
+  return top;
+}
+
+Result<World> ExplicitWorldSet::SampleWorld(std::mt19937* rng) const {
+  if (worlds_.empty()) return Status::EmptyWorldSet("no worlds to sample");
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  double u = uniform(*rng);
+  double cumulative = 0;
+  for (const World& world : worlds_) {
+    cumulative += world.probability;
+    if (u <= cumulative) return world;
+  }
+  return worlds_.back();  // numeric slack
+}
+
+Status ExplicitWorldSet::CreateBaseTable(const std::string& name,
+                                         const Table& prototype) {
+  if (HasRelation(name)) {
+    return Status::AlreadyExists("relation already exists: " + name);
+  }
+  for (World& world : worlds_) world.db.PutRelation(name, prototype);
+  return Status::OK();
+}
+
+Status ExplicitWorldSet::DropRelation(const std::string& name) {
+  if (!HasRelation(name)) {
+    return Status::NotFound("relation not found: " + name);
+  }
+  for (World& world : worlds_) {
+    MAYBMS_RETURN_NOT_OK(world.db.DropRelation(name));
+  }
+  return Status::OK();
+}
+
+Status ExplicitWorldSet::ApplyDml(const sql::Statement& stmt,
+                                  const Catalog& catalog) {
+  // Possible-worlds update semantics (paper §2): run the update in every
+  // world on a copy; commit only if it succeeds everywhere.
+  std::vector<World> updated = worlds_;
+  for (World& world : updated) {
+    switch (stmt.kind) {
+      case sql::StatementKind::kInsert:
+        MAYBMS_RETURN_NOT_OK(engine::ExecuteInsert(
+            static_cast<const sql::InsertStatement&>(stmt), &world.db,
+            catalog));
+        break;
+      case sql::StatementKind::kUpdate:
+        MAYBMS_RETURN_NOT_OK(engine::ExecuteUpdate(
+            static_cast<const sql::UpdateStatement&>(stmt), &world.db,
+            catalog));
+        break;
+      case sql::StatementKind::kDelete:
+        MAYBMS_RETURN_NOT_OK(engine::ExecuteDelete(
+            static_cast<const sql::DeleteStatement&>(stmt), &world.db));
+        break;
+      default:
+        return Status::InvalidArgument("not a DML statement");
+    }
+  }
+  worlds_ = std::move(updated);
+  return Status::OK();
+}
+
+void ExplicitWorldSet::SetWorlds(std::vector<World> worlds) {
+  double total = 0;
+  for (const World& w : worlds) total += w.probability;
+  if (total > 0) {
+    for (World& w : worlds) w.probability /= total;
+  }
+  worlds_ = std::move(worlds);
+}
+
+Result<ExplicitWorldSet::PipelineOutput> ExplicitWorldSet::RunPipeline(
+    std::vector<World> input, const sql::SelectStatement& stmt,
+    const std::string& result_name) const {
+  if ((stmt.repair.has_value() || stmt.choice.has_value()) &&
+      stmt.union_next) {
+    return Status::Unsupported(
+        "repair by key / choice of cannot be combined with UNION");
+  }
+  if (stmt.repair.has_value() && stmt.choice.has_value()) {
+    return Status::Unsupported(
+        "repair by key and choice of cannot be combined in one statement");
+  }
+  if (stmt.union_next && engine::HasWorldOps(*stmt.union_next)) {
+    return Status::Unsupported(
+        "world-set operations are not allowed in UNION branches");
+  }
+
+  std::unique_ptr<sql::SelectStatement> core = StripWorldOps(stmt);
+
+  PipelineOutput out;
+
+  // --- Step 1: per-world SQL core, with repair/choice world creation. ---
+  if (stmt.repair.has_value() || stmt.choice.has_value()) {
+    for (World& world : input) {
+      MAYBMS_ASSIGN_OR_RETURN(Table source,
+                              engine::ExecuteFromWhere(stmt, world.db));
+      std::vector<PartitionBlock> blocks;
+      if (stmt.repair.has_value()) {
+        MAYBMS_ASSIGN_OR_RETURN(blocks,
+                                RepairPartition(source, *stmt.repair));
+      } else {
+        MAYBMS_ASSIGN_OR_RETURN(blocks, ChoicePartition(source, *stmt.choice));
+      }
+
+      // Enumerate the product of blocks; each combination is a new world.
+      uint64_t combos = 1;
+      for (const PartitionBlock& b : blocks) {
+        combos *= static_cast<uint64_t>(b.choices.size());
+        if (combos > max_worlds_) {
+          return Status::Unsupported(
+              "explicit world-set would exceed the configured cap of " +
+              std::to_string(max_worlds_) +
+              " worlds; use the decomposed engine");
+        }
+      }
+      if (out.worlds.size() + combos > max_worlds_) {
+        return Status::Unsupported(
+            "explicit world-set would exceed the configured cap of " +
+            std::to_string(max_worlds_) + " worlds; use the decomposed engine");
+      }
+
+      std::vector<size_t> pick(blocks.size(), 0);
+      while (true) {
+        double prob = world.probability;
+        std::vector<size_t> rows;
+        for (size_t b = 0; b < blocks.size(); ++b) {
+          const WeightedChoice& choice = blocks[b].choices[pick[b]];
+          prob *= choice.probability;
+          rows.insert(rows.end(), choice.row_indices.begin(),
+                      choice.row_indices.end());
+        }
+        std::vector<Tuple> chosen;
+        chosen.reserve(rows.size());
+        for (size_t r : rows) chosen.push_back(source.row(r));
+        MAYBMS_ASSIGN_OR_RETURN(
+            Table result,
+            engine::ProjectTuples(*core, world.db, source.schema(), chosen));
+        World derived(world.db, prob);
+        derived.db.PutRelation(result_name, std::move(result));
+        out.worlds.push_back(std::move(derived));
+
+        // Advance the odometer. An empty block list (repair of an empty
+        // relation) yields exactly the single empty choice above.
+        size_t b = 0;
+        for (; b < blocks.size(); ++b) {
+          if (++pick[b] < blocks[b].choices.size()) break;
+          pick[b] = 0;
+        }
+        if (b == blocks.size()) break;
+      }
+    }
+  } else {
+    for (World& world : input) {
+      MAYBMS_ASSIGN_OR_RETURN(Table result,
+                              engine::ExecuteSelect(*core, world.db));
+      World derived(std::move(world.db), world.probability);
+      derived.db.PutRelation(result_name, std::move(result));
+      out.worlds.push_back(std::move(derived));
+    }
+  }
+
+  // --- Step 2: assert — drop worlds, renormalize. ---
+  if (stmt.assert_condition) {
+    std::vector<World> surviving;
+    double total = 0;
+    for (World& world : out.worlds) {
+      engine::EvalContext ctx{&world.db, nullptr, nullptr, nullptr, nullptr};
+      MAYBMS_ASSIGN_OR_RETURN(
+          Trivalent keep,
+          engine::EvalPredicate(*stmt.assert_condition, ctx));
+      if (keep == Trivalent::kTrue) {
+        total += world.probability;
+        surviving.push_back(std::move(world));
+      }
+    }
+    if (surviving.empty()) {
+      return Status::EmptyWorldSet("assert eliminated every world");
+    }
+    for (World& world : surviving) world.probability /= total;
+    out.worlds = std::move(surviving);
+  }
+
+  // --- Step 3: group worlds by / possible / certain / conf. ---
+  if (stmt.group_worlds_by) {
+    if (engine::HasWorldOps(*stmt.group_worlds_by)) {
+      return Status::Unsupported(
+          "the GROUP WORLDS BY query must be a plain SQL query");
+    }
+    std::map<std::vector<Tuple>, std::vector<size_t>> groups;
+    std::map<std::vector<Tuple>, Table> key_tables;
+    for (size_t i = 0; i < out.worlds.size(); ++i) {
+      MAYBMS_ASSIGN_OR_RETURN(
+          Table answer,
+          engine::ExecuteSelect(*stmt.group_worlds_by, out.worlds[i].db));
+      std::vector<Tuple> key = GroupKeyRows(answer);
+      key_tables.emplace(key, answer.SortedDistinct());
+      groups[std::move(key)].push_back(i);
+    }
+    for (const auto& [key, members] : groups) {
+      double group_prob = 0;
+      for (size_t i : members) group_prob += out.worlds[i].probability;
+      std::vector<std::pair<double, Table>> entries;
+      entries.reserve(members.size());
+      for (size_t i : members) {
+        MAYBMS_ASSIGN_OR_RETURN(const Table* result,
+                                out.worlds[i].db.GetRelation(result_name));
+        entries.emplace_back(
+            group_prob > 0 ? out.worlds[i].probability / group_prob : 0,
+            *result);
+      }
+      MAYBMS_ASSIGN_OR_RETURN(Table combined,
+                              CombineByQuantifier(stmt.quantifier, entries));
+      for (size_t i : members) {
+        out.worlds[i].db.PutRelation(result_name, combined);
+      }
+      out.groups.push_back(SelectEvaluation::GroupResult{
+          group_prob, key_tables.at(key), std::move(combined)});
+    }
+  } else if (stmt.quantifier != sql::WorldQuantifier::kNone) {
+    std::vector<std::pair<double, Table>> entries;
+    entries.reserve(out.worlds.size());
+    for (const World& world : out.worlds) {
+      MAYBMS_ASSIGN_OR_RETURN(const Table* result,
+                              world.db.GetRelation(result_name));
+      entries.emplace_back(world.probability, *result);
+    }
+    MAYBMS_ASSIGN_OR_RETURN(Table combined,
+                            CombineByQuantifier(stmt.quantifier, entries));
+    for (World& world : out.worlds) {
+      world.db.PutRelation(result_name, combined);
+    }
+    out.combined = std::move(combined);
+  }
+
+  for (const World& world : out.worlds) {
+    MAYBMS_ASSIGN_OR_RETURN(const Table* result,
+                            world.db.GetRelation(result_name));
+    out.per_world_results.emplace_back(world.probability, *result);
+  }
+  return out;
+}
+
+Result<SelectEvaluation> ExplicitWorldSet::EvaluateSelect(
+    const sql::SelectStatement& stmt, size_t max_worlds) const {
+  MAYBMS_ASSIGN_OR_RETURN(PipelineOutput out,
+                          RunPipeline(worlds_, stmt, "__result"));
+  SelectEvaluation eval;
+  eval.combined = std::move(out.combined);
+  eval.groups = std::move(out.groups);
+  eval.truncated = out.per_world_results.size() > max_worlds;
+  if (eval.truncated) out.per_world_results.resize(max_worlds);
+  eval.per_world = std::move(out.per_world_results);
+  return eval;
+}
+
+Status ExplicitWorldSet::MaterializeSelect(const std::string& name,
+                                           const sql::SelectStatement& stmt) {
+  if (HasRelation(name)) {
+    return Status::AlreadyExists("relation already exists: " + name);
+  }
+  MAYBMS_ASSIGN_OR_RETURN(PipelineOutput out,
+                          RunPipeline(std::move(worlds_), stmt, name));
+  worlds_ = std::move(out.worlds);
+  return Status::OK();
+}
+
+}  // namespace maybms::worlds

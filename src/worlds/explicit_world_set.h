@@ -1,0 +1,83 @@
+#ifndef MAYBMS_WORLDS_EXPLICIT_WORLD_SET_H_
+#define MAYBMS_WORLDS_EXPLICIT_WORLD_SET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "worlds/world_set.h"
+
+namespace maybms::worlds {
+
+/// The textbook possible-worlds representation: every world is a fully
+/// materialized database. Doubles as the semantic reference implementation
+/// (differential tests) and the benchmark baseline against the
+/// decomposition-based engine.
+///
+/// World creation (`repair by key`, `choice of`) multiplies the number of
+/// materialized databases, so the total world count is capped; exceeding
+/// the cap is an error directing users to the decomposed engine.
+class ExplicitWorldSet : public WorldSet {
+ public:
+  static constexpr size_t kDefaultMaxWorlds = 1 << 20;
+
+  explicit ExplicitWorldSet(size_t max_worlds = kDefaultMaxWorlds);
+
+  std::unique_ptr<WorldSet> Clone() const override;
+  std::string EngineName() const override { return "explicit"; }
+
+  uint64_t NumWorlds() const override { return worlds_.size(); }
+  double Log10NumWorlds() const override;
+  std::vector<std::string> RelationNames() const override;
+  bool HasRelation(const std::string& name) const override;
+  Result<std::vector<World>> MaterializeWorlds(
+      size_t max_worlds, bool* truncated = nullptr) const override;
+  Result<std::vector<World>> TopKWorlds(size_t k) const override;
+  Result<World> SampleWorld(std::mt19937* rng) const override;
+
+  Status CreateBaseTable(const std::string& name,
+                         const Table& prototype) override;
+  Status DropRelation(const std::string& name) override;
+  Status ApplyDml(const sql::Statement& stmt, const Catalog& catalog) override;
+
+  Result<SelectEvaluation> EvaluateSelect(const sql::SelectStatement& stmt,
+                                          size_t max_worlds) const override;
+  Status MaterializeSelect(const std::string& name,
+                           const sql::SelectStatement& stmt) override;
+
+  /// Direct access for tests and the formatter.
+  const std::vector<World>& worlds() const { return worlds_; }
+
+  /// Replaces the worlds wholesale (test setup helper). Probabilities are
+  /// normalized to sum to one.
+  void SetWorlds(std::vector<World> worlds);
+
+ private:
+  struct PipelineOutput {
+    std::vector<World> worlds;  // result stored under the pipeline name
+    std::vector<std::pair<double, Table>> per_world_results;
+    std::optional<Table> combined;
+    std::vector<SelectEvaluation::GroupResult> groups;
+  };
+
+  /// Runs the full I-SQL select pipeline over `input`:
+  /// SQL core (+ repair/choice world creation) -> assert -> group worlds
+  /// by / possible / certain / conf. The per-world result relation is
+  /// stored under `result_name` in the returned worlds.
+  Result<PipelineOutput> RunPipeline(std::vector<World> input,
+                                     const sql::SelectStatement& stmt,
+                                     const std::string& result_name) const;
+
+  std::vector<World> worlds_;
+  size_t max_worlds_;
+};
+
+/// Returns a copy of `stmt` with all world-set operations removed, leaving
+/// the per-world SQL core (select list, from, where, grouping, ordering,
+/// union). Shared by both world-set implementations.
+std::unique_ptr<sql::SelectStatement> StripWorldOps(
+    const sql::SelectStatement& stmt);
+
+}  // namespace maybms::worlds
+
+#endif  // MAYBMS_WORLDS_EXPLICIT_WORLD_SET_H_

@@ -1,0 +1,67 @@
+#include "worlds/sampling.h"
+
+#include <map>
+#include <random>
+
+#include "engine/executor.h"
+#include "engine/expr_eval.h"
+#include "worlds/explicit_world_set.h"
+
+namespace maybms::worlds {
+
+Result<Table> EstimateConfidence(const WorldSet& world_set,
+                                 const sql::SelectStatement& stmt,
+                                 size_t samples, uint32_t seed) {
+  if (samples == 0) {
+    return Status::InvalidArgument("sample count must be positive");
+  }
+  if (stmt.repair.has_value() || stmt.choice.has_value() ||
+      stmt.assert_condition || stmt.group_worlds_by) {
+    return Status::Unsupported(
+        "approximate confidence requires a plain SQL query");
+  }
+  std::unique_ptr<sql::SelectStatement> core = StripWorldOps(stmt);
+
+  std::mt19937 rng(seed);
+  std::map<Tuple, size_t> hits;
+  Schema value_schema;
+  for (size_t s = 0; s < samples; ++s) {
+    MAYBMS_ASSIGN_OR_RETURN(World world, world_set.SampleWorld(&rng));
+    MAYBMS_ASSIGN_OR_RETURN(Table answer,
+                            engine::ExecuteSelect(*core, world.db));
+    if (value_schema.num_columns() == 0) value_schema = answer.schema();
+    Table distinct = answer.SortedDistinct();
+    for (const Tuple& row : distinct.rows()) ++hits[row];
+  }
+
+  Schema schema = value_schema;
+  schema.AddColumn(Column("conf", DataType::kReal));
+  Table out(std::move(schema));
+  for (const auto& [row, count] : hits) {
+    Tuple extended = row;
+    extended.Append(
+        Value::Real(static_cast<double>(count) / static_cast<double>(samples)));
+    out.AppendUnchecked(std::move(extended));
+  }
+  return out;
+}
+
+Result<double> EstimateConditionProbability(const WorldSet& world_set,
+                                            const sql::Expr& condition,
+                                            size_t samples, uint32_t seed) {
+  if (samples == 0) {
+    return Status::InvalidArgument("sample count must be positive");
+  }
+  std::mt19937 rng(seed);
+  size_t hits = 0;
+  for (size_t s = 0; s < samples; ++s) {
+    MAYBMS_ASSIGN_OR_RETURN(World world, world_set.SampleWorld(&rng));
+    engine::EvalContext ctx{&world.db, nullptr, nullptr, nullptr, nullptr};
+    MAYBMS_ASSIGN_OR_RETURN(Trivalent holds,
+                            engine::EvalPredicate(condition, ctx));
+    if (holds == Trivalent::kTrue) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(samples);
+}
+
+}  // namespace maybms::worlds

@@ -1,0 +1,38 @@
+#ifndef MAYBMS_WORLDS_SAMPLING_H_
+#define MAYBMS_WORLDS_SAMPLING_H_
+
+#include <cstdint>
+
+#include "base/result.h"
+#include "sql/ast.h"
+#include "worlds/world_set.h"
+
+namespace maybms::worlds {
+
+/// Monte-Carlo estimate of tuple confidences (extension beyond the demo
+/// paper, in the spirit of MayBMS's later approximate confidence
+/// computation).
+///
+/// Draws `samples` worlds from `world_set` (per-component sampling in the
+/// decomposed engine — O(components) per draw) and evaluates the SQL core
+/// of `stmt` in each. Returns the same table shape as `select conf ...`:
+/// the distinct answer tuples with an estimated `conf` column; tuples
+/// never observed are absent. With N samples the standard error of each
+/// estimate is at most 1/(2*sqrt(N)).
+///
+/// `stmt` must be a plain SQL query (no repair/choice/assert/group worlds
+/// by); a `conf` quantifier is ignored (the estimate replaces it).
+Result<Table> EstimateConfidence(const WorldSet& world_set,
+                                 const sql::SelectStatement& stmt,
+                                 size_t samples, uint32_t seed);
+
+/// Monte-Carlo estimate of P(condition holds), where `condition` is
+/// evaluated per world like an `assert` predicate. Companion to
+/// EstimateConfidence for world-level conditions (Ex. 2.10 pattern).
+Result<double> EstimateConditionProbability(const WorldSet& world_set,
+                                            const sql::Expr& condition,
+                                            size_t samples, uint32_t seed);
+
+}  // namespace maybms::worlds
+
+#endif  // MAYBMS_WORLDS_SAMPLING_H_

@@ -1,0 +1,16 @@
+#include "worlds/world.h"
+
+namespace maybms::worlds {
+
+std::string WorldLabel(size_t index) {
+  std::string label;
+  size_t n = index;
+  while (true) {
+    label.insert(label.begin(), static_cast<char>('A' + n % 26));
+    if (n < 26) break;
+    n = n / 26 - 1;
+  }
+  return label;
+}
+
+}  // namespace maybms::worlds

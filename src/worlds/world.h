@@ -1,0 +1,30 @@
+#ifndef MAYBMS_WORLDS_WORLD_H_
+#define MAYBMS_WORLDS_WORLD_H_
+
+#include <string>
+
+#include "storage/catalog.h"
+
+namespace maybms::worlds {
+
+/// One possible world: a complete database instance plus its probability.
+///
+/// World-sets are always probabilistic in this implementation: operations
+/// that create worlds without an explicit `weight` clause assign uniform
+/// probabilities (the paper's non-probabilistic world-sets, e.g. Fig. 3,
+/// are the uniform special case).
+struct World {
+  Database db;
+  double probability = 1.0;
+
+  World() = default;
+  World(Database db_in, double probability_in)
+      : db(std::move(db_in)), probability(probability_in) {}
+};
+
+/// Labels worlds the way the paper's figures do: A, B, ..., Z, AA, AB, ...
+std::string WorldLabel(size_t index);
+
+}  // namespace maybms::worlds
+
+#endif  // MAYBMS_WORLDS_WORLD_H_

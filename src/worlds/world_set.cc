@@ -1,0 +1,186 @@
+#include "worlds/world_set.h"
+
+#include <algorithm>
+#include <map>
+
+#include "base/string_util.h"
+
+namespace maybms::worlds {
+
+namespace {
+
+void CollectFromExpr(const sql::Expr& expr, std::set<std::string>* out);
+
+void CollectFromItems(const std::vector<sql::SelectItem>& items,
+                      std::set<std::string>* out) {
+  for (const sql::SelectItem& item : items) {
+    if (item.expr) CollectFromExpr(*item.expr, out);
+  }
+}
+
+void CollectFromExpr(const sql::Expr& expr, std::set<std::string>* out) {
+  switch (expr.kind) {
+    case sql::ExprKind::kLiteral:
+    case sql::ExprKind::kColumnRef:
+      return;
+    case sql::ExprKind::kUnary:
+      CollectFromExpr(*static_cast<const sql::UnaryExpr&>(expr).operand, out);
+      return;
+    case sql::ExprKind::kBinary: {
+      const auto& b = static_cast<const sql::BinaryExpr&>(expr);
+      CollectFromExpr(*b.left, out);
+      CollectFromExpr(*b.right, out);
+      return;
+    }
+    case sql::ExprKind::kFunctionCall: {
+      const auto& f = static_cast<const sql::FunctionCallExpr&>(expr);
+      for (const auto& a : f.args) CollectFromExpr(*a, out);
+      return;
+    }
+    case sql::ExprKind::kIsNull:
+      CollectFromExpr(*static_cast<const sql::IsNullExpr&>(expr).operand, out);
+      return;
+    case sql::ExprKind::kInList: {
+      const auto& in = static_cast<const sql::InListExpr&>(expr);
+      CollectFromExpr(*in.operand, out);
+      for (const auto& i : in.items) CollectFromExpr(*i, out);
+      return;
+    }
+    case sql::ExprKind::kInSubquery: {
+      const auto& in = static_cast<const sql::InSubqueryExpr&>(expr);
+      CollectFromExpr(*in.operand, out);
+      CollectReferencedRelations(*in.subquery, out);
+      return;
+    }
+    case sql::ExprKind::kExists:
+      CollectReferencedRelations(
+          *static_cast<const sql::ExistsExpr&>(expr).subquery, out);
+      return;
+    case sql::ExprKind::kScalarSubquery:
+      CollectReferencedRelations(
+          *static_cast<const sql::ScalarSubqueryExpr&>(expr).subquery, out);
+      return;
+    case sql::ExprKind::kBetween: {
+      const auto& b = static_cast<const sql::BetweenExpr&>(expr);
+      CollectFromExpr(*b.operand, out);
+      CollectFromExpr(*b.low, out);
+      CollectFromExpr(*b.high, out);
+      return;
+    }
+    case sql::ExprKind::kCase: {
+      const auto& c = static_cast<const sql::CaseExpr&>(expr);
+      for (const auto& w : c.whens) {
+        CollectFromExpr(*w.condition, out);
+        CollectFromExpr(*w.result, out);
+      }
+      if (c.else_result) CollectFromExpr(*c.else_result, out);
+      return;
+    }
+    case sql::ExprKind::kCast:
+      CollectFromExpr(*static_cast<const sql::CastExpr&>(expr).operand, out);
+      return;
+  }
+}
+
+}  // namespace
+
+void CollectReferencedRelations(const sql::Expr& expr,
+                                std::set<std::string>* out) {
+  CollectFromExpr(expr, out);
+}
+
+void CollectReferencedRelations(const sql::SelectStatement& stmt,
+                                std::set<std::string>* out) {
+  for (const sql::TableRef& ref : stmt.from) {
+    out->insert(AsciiToLower(ref.table_name));
+  }
+  for (const sql::JoinClause& join : stmt.joins) {
+    out->insert(AsciiToLower(join.table.table_name));
+    if (join.on) CollectFromExpr(*join.on, out);
+  }
+  CollectFromItems(stmt.items, out);
+  if (stmt.where) CollectFromExpr(*stmt.where, out);
+  for (const auto& g : stmt.group_by) CollectFromExpr(*g, out);
+  if (stmt.having) CollectFromExpr(*stmt.having, out);
+  for (const auto& o : stmt.order_by) CollectFromExpr(*o.expr, out);
+  if (stmt.assert_condition) CollectFromExpr(*stmt.assert_condition, out);
+  if (stmt.group_worlds_by) CollectReferencedRelations(*stmt.group_worlds_by, out);
+  if (stmt.union_next) CollectReferencedRelations(*stmt.union_next, out);
+}
+
+Table CombinePossible(const std::vector<std::pair<double, Table>>& entries) {
+  Table out;
+  bool first = true;
+  for (const auto& [prob, table] : entries) {
+    (void)prob;
+    if (first) {
+      out = table;
+      first = false;
+    } else {
+      for (const Tuple& row : table.rows()) out.AppendUnchecked(row);
+    }
+  }
+  out.DeduplicateRows();
+  return out;
+}
+
+Table CombineCertain(const std::vector<std::pair<double, Table>>& entries) {
+  if (entries.empty()) return Table();
+  Table acc = entries[0].second.SortedDistinct();
+  for (size_t i = 1; i < entries.size(); ++i) {
+    Table next(acc.schema());
+    for (const Tuple& row : acc.rows()) {
+      if (entries[i].second.ContainsTuple(row)) next.AppendUnchecked(row);
+    }
+    acc = std::move(next);
+  }
+  return acc;
+}
+
+Table CombineConf(const std::vector<std::pair<double, Table>>& entries) {
+  // 0-column answers: confidence that the answer is non-empty.
+  bool zero_ary = true;
+  for (const auto& [prob, table] : entries) {
+    (void)prob;
+    if (table.schema().num_columns() > 0) {
+      zero_ary = false;
+      break;
+    }
+  }
+  if (zero_ary) {
+    double conf = 0;
+    for (const auto& [prob, table] : entries) {
+      if (!table.empty()) conf += prob;
+    }
+    Schema schema;
+    schema.AddColumn(Column("conf", DataType::kReal));
+    Table out(std::move(schema));
+    out.AppendUnchecked(Tuple({Value::Real(conf)}));
+    return out;
+  }
+
+  // Distinct tuples across all worlds, each with the total probability of
+  // the worlds whose answer contains it.
+  std::map<Tuple, double> conf;
+  Schema value_schema;
+  for (const auto& [prob, table] : entries) {
+    if (value_schema.num_columns() == 0 && table.schema().num_columns() > 0) {
+      value_schema = table.schema();
+    }
+    Table distinct = table.SortedDistinct();
+    for (const Tuple& row : distinct.rows()) conf[row] += prob;
+  }
+  Schema schema = value_schema;
+  schema.AddColumn(Column("conf", DataType::kReal));
+  Table out(std::move(schema));
+  for (const auto& [row, p] : conf) {
+    Tuple extended = row;
+    extended.Append(Value::Real(p));
+    out.AppendUnchecked(std::move(extended));
+  }
+  return out;
+}
+
+Table CanonicalizeGroupKey(const Table& table) { return table.SortedDistinct(); }
+
+}  // namespace maybms::worlds

@@ -1,0 +1,148 @@
+#ifndef MAYBMS_WORLDS_WORLD_SET_H_
+#define MAYBMS_WORLDS_WORLD_SET_H_
+
+#include <memory>
+#include <optional>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "sql/ast.h"
+#include "storage/catalog.h"
+#include "worlds/world.h"
+
+namespace maybms::worlds {
+
+/// Result of evaluating an I-SQL SELECT against a world-set.
+///
+/// Exactly which fields are populated depends on the query:
+///  * plain SQL core (possibly after repair/choice/assert): `per_world`
+///    holds one (probability, result table) entry per (derived) world;
+///  * `possible` / `certain` / `conf`: `combined` holds the single certain
+///    answer relation (conf results carry a trailing `conf` column);
+///  * `group worlds by`: `groups` holds one entry per world group.
+struct SelectEvaluation {
+  std::vector<std::pair<double, Table>> per_world;
+  bool truncated = false;  // per_world enumeration hit the cap
+
+  std::optional<Table> combined;
+
+  struct GroupResult {
+    double probability = 0;  // total probability mass of the group
+    Table key;               // the grouping query's answer for this group
+    Table table;             // the possible/certain result within the group
+  };
+  std::vector<GroupResult> groups;
+};
+
+/// A set of possible worlds over a shared set of relation names, with an
+/// I-SQL evaluation interface. Two implementations exist:
+///
+///  * ExplicitWorldSet — one materialized database per world (the textbook
+///    semantics; baseline);
+///  * DecomposedWorldSet — MayBMS-style world-set decomposition: a product
+///    of independent components over a certain core.
+///
+/// All statements handed to a WorldSet must reference base relations only
+/// (the session layer expands views beforehand).
+class WorldSet {
+ public:
+  virtual ~WorldSet() = default;
+
+  virtual std::unique_ptr<WorldSet> Clone() const = 0;
+
+  /// Name of the representation ("explicit" / "decomposed").
+  virtual std::string EngineName() const = 0;
+
+  // ---- Introspection ----
+
+  /// Number of worlds, saturating at uint64 max.
+  virtual uint64_t NumWorlds() const = 0;
+
+  /// log10 of the number of worlds (finite even when NumWorlds saturates).
+  virtual double Log10NumWorlds() const = 0;
+
+  virtual std::vector<std::string> RelationNames() const = 0;
+  virtual bool HasRelation(const std::string& name) const = 0;
+
+  /// Materializes up to `max_worlds` worlds (all of them if the set is
+  /// smaller). Sets *truncated when the cap was hit.
+  virtual Result<std::vector<World>> MaterializeWorlds(
+      size_t max_worlds, bool* truncated = nullptr) const = 0;
+
+  /// The `k` most probable worlds, in decreasing probability order.
+  /// The decomposed engine computes these without enumerating the product
+  /// (best-first search over per-component sorted alternatives), so this
+  /// works on world-sets with astronomically many worlds.
+  virtual Result<std::vector<World>> TopKWorlds(size_t k) const = 0;
+
+  /// Draws one world at random according to the world probabilities.
+  /// The decomposed engine samples each component independently — O(n)
+  /// per draw regardless of the number of worlds. Basis for Monte-Carlo
+  /// approximate confidence (see worlds/sampling.h).
+  virtual Result<World> SampleWorld(std::mt19937* rng) const = 0;
+
+  // ---- Schema / update operations (applied to every world) ----
+
+  /// Adds an empty base relation with the given schema to every world.
+  virtual Status CreateBaseTable(const std::string& name,
+                                 const Table& prototype) = 0;
+
+  virtual Status DropRelation(const std::string& name) = 0;
+
+  /// Executes INSERT/UPDATE/DELETE in every world. Possible-worlds update
+  /// semantics per the paper: if the update violates a constraint in some
+  /// world, it is discarded in all worlds (an error is returned and no
+  /// world changes).
+  virtual Status ApplyDml(const sql::Statement& stmt,
+                          const Catalog& catalog) = 0;
+
+  // ---- I-SQL SELECT pipeline ----
+
+  /// Evaluates `stmt` without modifying this world-set (per the paper,
+  /// plain queries are not materialized). `max_worlds` caps the size of
+  /// `per_world` in the result.
+  virtual Result<SelectEvaluation> EvaluateSelect(
+      const sql::SelectStatement& stmt, size_t max_worlds) const = 0;
+
+  /// Executes `create table <name> as <stmt>`: applies the statement's
+  /// world operations (repair by key / choice of create worlds; assert
+  /// drops worlds and renormalizes) and stores the result relation in
+  /// every (surviving) world.
+  virtual Status MaterializeSelect(const std::string& name,
+                                   const sql::SelectStatement& stmt) = 0;
+};
+
+// ---- Shared helpers used by both implementations -------------------------
+
+/// Collects the (lower-cased) names of all relations referenced anywhere in
+/// a statement: FROM clauses, subqueries in any expression, assert
+/// conditions, group-worlds-by queries, and UNION branches.
+void CollectReferencedRelations(const sql::SelectStatement& stmt,
+                                std::set<std::string>* out);
+void CollectReferencedRelations(const sql::Expr& expr,
+                                std::set<std::string>* out);
+
+/// Combines per-world results under `possible`: the distinct union.
+/// Entries' tables must share arity.
+Table CombinePossible(const std::vector<std::pair<double, Table>>& entries);
+
+/// Combines per-world results under `certain`: tuples present in every
+/// world's answer.
+Table CombineCertain(const std::vector<std::pair<double, Table>>& entries);
+
+/// Combines per-world results under `conf`: each distinct tuple extended
+/// with the sum of probabilities of the worlds whose answer contains it.
+/// For 0-column answers (bare `select conf`), produces a single-row table
+/// with one `conf` column holding P(answer non-empty).
+Table CombineConf(const std::vector<std::pair<double, Table>>& entries);
+
+/// Canonical key for group-worlds-by: the sorted distinct rows of the
+/// grouping query's answer.
+Table CanonicalizeGroupKey(const Table& table);
+
+}  // namespace maybms::worlds
+
+#endif  // MAYBMS_WORLDS_WORLD_SET_H_

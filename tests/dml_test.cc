@@ -1,0 +1,222 @@
+// Tests for INSERT/UPDATE/DELETE execution and constraint checking within
+// a single world, plus the all-worlds-or-nothing semantics at the
+// world-set level (paper §2: an insert that violates a constraint in some
+// world is discarded in all worlds).
+
+#include "engine/dml.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+#include "tests/test_util.h"
+
+namespace maybms::engine {
+namespace {
+
+using isql::QueryResult;
+using isql::Session;
+using maybms::testing::EngineTest;
+using maybms::testing::Exec;
+using maybms::testing::ExecScript;
+using maybms::testing::ExpectRows;
+using maybms::testing::I;
+using maybms::testing::N;
+using maybms::testing::Row;
+using maybms::testing::T;
+using maybms::testing::WorldDistribution;
+
+Table PeopleTable() {
+  Schema schema({Column("Id", DataType::kInteger),
+                 Column("Name", DataType::kText)});
+  Table t(schema);
+  t.AppendUnchecked(Row({I(1), T("ann")}));
+  t.AppendUnchecked(Row({I(2), T("bob")}));
+  return t;
+}
+
+template <typename StatementT>
+std::unique_ptr<StatementT> Parse(const std::string& text) {
+  auto stmt = sql::Parser::ParseStatement(text);
+  EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+  return std::unique_ptr<StatementT>(
+      static_cast<StatementT*>(stmt->release()));
+}
+
+TEST(ConstraintCheckTest, PrimaryKeyDetectsDuplicatesAndNulls) {
+  Table t = PeopleTable();
+  std::vector<Constraint> pk = {Constraint{ConstraintKind::kPrimaryKey, {"Id"}}};
+  MAYBMS_EXPECT_OK(CheckTableConstraints(t, pk));
+
+  t.AppendUnchecked(Row({I(1), T("carl")}));
+  EXPECT_EQ(CheckTableConstraints(t, pk).code(),
+            StatusCode::kConstraintViolation);
+
+  Table t2 = PeopleTable();
+  t2.AppendUnchecked(Row({N(), T("carl")}));
+  EXPECT_EQ(CheckTableConstraints(t2, pk).code(),
+            StatusCode::kConstraintViolation)
+      << "PRIMARY KEY implies NOT NULL";
+}
+
+TEST(ConstraintCheckTest, UniqueAllowsNullsButNotDuplicates) {
+  Table t = PeopleTable();
+  std::vector<Constraint> uq = {Constraint{ConstraintKind::kUnique, {"Name"}}};
+  MAYBMS_EXPECT_OK(CheckTableConstraints(t, uq));
+  t.AppendUnchecked(Row({I(3), T("ann")}));
+  EXPECT_EQ(CheckTableConstraints(t, uq).code(),
+            StatusCode::kConstraintViolation);
+}
+
+TEST(ConstraintCheckTest, CompositeKey) {
+  Table t = PeopleTable();
+  std::vector<Constraint> pk = {
+      Constraint{ConstraintKind::kPrimaryKey, {"Id", "Name"}}};
+  t.AppendUnchecked(Row({I(1), T("bob")}));  // distinct composite
+  MAYBMS_EXPECT_OK(CheckTableConstraints(t, pk));
+  t.AppendUnchecked(Row({I(1), T("ann")}));
+  EXPECT_EQ(CheckTableConstraints(t, pk).code(),
+            StatusCode::kConstraintViolation);
+}
+
+TEST(DmlTest, InsertCoercesAndChecksTypes) {
+  Database db;
+  db.PutRelation("P", PeopleTable());
+  Catalog catalog;
+  auto insert = Parse<sql::InsertStatement>(
+      "insert into P values (3, 'carl')");
+  MAYBMS_EXPECT_OK(ExecuteInsert(*insert, &db, catalog));
+  EXPECT_EQ((*db.GetRelation("P"))->num_rows(), 3u);
+
+  auto bad = Parse<sql::InsertStatement>("insert into P values ('x', 'y')");
+  EXPECT_EQ(ExecuteInsert(*bad, &db, catalog).code(), StatusCode::kTypeError);
+  EXPECT_EQ((*db.GetRelation("P"))->num_rows(), 3u) << "failed insert is a no-op";
+}
+
+TEST(DmlTest, InsertWithColumnListFillsNulls) {
+  Database db;
+  db.PutRelation("P", PeopleTable());
+  Catalog catalog;
+  auto insert = Parse<sql::InsertStatement>("insert into P (Id) values (9)");
+  MAYBMS_EXPECT_OK(ExecuteInsert(*insert, &db, catalog));
+  const Table& t = **db.GetRelation("P");
+  EXPECT_TRUE(t.row(2).value(1).is_null());
+}
+
+TEST(DmlTest, InsertSelect) {
+  Database db;
+  db.PutRelation("P", PeopleTable());
+  db.PutRelation("Q", Table(PeopleTable().schema()));
+  Catalog catalog;
+  auto insert = Parse<sql::InsertStatement>(
+      "insert into Q select Id + 10, Name from P");
+  MAYBMS_EXPECT_OK(ExecuteInsert(*insert, &db, catalog));
+  ExpectRows(**db.GetRelation("Q"), {"(11, ann)", "(12, bob)"});
+}
+
+TEST(DmlTest, UpdateEvaluatesAgainstPreUpdateRow) {
+  Database db;
+  db.PutRelation("P", PeopleTable());
+  Catalog catalog;
+  auto update = Parse<sql::UpdateStatement>(
+      "update P set Id = Id + 1, Name = 'x' where Id >= 1");
+  MAYBMS_EXPECT_OK(ExecuteUpdate(*update, &db, catalog));
+  ExpectRows(**db.GetRelation("P"), {"(2, x)", "(3, x)"});
+}
+
+TEST(DmlTest, UpdateRespectsConstraints) {
+  Database db;
+  db.PutRelation("P", PeopleTable());
+  Catalog catalog;
+  catalog.AddConstraint("P", Constraint{ConstraintKind::kPrimaryKey, {"Id"}});
+  auto update = Parse<sql::UpdateStatement>("update P set Id = 1");
+  EXPECT_EQ(ExecuteUpdate(*update, &db, catalog).code(),
+            StatusCode::kConstraintViolation);
+  ExpectRows(**db.GetRelation("P"), {"(1, ann)", "(2, bob)"});
+}
+
+TEST(DmlTest, DeleteWithAndWithoutWhere) {
+  Database db;
+  db.PutRelation("P", PeopleTable());
+  auto del = Parse<sql::DeleteStatement>("delete from P where Id = 1");
+  MAYBMS_EXPECT_OK(ExecuteDelete(*del, &db));
+  ExpectRows(**db.GetRelation("P"), {"(2, bob)"});
+
+  auto del_all = Parse<sql::DeleteStatement>("delete from P");
+  MAYBMS_EXPECT_OK(ExecuteDelete(*del_all, &db));
+  EXPECT_TRUE((*db.GetRelation("P"))->empty());
+}
+
+// ---- world-set level semantics (both engines) ----
+
+class WorldDmlTest : public EngineTest {};
+
+TEST_P(WorldDmlTest, InsertAppliesInEveryWorld) {
+  Session session((Options()));
+  maybms::testing::LoadFigure1(session);
+  Exec(session, "create table I as select A, B, C from R repair by key A;");
+  Exec(session, "insert into I values ('a9', 99, 'c9');");
+  QueryResult result = Exec(session, "select * from I where A = 'a9';");
+  auto dist = WorldDistribution(result.worlds());
+  ASSERT_EQ(dist.size(), 1u);
+  EXPECT_EQ(dist.begin()->first, "(a9, 99, c9);");
+  EXPECT_NEAR(dist.begin()->second, 1.0, 1e-12);
+}
+
+TEST_P(WorldDmlTest, ViolationInSomeWorldDiscardsInAllWorlds) {
+  Session session((Options()));
+  ExecScript(session, R"sql(
+    create table R (K integer, V text);
+    insert into R values (1, 'x'), (1, 'y'), (2, 'z');
+    create table I as select * from R repair by key K;
+    create table G (K integer, unique (K));
+  )sql");
+  // Seed G from one world-dependent value: in some worlds I has (1,'x'),
+  // in others (1,'y'). Inserting K=1 into G succeeds everywhere...
+  Exec(session, "insert into G values (1);");
+  // ...but inserting 1 again violates UNIQUE in every world; and crucially
+  // inserting a world-dependent count would differ. Here: the duplicate
+  // fails everywhere and G must stay unchanged.
+  auto bad = session.Execute("insert into G values (1);");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kConstraintViolation);
+  QueryResult g = Exec(session, "select * from G;");
+  auto dist = WorldDistribution(g.worlds());
+  ASSERT_EQ(dist.size(), 1u);
+  EXPECT_EQ(dist.begin()->first, "(1);");
+}
+
+TEST_P(WorldDmlTest, WorldDependentUpdate) {
+  Session session((Options()));
+  ExecScript(session, R"sql(
+    create table R (K integer, V integer);
+    insert into R values (1, 10), (1, 20);
+    create table I as select * from R repair by key K;
+  )sql");
+  // Update acts on each world's instance: only worlds where V=10 change.
+  Exec(session, "update I set V = V + 1 where V = 10;");
+  QueryResult result = Exec(session, "select * from I;");
+  auto dist = WorldDistribution(result.worlds());
+  ASSERT_EQ(dist.size(), 2u);
+  EXPECT_TRUE(dist.count("(1, 11);"));
+  EXPECT_TRUE(dist.count("(1, 20);"));
+}
+
+TEST_P(WorldDmlTest, WorldDependentDelete) {
+  Session session((Options()));
+  ExecScript(session, R"sql(
+    create table R (K integer, V integer);
+    insert into R values (1, 10), (1, 20), (2, 30);
+    create table I as select * from R repair by key K;
+  )sql");
+  Exec(session, "delete from I where V = 10;");
+  QueryResult result = Exec(session, "select * from I;");
+  auto dist = WorldDistribution(result.worlds());
+  ASSERT_EQ(dist.size(), 2u);
+  EXPECT_TRUE(dist.count("(2, 30);"));                // world that had (1,10)
+  EXPECT_TRUE(dist.count("(1, 20);(2, 30);"));
+}
+
+MAYBMS_INSTANTIATE_ENGINES(WorldDmlTest);
+
+}  // namespace
+}  // namespace maybms::engine

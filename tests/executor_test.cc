@@ -1,0 +1,287 @@
+// Tests for the per-world SQL executor: joins, aggregation, subqueries,
+// set operations, ordering — evaluated against a single world database.
+
+#include "engine/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/dml.h"
+#include "sql/parser.h"
+#include "tests/test_util.h"
+
+namespace maybms::engine {
+namespace {
+
+using maybms::testing::ExpectRows;
+using maybms::testing::I;
+using maybms::testing::N;
+using maybms::testing::Row;
+using maybms::testing::T;
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Schema r_schema({Column("A", DataType::kText),
+                     Column("B", DataType::kInteger),
+                     Column("C", DataType::kText)});
+    Table r(r_schema);
+    r.AppendUnchecked(Row({T("a1"), I(10), T("c1")}));
+    r.AppendUnchecked(Row({T("a1"), I(15), T("c2")}));
+    r.AppendUnchecked(Row({T("a2"), I(14), T("c3")}));
+    r.AppendUnchecked(Row({T("a2"), I(20), T("c4")}));
+    r.AppendUnchecked(Row({T("a3"), I(20), T("c5")}));
+    db_.PutRelation("R", std::move(r));
+
+    Schema s_schema({Column("C", DataType::kText),
+                     Column("E", DataType::kText)});
+    Table s(s_schema);
+    s.AppendUnchecked(Row({T("c2"), T("e1")}));
+    s.AppendUnchecked(Row({T("c4"), T("e1")}));
+    s.AppendUnchecked(Row({T("c4"), T("e2")}));
+    db_.PutRelation("S", std::move(s));
+
+    Schema n_schema({Column("X", DataType::kInteger)});
+    Table n(n_schema);
+    n.AppendUnchecked(Row({I(1)}));
+    n.AppendUnchecked(Row({N()}));
+    n.AppendUnchecked(Row({I(3)}));
+    db_.PutRelation("Nulls", std::move(n));
+  }
+
+  Table Run(const std::string& query) {
+    auto stmt = sql::Parser::ParseStatement(query);
+    EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+    auto result = ExecuteSelect(
+        static_cast<const sql::SelectStatement&>(**stmt), db_);
+    EXPECT_TRUE(result.ok()) << query << " -> " << result.status().ToString();
+    return result.ok() ? std::move(result).value() : Table();
+  }
+
+  Status RunError(const std::string& query) {
+    auto stmt = sql::Parser::ParseStatement(query);
+    if (!stmt.ok()) return stmt.status();
+    auto result = ExecuteSelect(
+        static_cast<const sql::SelectStatement&>(**stmt), db_);
+    return result.ok() ? Status::OK() : result.status();
+  }
+
+  Database db_;
+};
+
+TEST_F(ExecutorTest, SelectStarScansAllRows) {
+  Table result = Run("select * from R");
+  EXPECT_EQ(result.num_rows(), 5u);
+  EXPECT_EQ(result.schema().num_columns(), 3u);
+}
+
+TEST_F(ExecutorTest, ProjectionAndComputedColumns) {
+  Table result = Run("select A, B * 2 as doubled from R where A = 'a1'");
+  ExpectRows(result, {"(a1, 20)", "(a1, 30)"});
+  EXPECT_EQ(result.schema().column(1).name, "doubled");
+}
+
+TEST_F(ExecutorTest, WhereWithAndOrNot) {
+  Table result =
+      Run("select C from R where (A = 'a1' or A = 'a3') and not B < 15");
+  ExpectRows(result, {"(c2)", "(c5)"});
+}
+
+TEST_F(ExecutorTest, CrossJoinWithAliases) {
+  Table result = Run(
+      "select r.C, s.E from R r, S s where r.C = s.C");
+  ExpectRows(result, {"(c2, e1)", "(c4, e1)", "(c4, e2)"});
+}
+
+TEST_F(ExecutorTest, SelfJoin) {
+  Table result = Run(
+      "select r1.A from R r1, R r2 "
+      "where r1.B = r2.B and r1.A <> r2.A");
+  ExpectRows(result, {"(a2)", "(a3)"});
+}
+
+TEST_F(ExecutorTest, QualifiedStar) {
+  Table result = Run("select s.* from R r, S s where r.C = s.C");
+  EXPECT_EQ(result.schema().num_columns(), 2u);
+  ExpectRows(result, {"(c2, e1)", "(c4, e1)", "(c4, e2)"});
+}
+
+TEST_F(ExecutorTest, GlobalAggregates) {
+  Table result = Run("select sum(B), count(*), min(B), max(B), avg(B) from R");
+  ASSERT_EQ(result.num_rows(), 1u);
+  const Tuple& row = result.row(0);
+  EXPECT_EQ(row.value(0).AsInteger(), 79);
+  EXPECT_EQ(row.value(1).AsInteger(), 5);
+  EXPECT_EQ(row.value(2).AsInteger(), 10);
+  EXPECT_EQ(row.value(3).AsInteger(), 20);
+  EXPECT_DOUBLE_EQ(row.value(4).AsReal(), 79.0 / 5);
+}
+
+TEST_F(ExecutorTest, AggregatesOnEmptyInput) {
+  Table result = Run("select count(*), sum(B), min(B) from R where A = 'zz'");
+  ASSERT_EQ(result.num_rows(), 1u);
+  EXPECT_EQ(result.row(0).value(0).AsInteger(), 0);
+  EXPECT_TRUE(result.row(0).value(1).is_null());
+  EXPECT_TRUE(result.row(0).value(2).is_null());
+}
+
+TEST_F(ExecutorTest, GroupByWithHaving) {
+  Table result = Run(
+      "select A, sum(B) from R group by A having count(*) > 1");
+  ExpectRows(result, {"(a1, 25)", "(a2, 34)"});
+}
+
+TEST_F(ExecutorTest, CountDistinct) {
+  Table result = Run("select count(distinct B) from R");
+  EXPECT_EQ(result.row(0).value(0).AsInteger(), 4);  // 10,14,15,20
+}
+
+TEST_F(ExecutorTest, AggregatesIgnoreNulls) {
+  Table result = Run("select count(X), sum(X), avg(X) from Nulls");
+  ASSERT_EQ(result.num_rows(), 1u);
+  EXPECT_EQ(result.row(0).value(0).AsInteger(), 2);
+  EXPECT_EQ(result.row(0).value(1).AsInteger(), 4);
+  EXPECT_DOUBLE_EQ(result.row(0).value(2).AsReal(), 2.0);
+}
+
+TEST_F(ExecutorTest, DistinctRemovesDuplicates) {
+  Table result = Run("select distinct B from R");
+  EXPECT_EQ(result.num_rows(), 4u);
+}
+
+TEST_F(ExecutorTest, OrderByAndLimit) {
+  Table result = Run("select B from R order by B desc, C limit 3");
+  ASSERT_EQ(result.num_rows(), 3u);
+  EXPECT_EQ(result.row(0).value(0).AsInteger(), 20);
+  EXPECT_EQ(result.row(1).value(0).AsInteger(), 20);
+  EXPECT_EQ(result.row(2).value(0).AsInteger(), 15);
+}
+
+TEST_F(ExecutorTest, OrderByUnprojectedColumn) {
+  Table result = Run("select A from R order by B desc limit 1");
+  ASSERT_EQ(result.num_rows(), 1u);
+  // B=20 rows: a2(c4) or a3(c5); stable sort keeps first occurrence (a2).
+  EXPECT_EQ(result.row(0).value(0).AsText(), "a2");
+}
+
+TEST_F(ExecutorTest, ExistsSubquery) {
+  Table result = Run(
+      "select A from R where exists (select * from S where S.C = R.C)");
+  ExpectRows(result, {"(a1)", "(a2)"});
+}
+
+TEST_F(ExecutorTest, NotExistsCorrelatedSubquery) {
+  Table result = Run(
+      "select distinct A from R where not exists "
+      "(select * from S where S.C = R.C)");
+  ExpectRows(result, {"(a1)", "(a2)", "(a3)"});
+}
+
+TEST_F(ExecutorTest, InSubquery) {
+  Table result = Run("select A, C from R where C in (select C from S)");
+  ExpectRows(result, {"(a1, c2)", "(a2, c4)"});
+}
+
+TEST_F(ExecutorTest, NotInWithNullSemantics) {
+  // X NOT IN (1, NULL): never TRUE for any X (either found or unknown).
+  Table result = Run("select X from Nulls where X not in (1, null)");
+  EXPECT_TRUE(result.empty());
+}
+
+TEST_F(ExecutorTest, ScalarSubquery) {
+  Table result = Run("select A from R where B = (select max(B) from R) "
+                     "order by A");
+  ExpectRows(result, {"(a2)", "(a3)"});
+}
+
+TEST_F(ExecutorTest, ScalarSubqueryMultipleRowsIsError) {
+  Status s = RunError("select (select B from R) from S");
+  EXPECT_EQ(s.code(), StatusCode::kRuntimeError);
+}
+
+TEST_F(ExecutorTest, EmptyScalarSubqueryIsNull) {
+  Table result =
+      Run("select (select B from R where A = 'zz') from S where C = 'c2'");
+  ASSERT_EQ(result.num_rows(), 1u);
+  EXPECT_TRUE(result.row(0).value(0).is_null());
+}
+
+TEST_F(ExecutorTest, UnionDeduplicatesUnionAllKeeps) {
+  Table result = Run("select A from R union select A from R");
+  EXPECT_EQ(result.num_rows(), 3u);
+  result = Run("select A from R union all select A from R");
+  EXPECT_EQ(result.num_rows(), 10u);
+}
+
+TEST_F(ExecutorTest, UnionArityMismatchIsError) {
+  Status s = RunError("select A from R union select A, B from R");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ExecutorTest, SelectWithoutFrom) {
+  Table result = Run("select 1 + 2, 'x'");
+  ASSERT_EQ(result.num_rows(), 1u);
+  EXPECT_EQ(result.row(0).value(0).AsInteger(), 3);
+  EXPECT_EQ(result.row(0).value(1).AsText(), "x");
+}
+
+TEST_F(ExecutorTest, CaseExpression) {
+  Table result = Run(
+      "select distinct case when B >= 20 then 'high' "
+      "when B >= 14 then 'mid' else 'low' end from R");
+  ExpectRows(result, {"(high)", "(low)", "(mid)"});
+}
+
+TEST_F(ExecutorTest, BetweenAndLike) {
+  Table result = Run("select C from R where B between 14 and 15");
+  ExpectRows(result, {"(c2)", "(c3)"});
+  result = Run("select distinct A from R where C like 'c_'");
+  EXPECT_EQ(result.num_rows(), 3u);
+}
+
+TEST_F(ExecutorTest, ScalarFunctions) {
+  Table result = Run(
+      "select abs(-3), lower('AbC'), upper('x'), length('abcd'), "
+      "coalesce(null, 5), round(2.567, 1)");
+  const Tuple& row = result.row(0);
+  EXPECT_EQ(row.value(0).AsInteger(), 3);
+  EXPECT_EQ(row.value(1).AsText(), "abc");
+  EXPECT_EQ(row.value(2).AsText(), "X");
+  EXPECT_EQ(row.value(3).AsInteger(), 4);
+  EXPECT_EQ(row.value(4).AsInteger(), 5);
+  EXPECT_DOUBLE_EQ(row.value(5).AsReal(), 2.6);
+}
+
+TEST_F(ExecutorTest, DivisionIsRealAndDivZeroIsError) {
+  Table result = Run("select 2 / 8");
+  EXPECT_DOUBLE_EQ(result.row(0).value(0).AsReal(), 0.25);
+  Status s = RunError("select 1 / 0");
+  EXPECT_EQ(s.code(), StatusCode::kRuntimeError);
+}
+
+TEST_F(ExecutorTest, NullArithmeticPropagates) {
+  Table result = Run("select X + 1 from Nulls where X is null");
+  ASSERT_EQ(result.num_rows(), 1u);
+  EXPECT_TRUE(result.row(0).value(0).is_null());
+}
+
+TEST_F(ExecutorTest, WorldOpsRejected) {
+  Status s = RunError("select * from R repair by key A");
+  EXPECT_EQ(s.code(), StatusCode::kUnsupported);
+  s = RunError("select possible A from R");
+  EXPECT_EQ(s.code(), StatusCode::kUnsupported);
+}
+
+TEST_F(ExecutorTest, UnknownTableAndColumnErrors) {
+  EXPECT_EQ(RunError("select * from Zed").code(), StatusCode::kNotFound);
+  EXPECT_EQ(RunError("select Zed from R").code(), StatusCode::kNotFound);
+  EXPECT_EQ(RunError("select R.B from R x").code(), StatusCode::kNotFound)
+      << "alias replaces the table name";
+}
+
+TEST_F(ExecutorTest, StarWithAggregateIsError) {
+  EXPECT_EQ(RunError("select *, count(*) from R").code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace maybms::engine

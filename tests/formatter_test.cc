@@ -1,0 +1,106 @@
+#include "isql/formatter.h"
+
+#include <gtest/gtest.h>
+
+#include "isql/session.h"
+#include "tests/test_util.h"
+#include "worlds/world.h"
+
+namespace maybms::isql {
+namespace {
+
+using maybms::testing::Exec;
+using maybms::testing::I;
+using maybms::testing::Row;
+using maybms::testing::T;
+
+TEST(FormatterTest, AlignsColumns) {
+  Schema schema({Column("A", DataType::kText),
+                 Column("Bee", DataType::kInteger)});
+  Table table(schema);
+  table.AppendUnchecked(Row({T("a1"), I(10)}));
+  table.AppendUnchecked(Row({T("long-value"), I(5)}));
+  std::string out = FormatTable(table);
+  EXPECT_EQ(out,
+            "A          | Bee\n"
+            "-----------+----\n"
+            "a1         | 10\n"
+            "long-value | 5\n");
+}
+
+TEST(FormatterTest, EmptyTableAndZeroColumns) {
+  Schema schema({Column("A", DataType::kText)});
+  std::string out = FormatTable(Table(schema));
+  EXPECT_NE(out.find("(no rows)"), std::string::npos);
+
+  Table zero_cols;
+  EXPECT_NE(FormatTable(zero_cols).find("0 columns"), std::string::npos);
+}
+
+TEST(FormatterTest, WorldLabelsFollowPaperConvention) {
+  EXPECT_EQ(worlds::WorldLabel(0), "A");
+  EXPECT_EQ(worlds::WorldLabel(3), "D");
+  EXPECT_EQ(worlds::WorldLabel(25), "Z");
+  EXPECT_EQ(worlds::WorldLabel(26), "AA");
+  EXPECT_EQ(worlds::WorldLabel(27), "AB");
+  EXPECT_EQ(worlds::WorldLabel(26 + 26 * 26), "AAA");
+}
+
+TEST(FormatterTest, QueryResultRenderings) {
+  Session session;
+  maybms::testing::LoadFigure1(session);
+  Exec(session, "create table I as select A, B, C from R "
+                "repair by key A weight D;");
+
+  // Message.
+  std::string msg =
+      FormatQueryResult(QueryResult::Message("created table X"));
+  EXPECT_EQ(msg, "created table X\n");
+
+  // Per-world result shows labels and probabilities.
+  QueryResult worlds = Exec(session, "select * from I;");
+  std::string out = FormatQueryResult(worlds);
+  EXPECT_NE(out.find("-- world A (P = "), std::string::npos);
+  EXPECT_NE(out.find("-- world D (P = "), std::string::npos);
+
+  // Combined result is a plain table.
+  QueryResult possible = Exec(session, "select possible sum(B) from I;");
+  out = FormatQueryResult(possible);
+  EXPECT_NE(out.find("44"), std::string::npos);
+  EXPECT_NE(out.find("55"), std::string::npos);
+
+  // conf result renders the probability column.
+  QueryResult conf = Exec(session, "select conf, B from I;");
+  out = FormatQueryResult(conf);
+  EXPECT_NE(out.find("conf"), std::string::npos);
+}
+
+TEST(FormatterTest, GroupResultRendering) {
+  Session session;
+  maybms::testing::LoadFigure3(session);
+  QueryResult groups = Exec(session,
+      "select possible i2.Gender as G2, i3.Gender as G3 "
+      "from I i2, I i3 where i2.Id = 2 and i3.Id = 3 "
+      "group worlds by (select Pos from I where Id = 2);");
+  std::string out = FormatQueryResult(groups);
+  EXPECT_NE(out.find("-- group 1"), std::string::npos);
+  EXPECT_NE(out.find("-- group 2"), std::string::npos);
+  EXPECT_NE(out.find("grouping answer"), std::string::npos);
+}
+
+TEST(FormatterTest, WorldSetRendering) {
+  Session session;
+  maybms::testing::LoadFigure1(session);
+  Exec(session, "create table I as select A, B, C from R repair by key A;");
+  std::string out = FormatWorldSet(session.world_set(), 16);
+  EXPECT_NE(out.find("4 worlds"), std::string::npos);
+  EXPECT_NE(out.find("== world A"), std::string::npos);
+  EXPECT_NE(out.find("I:"), std::string::npos);
+  EXPECT_NE(out.find("R:"), std::string::npos);
+
+  std::string truncated = FormatWorldSet(session.world_set(), 2);
+  EXPECT_NE(truncated.find("truncated"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace maybms::isql

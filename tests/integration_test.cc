@@ -1,0 +1,223 @@
+// End-to-end integration tests: long chains of I-SQL operations in one
+// session, single-statement pipelines combining several world operations,
+// and edge cases at the pipeline boundaries.
+
+#include <gtest/gtest.h>
+
+#include "isql/session.h"
+#include "tests/test_util.h"
+
+namespace maybms {
+namespace {
+
+using isql::QueryResult;
+using isql::Session;
+using maybms::testing::EngineTest;
+using maybms::testing::Exec;
+using maybms::testing::ExecScript;
+using maybms::testing::ExpectRows;
+using maybms::testing::WorldDistribution;
+
+class IntegrationTest : public EngineTest {};
+
+// One statement combining repair and assert, with the assert condition
+// referencing the statement's own result relation by its target name —
+// the whole Figure 6+7 cleaning in a single CREATE TABLE.
+TEST_P(IntegrationTest, SingleStatementCleaningPipeline) {
+  Session session((Options()));
+  ExecScript(session, R"sql(
+    create table R (SSN integer, TEL integer);
+    insert into R values (123, 456), (789, 123);
+    create table S as
+      select SSN, TEL, SSN as SSN', TEL as TEL' from R
+      union select SSN, TEL, TEL as SSN', SSN as TEL' from R;
+  )sql");
+  Exec(session,
+       "create table U as select SSN', TEL' from S repair by key SSN, TEL "
+       "assert not exists (select 'yes' from U t1, U t2 "
+       " where t1.SSN' = t2.SSN' and t1.TEL' <> t2.TEL');");
+  QueryResult r = Exec(session, "select * from U;");
+  auto dist = WorldDistribution(r.worlds());
+  ASSERT_EQ(dist.size(), 3u) << "Figure 7 in one statement";
+  for (const auto& [key, p] : dist) EXPECT_NEAR(p, 1.0 / 3, 1e-12);
+}
+
+TEST_P(IntegrationTest, ChoiceOfWithAssertAndCertain) {
+  Session session((Options()));
+  maybms::testing::LoadFigure1(session);
+  // choice of E creates 2 worlds; the assert keeps only worlds where S
+  // still contains c4 (both) — then certain over the partitions.
+  QueryResult r = Exec(session,
+      "select certain C from S choice of E "
+      "assert exists(select * from S where C = 'c4');");
+  ASSERT_EQ(r.kind(), QueryResult::Kind::kTable);
+  // Partitions: {(c2,e1),(c4,e1)} and {(c4,e2)}; certain C = c4.
+  ExpectRows(r.table(), {"(c4)"});
+}
+
+TEST_P(IntegrationTest, GroupWorldsByWithCertainAndConf) {
+  Session session((Options()));
+  maybms::testing::LoadFigure3(session);
+  // certain within groups.
+  QueryResult certain = Exec(session,
+      "select certain Gender from I "
+      "group worlds by (select Pos from I where Id = 1);");
+  ASSERT_EQ(certain.kind(), QueryResult::Kind::kGroups);
+  ASSERT_EQ(certain.groups().size(), 2u);
+  for (const auto& g : certain.groups()) {
+    // calf is certain in every world of both groups.
+    bool found = false;
+    for (const Tuple& row : g.table.rows()) {
+      if (row.value(0).AsText() == "calf") found = true;
+    }
+    EXPECT_TRUE(found);
+  }
+
+  // conf within groups: probabilities conditional on the group.
+  QueryResult conf = Exec(session,
+      "select conf, Gender from I where Id = 2 "
+      "group worlds by (select Pos from I where Id = 2);");
+  ASSERT_EQ(conf.kind(), QueryResult::Kind::kGroups);
+  for (const auto& g : conf.groups()) {
+    ASSERT_EQ(g.key.num_rows(), 1u);
+    std::string pos = g.key.row(0).value(0).AsText();
+    for (const Tuple& row : g.table.rows()) {
+      double p = row.value(1).AsReal();
+      if (pos == "c") {
+        EXPECT_NEAR(p, 0.5, 1e-12);  // cow/bull each in 2 of 4 worlds
+      } else {
+        EXPECT_NEAR(p, 0.5, 1e-12);  // cow/bull each in 1 of 2 worlds
+      }
+    }
+  }
+}
+
+TEST_P(IntegrationTest, LongPipelineSession) {
+  Session session((Options()));
+  maybms::testing::LoadFigure1(session);
+  ExecScript(session, R"sql(
+    create table I as select A, B, C from R repair by key A weight D;
+    create table D1 as select A, B from I where B >= 14;
+    create table Sums as select sum(B) as SB from D1;
+    create view Big as select * from Sums where SB > 45;
+  )sql");
+
+  // Worlds: I as Figure 2. D1 drops B=10 rows. Sums per world:
+  // A: 14+20=34, B: 15+14+20=49, C: 20+20=40, D: 15+20+20=55.
+  QueryResult sums = Exec(session, "select * from Sums;");
+  auto dist = WorldDistribution(sums.worlds());
+  ASSERT_EQ(dist.size(), 4u);
+  EXPECT_NEAR(dist["(34);"], 1.0 / 9, 1e-12);
+  EXPECT_NEAR(dist["(49);"], 1.0 / 3, 1e-12);
+  EXPECT_NEAR(dist["(40);"], 5.0 / 36, 1e-12);
+  EXPECT_NEAR(dist["(55);"], 5.0 / 12, 1e-12);
+
+  // The view filters per world: conf(SB value > 45 exists).
+  QueryResult conf = Exec(session, "select conf from Big;");
+  ASSERT_EQ(conf.table().num_rows(), 1u);
+  EXPECT_NEAR(conf.table().row(0).value(0).AsReal(), 1.0 / 3 + 5.0 / 12,
+              1e-12);
+
+  // DML over the uncertain relation, then re-check.
+  Exec(session, "delete from D1 where B = 14;");
+  QueryResult after = Exec(session, "select possible B from D1;");
+  ExpectRows(after.table(), {"(15)", "(20)"});
+}
+
+TEST_P(IntegrationTest, RepairWithNullKeysGroupsThem) {
+  Session session((Options()));
+  ExecScript(session, R"sql(
+    create table R (K integer, V integer);
+    insert into R values (null, 1), (null, 2), (1, 3);
+  )sql");
+  QueryResult r = Exec(session, "select V from R repair by key K;");
+  auto dist = WorldDistribution(r.worlds());
+  // NULL keys form one group of two alternatives.
+  ASSERT_EQ(dist.size(), 2u);
+  EXPECT_TRUE(dist.count("(1);(3);"));
+  EXPECT_TRUE(dist.count("(2);(3);"));
+}
+
+TEST_P(IntegrationTest, RepairOfKeyWithoutViolationsIsSingleWorld) {
+  Session session((Options()));
+  ExecScript(session, R"sql(
+    create table R (K integer, V integer);
+    insert into R values (1, 10), (2, 20);
+  )sql");
+  QueryResult r = Exec(session, "select * from R repair by key K;");
+  auto dist = WorldDistribution(r.worlds());
+  ASSERT_EQ(dist.size(), 1u);
+  EXPECT_NEAR(dist.begin()->second, 1.0, 1e-12);
+}
+
+TEST_P(IntegrationTest, RepairOfEmptyRelation) {
+  Session session((Options()));
+  Exec(session, "create table R (K integer, V integer);");
+  QueryResult r = Exec(session, "select * from R repair by key K;");
+  auto dist = WorldDistribution(r.worlds());
+  ASSERT_EQ(dist.size(), 1u);
+  EXPECT_EQ(dist.begin()->first, "");  // one world, empty relation
+}
+
+TEST_P(IntegrationTest, NestedRepairsCompose) {
+  Session session((Options()));
+  ExecScript(session, R"sql(
+    create table R (K integer, V integer);
+    insert into R values (1, 10), (1, 20);
+    create table S (M integer, W integer);
+    insert into S values (7, 1), (7, 2);
+    create table I as select * from R repair by key K;
+    create table J as select * from S repair by key M;
+  )sql");
+  // Independent uncertainties multiply: 2 x 2 = 4 worlds.
+  QueryResult r = Exec(session, "select V, W from I, J;");
+  auto dist = WorldDistribution(r.worlds());
+  ASSERT_EQ(dist.size(), 4u);
+  for (const auto& [key, p] : dist) EXPECT_NEAR(p, 0.25, 1e-12);
+}
+
+TEST_P(IntegrationTest, PossibleOverJoinOfTwoUncertainRelations) {
+  Session session((Options()));
+  ExecScript(session, R"sql(
+    create table R (K integer, V integer);
+    insert into R values (1, 10), (1, 20);
+    create table S (M integer, W integer);
+    insert into S values (7, 10), (7, 30);
+    create table I as select * from R repair by key K;
+    create table J as select * from S repair by key M;
+  )sql");
+  // join on V = W: only (10, 10) can ever match.
+  QueryResult r = Exec(session,
+      "select possible I.K, J.M from I join J on I.V = J.W;");
+  ASSERT_EQ(r.kind(), QueryResult::Kind::kTable);
+  ExpectRows(r.table(), {"(1, 7)"});
+
+  QueryResult conf = Exec(session,
+      "select conf, I.K from I join J on I.V = J.W;");
+  ASSERT_EQ(conf.table().num_rows(), 1u);
+  EXPECT_NEAR(conf.table().row(0).value(1).AsReal(), 0.25, 1e-12);
+}
+
+TEST_P(IntegrationTest, WorldOpsInsideSubqueriesAreRejected) {
+  Session session((Options()));
+  maybms::testing::LoadFigure1(session);
+  auto r = session.Execute(
+      "select * from R where exists "
+      "(select * from R repair by key A);");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsupported);
+}
+
+TEST_P(IntegrationTest, RepairPlusChoiceInOneStatementRejected) {
+  Session session((Options()));
+  maybms::testing::LoadFigure1(session);
+  auto r = session.Execute(
+      "select * from R repair by key A choice of C;");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsupported);
+}
+
+MAYBMS_INSTANTIATE_ENGINES(IntegrationTest);
+
+}  // namespace
+}  // namespace maybms

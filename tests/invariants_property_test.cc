@@ -1,0 +1,183 @@
+// Property tests of the probabilistic invariants that must hold for every
+// world-set produced by any pipeline of I-SQL operations:
+//   (1) world probabilities sum to 1;
+//   (2) tuple confidences lie in (0, 1];
+//   (3) certain answers are a subset of possible answers;
+//   (4) possible = { t : conf(t) > 0 }, certain = { t : conf(t) = 1 };
+//   (5) assert renormalizes: surviving probabilities still sum to 1.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+#include <sstream>
+
+#include "isql/session.h"
+#include "tests/test_util.h"
+
+namespace maybms {
+namespace {
+
+using isql::EngineMode;
+using isql::QueryResult;
+using isql::Session;
+using isql::SessionOptions;
+using maybms::testing::Exec;
+using maybms::testing::RowStrings;
+
+struct Scenario {
+  EngineMode mode;
+  uint32_t seed;
+};
+
+class InvariantTest : public ::testing::TestWithParam<Scenario> {
+ protected:
+  void SetUp() override {
+    SessionOptions options;
+    options.engine = GetParam().mode;
+    options.max_display_worlds = 1 << 20;
+    session_ = std::make_unique<Session>(options);
+
+    std::mt19937 rng(GetParam().seed);
+    std::uniform_int_distribution<int> key_count(1, 5);
+    std::uniform_int_distribution<int> group_size(1, 3);
+    std::uniform_int_distribution<int> value(1, 5);
+    std::uniform_int_distribution<int> weight(1, 9);
+    std::ostringstream script;
+    script << "create table R (K integer, V integer, W integer);\n"
+           << "insert into R values ";
+    int keys = key_count(rng);
+    bool first = true;
+    for (int k = 0; k < keys; ++k) {
+      int g = group_size(rng);
+      for (int i = 0; i < g; ++i) {
+        if (!first) script << ", ";
+        first = false;
+        script << "(" << k << ", " << value(rng) << ", " << weight(rng)
+               << ")";
+      }
+    }
+    script << ";\n";
+    script << "create table I as select K, V from R repair by key K"
+           << (rng() % 2 == 0 ? " weight W" : "") << ";\n";
+    auto result = session_->ExecuteScript(script.str());
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+  }
+
+  Session& s() { return *session_; }
+  std::unique_ptr<Session> session_;
+};
+
+TEST_P(InvariantTest, WorldProbabilitiesSumToOne) {
+  QueryResult result = Exec(s(), "select * from I;");
+  double total = 0;
+  for (const auto& [p, table] : result.worlds()) {
+    EXPECT_GT(p, 0.0);
+    EXPECT_LE(p, 1.0 + 1e-12);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST_P(InvariantTest, ConfidencesAreProbabilities) {
+  QueryResult conf = Exec(s(), "select conf, K, V from I;");
+  ASSERT_EQ(conf.kind(), QueryResult::Kind::kTable);
+  size_t conf_col = conf.table().schema().num_columns() - 1;
+  for (const Tuple& row : conf.table().rows()) {
+    double c = row.value(conf_col).AsReal();
+    EXPECT_GT(c, 0.0) << "tuples with conf 0 must not appear";
+    EXPECT_LE(c, 1.0 + 1e-12);
+  }
+}
+
+TEST_P(InvariantTest, CertainSubsetOfPossible) {
+  QueryResult possible = Exec(s(), "select possible K, V from I;");
+  QueryResult certain = Exec(s(), "select certain K, V from I;");
+  std::vector<std::string> possible_rows = RowStrings(possible.table());
+  std::set<std::string> possible_set(possible_rows.begin(),
+                                     possible_rows.end());
+  for (const std::string& row : RowStrings(certain.table())) {
+    EXPECT_TRUE(possible_set.count(row)) << row;
+  }
+}
+
+TEST_P(InvariantTest, PossibleAndCertainMatchConfidence) {
+  QueryResult conf = Exec(s(), "select conf, K, V from I;");
+  QueryResult possible = Exec(s(), "select possible K, V from I;");
+  QueryResult certain = Exec(s(), "select certain K, V from I;");
+
+  std::vector<std::string> from_conf_possible;
+  std::vector<std::string> from_conf_certain;
+  size_t conf_col = conf.table().schema().num_columns() - 1;
+  for (const Tuple& row : conf.table().rows()) {
+    double c = row.value(conf_col).AsReal();
+    Tuple values({row.value(0), row.value(1)});
+    if (c > 1e-12) from_conf_possible.push_back(values.ToString());
+    if (c > 1.0 - 1e-9) from_conf_certain.push_back(values.ToString());
+  }
+  std::sort(from_conf_possible.begin(), from_conf_possible.end());
+  std::sort(from_conf_certain.begin(), from_conf_certain.end());
+  EXPECT_EQ(RowStrings(possible.table()), from_conf_possible);
+  EXPECT_EQ(RowStrings(certain.table()), from_conf_certain);
+}
+
+TEST_P(InvariantTest, AssertRenormalizes) {
+  // Find a V value that exists in some but (likely) not all worlds, and
+  // assert on it; afterwards probabilities must again sum to 1.
+  QueryResult possible = Exec(s(), "select possible V from I;");
+  ASSERT_FALSE(possible.table().empty());
+  std::string v = possible.table().row(0).value(0).ToString();
+  auto asserted = s().Execute(
+      "select * from I assert exists(select * from I where V = " + v + ");");
+  if (!asserted.ok()) {
+    // The assert may legitimately eliminate every world only if v were
+    // impossible — which it is not.
+    FAIL() << asserted.status().ToString();
+  }
+  double total = 0;
+  for (const auto& [p, table] : asserted->worlds()) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST_P(InvariantTest, GroupProbabilitiesPartitionUnity) {
+  QueryResult groups = Exec(s(),
+      "select possible V from I group worlds by "
+      "(select V from I where K = 0);");
+  ASSERT_EQ(groups.kind(), QueryResult::Kind::kGroups);
+  double total = 0;
+  for (const auto& g : groups.groups()) {
+    EXPECT_GT(g.probability, 0.0);
+    total += g.probability;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST_P(InvariantTest, MaterializationPreservesDistribution) {
+  QueryResult before = Exec(s(), "select K, V from I where V >= 3;");
+  auto before_dist = maybms::testing::WorldDistribution(before.worlds());
+  Exec(s(), "create table D as select K, V from I where V >= 3;");
+  QueryResult after = Exec(s(), "select * from D;");
+  auto after_dist = maybms::testing::WorldDistribution(after.worlds());
+  maybms::testing::ExpectSameDistribution(before_dist, after_dist);
+}
+
+std::vector<Scenario> AllScenarios() {
+  std::vector<Scenario> scenarios;
+  for (uint32_t seed = 0; seed < 12; ++seed) {
+    scenarios.push_back({EngineMode::kExplicit, seed});
+    scenarios.push_back({EngineMode::kDecomposed, seed});
+  }
+  return scenarios;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Randomized, InvariantTest, ::testing::ValuesIn(AllScenarios()),
+    [](const ::testing::TestParamInfo<Scenario>& info) {
+      return std::string(info.param.mode == EngineMode::kExplicit
+                             ? "Explicit"
+                             : "Decomposed") +
+             "Seed" + std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace maybms

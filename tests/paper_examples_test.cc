@@ -1,0 +1,217 @@
+// Reproduces every worked example of Section 2 of the paper ("I-SQL by
+// examples") bit-exactly, on both world-set engines.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "isql/session.h"
+#include "tests/test_util.h"
+
+namespace maybms {
+namespace {
+
+using isql::QueryResult;
+using isql::Session;
+using maybms::testing::EngineTest;
+using maybms::testing::Exec;
+using maybms::testing::ExecScript;
+using maybms::testing::ExpectRows;
+using maybms::testing::LoadFigure1;
+using maybms::testing::WorldDistribution;
+
+class PaperExamplesTest : public EngineTest {
+ protected:
+  void SetUp() override {
+    session_ = std::make_unique<Session>(Options());
+    LoadFigure1(*session_);
+  }
+
+  Session& s() { return *session_; }
+
+  void CreateRepairI(bool weighted) {
+    Exec(s(), weighted ? "create table I as select A, B, C from R "
+                         "repair by key A weight D;"
+                       : "create table I as select A, B, C from R "
+                         "repair by key A;");
+  }
+
+  std::unique_ptr<Session> session_;
+};
+
+// Figure 2 world contents (as canonical row sets).
+const char* const kWorldA = "(a1, 10, c1);(a2, 14, c3);(a3, 20, c5);";
+const char* const kWorldB = "(a1, 15, c2);(a2, 14, c3);(a3, 20, c5);";
+const char* const kWorldC = "(a1, 10, c1);(a2, 20, c4);(a3, 20, c5);";
+const char* const kWorldD = "(a1, 15, c2);(a2, 20, c4);(a3, 20, c5);";
+
+TEST_P(PaperExamplesTest, Example23RepairByKeyCreatesFourWorlds) {
+  CreateRepairI(/*weighted=*/false);
+  QueryResult result = Exec(s(), "select * from I;");
+  ASSERT_EQ(result.kind(), QueryResult::Kind::kWorlds);
+  auto dist = WorldDistribution(result.worlds());
+  ASSERT_EQ(dist.size(), 4u);
+  // Unweighted repair: uniform probability 1/2 * 1/2 * 1 per world.
+  for (const char* world : {kWorldA, kWorldB, kWorldC, kWorldD}) {
+    ASSERT_TRUE(dist.count(world)) << "missing world " << world;
+    EXPECT_NEAR(dist[world], 0.25, 1e-12);
+  }
+}
+
+TEST_P(PaperExamplesTest, Example24WeightedRepairProbabilities) {
+  CreateRepairI(/*weighted=*/true);
+  QueryResult result = Exec(s(), "select * from I;");
+  auto dist = WorldDistribution(result.worlds());
+  ASSERT_EQ(dist.size(), 4u);
+  // P(A) = 2/8 * 4/9 * 6/6 = 1/9 (the paper rounds to 0.11), etc.
+  EXPECT_NEAR(dist[kWorldA], 2.0 / 8 * 4.0 / 9, 1e-12);
+  EXPECT_NEAR(dist[kWorldB], 6.0 / 8 * 4.0 / 9, 1e-12);
+  EXPECT_NEAR(dist[kWorldC], 2.0 / 8 * 5.0 / 9, 1e-12);
+  EXPECT_NEAR(dist[kWorldD], 6.0 / 8 * 5.0 / 9, 1e-12);
+}
+
+TEST_P(PaperExamplesTest, Example21SelectionEvaluatedPerWorld) {
+  CreateRepairI(/*weighted=*/true);
+  QueryResult result = Exec(s(), "select * from I where A = 'a3';");
+  ASSERT_EQ(result.kind(), QueryResult::Kind::kWorlds);
+  // Every world answers with exactly the a3 tuple.
+  auto dist = WorldDistribution(result.worlds());
+  ASSERT_EQ(dist.size(), 1u);
+  EXPECT_NEAR(dist.begin()->second, 1.0, 1e-12);
+  EXPECT_EQ(dist.begin()->first, "(a3, 20, c5);");
+  // The input world-set is unchanged: I still has four worlds.
+  QueryResult check = Exec(s(), "select * from I;");
+  EXPECT_EQ(WorldDistribution(check.worlds()).size(), 4u);
+}
+
+TEST_P(PaperExamplesTest, Example22CreateTableMaterializesPerWorld) {
+  CreateRepairI(/*weighted=*/true);
+  Exec(s(), "create table D as select * from I where A = 'a3';");
+  QueryResult result = Exec(s(), "select * from D;");
+  auto dist = WorldDistribution(result.worlds());
+  ASSERT_EQ(dist.size(), 1u);
+  EXPECT_EQ(dist.begin()->first, "(a3, 20, c5);");
+  // Original relations are still present in each world (paper: "each
+  // world also contains all relations of the world it originated from").
+  QueryResult r_check = Exec(s(), "select * from R;");
+  EXPECT_EQ(WorldDistribution(r_check.worlds()).size(), 1u);
+}
+
+TEST_P(PaperExamplesTest, Example25AssertDropsWorldsAndRenormalizes) {
+  CreateRepairI(/*weighted=*/true);
+  Exec(s(), "create table J as select * from I "
+            "assert not exists(select * from I where C = 'c1');");
+  QueryResult result = Exec(s(), "select * from J;");
+  auto dist = WorldDistribution(result.worlds());
+  ASSERT_EQ(dist.size(), 2u);
+  // Worlds B and D survive; renormalized to 0.44.. and 0.55..
+  double pb = 6.0 / 8 * 4.0 / 9;
+  double pd = 6.0 / 8 * 5.0 / 9;
+  EXPECT_NEAR(dist[kWorldB], pb / (pb + pd), 1e-12);  // 0.444...
+  EXPECT_NEAR(dist[kWorldD], pd / (pb + pd), 1e-12);  // 0.555...
+}
+
+TEST_P(PaperExamplesTest, Example25AssertEliminatingAllWorldsIsAnError) {
+  CreateRepairI(/*weighted=*/true);
+  auto result = s().Execute(
+      "create table J as select * from I "
+      "assert not exists(select * from I where A = 'a3');");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kEmptyWorldSet);
+}
+
+TEST_P(PaperExamplesTest, Example26ChoiceOfPartitionsIntoTwoWorlds) {
+  QueryResult result = Exec(s(), "select * from S choice of E;");
+  auto dist = WorldDistribution(result.worlds());
+  ASSERT_EQ(dist.size(), 2u);
+  EXPECT_NEAR(dist["(c2, e1);(c4, e1);"], 0.5, 1e-12);
+  EXPECT_NEAR(dist["(c4, e2);"], 0.5, 1e-12);
+}
+
+TEST_P(PaperExamplesTest, Example27WeightedChoiceOf) {
+  QueryResult result = Exec(s(), "select * from R choice of A weight D;");
+  auto dist = WorldDistribution(result.worlds());
+  ASSERT_EQ(dist.size(), 3u);
+  // Paper: probabilities 0.35, 0.39, 0.26 (rounded).
+  EXPECT_NEAR(dist["(a1, 10, c1, 2);(a1, 15, c2, 6);"], 8.0 / 23, 1e-12);
+  EXPECT_NEAR(dist["(a2, 14, c3, 4);(a2, 20, c4, 5);"], 9.0 / 23, 1e-12);
+  EXPECT_NEAR(dist["(a3, 20, c5, 6);"], 6.0 / 23, 1e-12);
+}
+
+TEST_P(PaperExamplesTest, Example28SumPerWorldAndPossibleSum) {
+  CreateRepairI(/*weighted=*/true);
+  QueryResult per_world = Exec(s(), "select sum(B) from I;");
+  auto dist = WorldDistribution(per_world.worlds());
+  ASSERT_EQ(dist.size(), 4u);
+  EXPECT_TRUE(dist.count("(44);"));
+  EXPECT_TRUE(dist.count("(49);"));
+  EXPECT_TRUE(dist.count("(50);"));
+  EXPECT_TRUE(dist.count("(55);"));
+
+  QueryResult possible = Exec(s(), "select possible sum(B) from I;");
+  ASSERT_EQ(possible.kind(), QueryResult::Kind::kTable);
+  ExpectRows(possible.table(), {"(44)", "(49)", "(50)", "(55)"});
+}
+
+TEST_P(PaperExamplesTest, Example29CertainAcrossChoiceOfWorlds) {
+  QueryResult result = Exec(s(), "select certain E from S choice of C;");
+  ASSERT_EQ(result.kind(), QueryResult::Kind::kTable);
+  ExpectRows(result.table(), {"(e1)"});
+}
+
+// Paper erratum (documented in EXPERIMENTS.md): Example 2.10 reports
+// conf = 0.53 as the sum of P(A) and P(D), but by the paper's own sums
+// (A=44, B=49, C=50, D=55) the worlds satisfying sum < 50 are A and B,
+// so the defined semantics yield P(A) + P(B) = 1/9 + 1/3 = 4/9.
+TEST_P(PaperExamplesTest, Example210ConfOfSumCondition) {
+  CreateRepairI(/*weighted=*/true);
+  QueryResult result =
+      Exec(s(), "select conf from I where 50 > (select sum(B) from I);");
+  ASSERT_EQ(result.kind(), QueryResult::Kind::kTable);
+  ASSERT_EQ(result.table().num_rows(), 1u);
+  EXPECT_NEAR(result.table().row(0).value(0).AsReal(), 4.0 / 9, 1e-12);
+}
+
+TEST_P(PaperExamplesTest, ConfPerTupleSumsWorldProbabilities) {
+  CreateRepairI(/*weighted=*/true);
+  QueryResult result = Exec(s(), "select conf, B from I;");
+  ASSERT_EQ(result.kind(), QueryResult::Kind::kTable);
+  // B=10 appears in worlds A and C: 1/9 + 5/36 = 1/4. B=20 appears in all
+  // worlds (a3 tuple): conf 1.
+  double conf_10 = -1, conf_20 = -1, conf_14 = -1;
+  for (const Tuple& row : result.table().rows()) {
+    int64_t b = row.value(0).AsInteger();
+    double conf = row.value(1).AsReal();
+    if (b == 10) conf_10 = conf;
+    if (b == 20) conf_20 = conf;
+    if (b == 14) conf_14 = conf;
+  }
+  EXPECT_NEAR(conf_10, 0.25, 1e-12);
+  EXPECT_NEAR(conf_20, 1.0, 1e-12);
+  EXPECT_NEAR(conf_14, 4.0 / 9, 1e-12);
+}
+
+TEST_P(PaperExamplesTest, PossibleIsConfGreaterZeroAndCertainIsConfOne) {
+  CreateRepairI(/*weighted=*/true);
+  // Paper: "a tuple is possible if its confidence is greater than zero and
+  // certain if its confidence is one".
+  QueryResult conf = Exec(s(), "select conf, A, B, C from I;");
+  QueryResult possible = Exec(s(), "select possible A, B, C from I;");
+  QueryResult certain = Exec(s(), "select certain A, B, C from I;");
+
+  std::vector<std::string> possible_rows;
+  std::vector<std::string> certain_rows;
+  for (const Tuple& row : conf.table().rows()) {
+    double c = row.value(3).AsReal();
+    Tuple values({row.value(0), row.value(1), row.value(2)});
+    if (c > 0) possible_rows.push_back(values.ToString());
+    if (std::fabs(c - 1.0) < 1e-12) certain_rows.push_back(values.ToString());
+  }
+  ExpectRows(possible.table(), possible_rows);
+  ExpectRows(certain.table(), certain_rows);
+}
+
+MAYBMS_INSTANTIATE_ENGINES(PaperExamplesTest);
+
+}  // namespace
+}  // namespace maybms

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "storage/catalog.h"
+#include "storage/table.h"
+#include "tests/test_util.h"
+#include "types/schema.h"
+#include "types/tuple.h"
+
+namespace maybms {
+namespace {
+
+using maybms::testing::I;
+using maybms::testing::Row;
+using maybms::testing::T;
+
+Schema AbSchema() {
+  return Schema({Column("A", DataType::kText), Column("B", DataType::kInteger)});
+}
+
+TEST(SchemaTest, FindColumnCaseInsensitive) {
+  Schema schema = AbSchema();
+  EXPECT_EQ(*schema.FindColumn("a"), 0u);
+  EXPECT_EQ(*schema.FindColumn("B"), 1u);
+  EXPECT_FALSE(schema.FindColumn("C").ok());
+}
+
+TEST(SchemaTest, QualifiedLookup) {
+  Schema joined = Schema::Concat(AbSchema().WithQualifier("x"),
+                                 AbSchema().WithQualifier("y"));
+  EXPECT_EQ(joined.num_columns(), 4u);
+  EXPECT_EQ(*joined.FindColumn("A", "x"), 0u);
+  EXPECT_EQ(*joined.FindColumn("A", "y"), 2u);
+  // Unqualified ambiguous reference is an error.
+  auto r = joined.FindColumn("A");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, HasColumn) {
+  Schema schema = AbSchema().WithQualifier("t");
+  EXPECT_TRUE(schema.HasColumn("A"));
+  EXPECT_TRUE(schema.HasColumn("a", "T"));
+  EXPECT_FALSE(schema.HasColumn("A", "u"));
+  EXPECT_FALSE(schema.HasColumn("Z"));
+}
+
+TEST(SchemaTest, EqualityIgnoresQualifier) {
+  EXPECT_TRUE(AbSchema() == AbSchema().WithQualifier("t"));
+  Schema other({Column("A", DataType::kText)});
+  EXPECT_FALSE(AbSchema() == other);
+}
+
+TEST(TupleTest, CompareAndProject) {
+  Tuple t1 = Row({T("a"), I(1)});
+  Tuple t2 = Row({T("a"), I(2)});
+  EXPECT_LT(t1.Compare(t2), 0);
+  EXPECT_EQ(t1.Compare(t1), 0);
+  EXPECT_TRUE(t1 < t2);
+  EXPECT_TRUE(t1 == Row({T("a"), I(1)}));
+
+  Tuple p = t2.Project({1});
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p.value(0).AsInteger(), 2);
+}
+
+TEST(TupleTest, PrefixOrdering) {
+  Tuple shorter = Row({T("a")});
+  Tuple longer = Row({T("a"), I(1)});
+  EXPECT_LT(shorter.Compare(longer), 0);
+  EXPECT_GT(longer.Compare(shorter), 0);
+}
+
+TEST(TupleTest, ConcatAndToString) {
+  Tuple c = Tuple::Concat(Row({T("a")}), Row({I(1), I(2)}));
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.ToString(), "(a, 1, 2)");
+  EXPECT_EQ(Tuple().ToString(), "()");
+}
+
+TEST(TableTest, AppendChecksArity) {
+  Table table(AbSchema());
+  MAYBMS_EXPECT_OK(table.Append(Row({T("a"), I(1)})));
+  Status bad = table.Append(Row({T("a")}));
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(table.num_rows(), 1u);
+}
+
+TEST(TableTest, SortedDistinct) {
+  Table table(AbSchema());
+  table.AppendUnchecked(Row({T("b"), I(2)}));
+  table.AppendUnchecked(Row({T("a"), I(1)}));
+  table.AppendUnchecked(Row({T("b"), I(2)}));
+  Table distinct = table.SortedDistinct();
+  ASSERT_EQ(distinct.num_rows(), 2u);
+  EXPECT_EQ(distinct.row(0).ToString(), "(a, 1)");
+  EXPECT_EQ(distinct.row(1).ToString(), "(b, 2)");
+  EXPECT_EQ(table.num_rows(), 3u) << "source unchanged";
+}
+
+TEST(TableTest, SetAndBagEquality) {
+  Table a(AbSchema());
+  a.AppendUnchecked(Row({T("x"), I(1)}));
+  a.AppendUnchecked(Row({T("x"), I(1)}));
+  Table b(AbSchema());
+  b.AppendUnchecked(Row({T("x"), I(1)}));
+  EXPECT_TRUE(a.SetEquals(b));
+  EXPECT_FALSE(a.BagEquals(b));
+  b.AppendUnchecked(Row({T("x"), I(1)}));
+  EXPECT_TRUE(a.BagEquals(b));
+}
+
+TEST(TableTest, ContainsTuple) {
+  Table table(AbSchema());
+  table.AppendUnchecked(Row({T("a"), I(1)}));
+  EXPECT_TRUE(table.ContainsTuple(Row({T("a"), I(1)})));
+  EXPECT_FALSE(table.ContainsTuple(Row({T("a"), I(2)})));
+}
+
+TEST(DatabaseTest, PutGetDropRelations) {
+  Database db;
+  EXPECT_FALSE(db.HasRelation("r"));
+  db.PutRelation("R", Table(AbSchema()));
+  EXPECT_TRUE(db.HasRelation("r")) << "names are case-insensitive";
+  EXPECT_TRUE(db.HasRelation("R"));
+
+  auto table = db.GetRelation("r");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->schema().num_columns(), 2u);
+
+  EXPECT_EQ(db.RelationNames(), std::vector<std::string>{"R"})
+      << "original case preserved";
+
+  MAYBMS_EXPECT_OK(db.DropRelation("R"));
+  EXPECT_FALSE(db.HasRelation("R"));
+  EXPECT_EQ(db.DropRelation("R").code(), StatusCode::kNotFound);
+}
+
+TEST(DatabaseTest, ContentEqualsIsSetBased) {
+  Database a, b;
+  Table t1(AbSchema());
+  t1.AppendUnchecked(Row({T("x"), I(1)}));
+  t1.AppendUnchecked(Row({T("y"), I(2)}));
+  Table t2(AbSchema());
+  t2.AppendUnchecked(Row({T("y"), I(2)}));
+  t2.AppendUnchecked(Row({T("x"), I(1)}));
+  a.PutRelation("R", t1);
+  b.PutRelation("r", t2);
+  EXPECT_TRUE(a.ContentEquals(b));
+
+  b.PutRelation("S", Table(AbSchema()));
+  EXPECT_FALSE(a.ContentEquals(b));
+}
+
+TEST(CatalogTest, ConstraintsPerTable) {
+  Catalog catalog;
+  EXPECT_TRUE(catalog.ConstraintsFor("r").empty());
+  catalog.AddConstraint("R", Constraint{ConstraintKind::kPrimaryKey, {"A"}});
+  catalog.AddConstraint("R", Constraint{ConstraintKind::kUnique, {"B"}});
+  ASSERT_EQ(catalog.ConstraintsFor("r").size(), 2u);
+  catalog.DropConstraints("R");
+  EXPECT_TRUE(catalog.ConstraintsFor("r").empty());
+}
+
+}  // namespace
+}  // namespace maybms

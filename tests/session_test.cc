@@ -1,0 +1,229 @@
+// Session-level tests: statement routing, views (including views over
+// derived world-sets), error handling, and session options.
+
+#include "isql/session.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace maybms::isql {
+namespace {
+
+using maybms::testing::EngineTest;
+using maybms::testing::Exec;
+using maybms::testing::ExecScript;
+using maybms::testing::ExpectRows;
+using maybms::testing::WorldDistribution;
+
+class SessionTest : public EngineTest {};
+
+TEST_P(SessionTest, DdlAndDmlMessages) {
+  Session session((Options()));
+  QueryResult r = Exec(session, "create table T (A text);");
+  EXPECT_EQ(r.kind(), QueryResult::Kind::kMessage);
+  r = Exec(session, "insert into T values ('x');");
+  EXPECT_EQ(r.kind(), QueryResult::Kind::kMessage);
+  r = Exec(session, "update T set A = 'y';");
+  EXPECT_EQ(r.kind(), QueryResult::Kind::kMessage);
+  r = Exec(session, "delete from T;");
+  EXPECT_EQ(r.kind(), QueryResult::Kind::kMessage);
+  r = Exec(session, "drop table T;");
+  EXPECT_EQ(r.kind(), QueryResult::Kind::kMessage);
+}
+
+TEST_P(SessionTest, ParseErrorsSurface) {
+  Session session((Options()));
+  auto r = session.Execute("selec * from T;");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST_P(SessionTest, DuplicateTableIsError) {
+  Session session((Options()));
+  Exec(session, "create table T (A text);");
+  auto r = session.Execute("create table T (B text);");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kAlreadyExists);
+  r = session.Execute("create table T as select * from T;");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST_P(SessionTest, QueryUnknownRelationIsNotFound) {
+  Session session((Options()));
+  auto r = session.Execute("select * from Nope;");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST_P(SessionTest, ExecuteScriptReturnsAllResults) {
+  Session session((Options()));
+  auto results = session.ExecuteScript(
+      "create table T (A integer); insert into T values (1), (2);"
+      "select * from T;");
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 3u);
+  EXPECT_EQ((*results)[2].kind(), QueryResult::Kind::kWorlds);
+}
+
+TEST_P(SessionTest, ScriptStopsAtFirstError) {
+  Session session((Options()));
+  auto results = session.ExecuteScript(
+      "create table T (A integer); select * from Missing; "
+      "create table U (B integer);");
+  ASSERT_FALSE(results.ok());
+  // T was created before the failure; U was not.
+  EXPECT_TRUE(session.world_set().HasRelation("T"));
+  EXPECT_FALSE(session.world_set().HasRelation("U"));
+}
+
+TEST_P(SessionTest, PlainViewExpandsTransparently) {
+  Session session((Options()));
+  maybms::testing::LoadFigure1(session);
+  Exec(session, "create view BigB as select A, B from R where B >= 15;");
+  QueryResult r = Exec(session, "select A from BigB where A <> 'a3';");
+  auto dist = WorldDistribution(r.worlds());
+  ASSERT_EQ(dist.size(), 1u);
+  EXPECT_EQ(dist.begin()->first, "(a1);(a2);");
+  EXPECT_EQ(session.ViewNames(), std::vector<std::string>{"bigb"});
+}
+
+TEST_P(SessionTest, ViewOverViewResolvesRecursively) {
+  Session session((Options()));
+  maybms::testing::LoadFigure1(session);
+  Exec(session, "create view V1 as select A, B from R;");
+  Exec(session, "create view V2 as select A from V1 where B = 20;");
+  QueryResult r = Exec(session, "select distinct A from V2;");
+  auto dist = WorldDistribution(r.worlds());
+  ASSERT_EQ(dist.size(), 1u);
+  EXPECT_EQ(dist.begin()->first, "(a2);(a3);");
+}
+
+TEST_P(SessionTest, CyclicViewsDetected) {
+  Session session((Options()));
+  maybms::testing::LoadFigure1(session);
+  Exec(session, "create view W1 as select * from W2;");
+  Exec(session, "create view W2 as select * from W1;");
+  auto r = session.Execute("select * from W1;");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_P(SessionTest, WorldCreatingViewIsReevaluatedPerQuery) {
+  Session session((Options()));
+  maybms::testing::LoadFigure1(session);
+  // A view with repair: each query over it sees the repaired world-set,
+  // but the session's own world-set stays single-world.
+  Exec(session,
+       "create view Rep as select A, B, C from R repair by key A;");
+  QueryResult r = Exec(session, "select possible B from Rep;");
+  ASSERT_EQ(r.kind(), QueryResult::Kind::kTable);
+  ExpectRows(r.table(), {"(10)", "(14)", "(15)", "(20)"});
+  EXPECT_EQ(session.world_set().NumWorlds(), 1u);
+}
+
+TEST_P(SessionTest, CreateTableFromViewMakesDerivedWorldSetReal) {
+  Session session((Options()));
+  maybms::testing::LoadFigure1(session);
+  Exec(session, "create view Rep as select A, B, C from R repair by key A;");
+  Exec(session, "create table Mat as select * from Rep where B >= 15;");
+  // The repair inside the view became real: four worlds now.
+  QueryResult r = Exec(session, "select * from Mat;");
+  EXPECT_EQ(WorldDistribution(r.worlds()).size(), 4u);
+}
+
+TEST_P(SessionTest, DropViewRemovesOnlyTheView) {
+  Session session((Options()));
+  maybms::testing::LoadFigure1(session);
+  Exec(session, "create view V as select * from R;");
+  Exec(session, "drop view V;");
+  EXPECT_TRUE(session.ViewNames().empty());
+  EXPECT_TRUE(session.world_set().HasRelation("R"));
+  auto r = session.Execute("select * from V;");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_P(SessionTest, ViewNameCollisions) {
+  Session session((Options()));
+  maybms::testing::LoadFigure1(session);
+  Exec(session, "create view V as select * from R;");
+  auto r = session.Execute("create table V (A text);");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kAlreadyExists);
+  r = session.Execute("create view R as select * from S;");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST_P(SessionTest, MaxDisplayWorldsTruncates) {
+  SessionOptions options = Options();
+  options.max_display_worlds = 2;
+  Session session(options);
+  maybms::testing::LoadFigure1(session);
+  Exec(session, "create table I as select A, B, C from R repair by key A;");
+  QueryResult r = Exec(session, "select * from I;");
+  EXPECT_EQ(r.worlds().size(), 2u);
+  EXPECT_TRUE(r.truncated());
+}
+
+TEST_P(SessionTest, RequireTableHelper) {
+  Session session((Options()));
+  maybms::testing::LoadFigure1(session);
+  QueryResult single = Exec(session, "select possible A from R;");
+  auto table = single.RequireTable();
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->num_rows(), 3u);
+
+  QueryResult worlds = Exec(session, "select A from R;");
+  EXPECT_TRUE(worlds.RequireTable().ok()) << "single world counts as table";
+}
+
+MAYBMS_INSTANTIATE_ENGINES(SessionTest);
+
+// Engine-cap behaviour is engine-specific.
+TEST(SessionCapsTest, ExplicitEngineRefusesHugeWorldSets) {
+  SessionOptions options;
+  options.engine = EngineMode::kExplicit;
+  options.max_explicit_worlds = 8;
+  Session session(options);
+  ExecScript(session, R"sql(
+    create table R (K integer, V integer);
+    insert into R values (1,1),(1,2),(2,1),(2,2),(3,1),(3,2),(4,1),(4,2);
+  )sql");
+  auto r = session.Execute("create table I as select * from R repair by key K;");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(SessionCapsTest, DecomposedEngineHandlesTheSameInputEasily) {
+  SessionOptions options;
+  options.engine = EngineMode::kDecomposed;
+  Session session(options);
+  ExecScript(session, R"sql(
+    create table R (K integer, V integer);
+    insert into R values (1,1),(1,2),(2,1),(2,2),(3,1),(3,2),(4,1),(4,2);
+  )sql");
+  QueryResult r = Exec(session, "create table I as select * from R repair by key K;");
+  EXPECT_EQ(r.kind(), QueryResult::Kind::kMessage);
+  EXPECT_EQ(session.world_set().NumWorlds(), 16u);
+}
+
+TEST(SessionCapsTest, DecomposedMergeCapGuardsCorrelation) {
+  SessionOptions options;
+  options.engine = EngineMode::kDecomposed;
+  options.max_merge = 8;
+  Session session(options);
+  ExecScript(session, R"sql(
+    create table R (K integer, V integer);
+    insert into R values (1,1),(1,2),(2,1),(2,2),(3,1),(3,2),(4,1),(4,2);
+    create table I as select * from R repair by key K;
+  )sql");
+  // sum(V) correlates all 4 components: 16 > max_merge.
+  auto r = session.Execute("select possible sum(V) from I;");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsupported);
+}
+
+}  // namespace
+}  // namespace maybms::isql

@@ -1,0 +1,202 @@
+// Tests for the SQL-surface extensions beyond the paper's examples:
+// explicit JOIN ... ON / LEFT JOIN, INTERSECT / EXCEPT, ORDER BY
+// ordinals, and the extended scalar function library — including their
+// interaction with world-set operations on both engines.
+
+#include <gtest/gtest.h>
+
+#include "isql/session.h"
+#include "sql/parser.h"
+#include "tests/test_util.h"
+
+namespace maybms {
+namespace {
+
+using isql::QueryResult;
+using isql::Session;
+using maybms::testing::EngineTest;
+using maybms::testing::Exec;
+using maybms::testing::ExecScript;
+using maybms::testing::ExpectRows;
+using maybms::testing::WorldDistribution;
+
+class SqlExtensionsTest : public EngineTest {
+ protected:
+  void SetUp() override {
+    session_ = std::make_unique<Session>(Options());
+    maybms::testing::LoadFigure1(*session_);
+  }
+  Session& s() { return *session_; }
+  std::unique_ptr<Session> session_;
+};
+
+TEST_P(SqlExtensionsTest, InnerJoinOn) {
+  QueryResult r = Exec(
+      s(), "select R.A, S.E from R join S on R.C = S.C;");
+  auto table = r.RequireTable();
+  ASSERT_TRUE(table.ok());
+  ExpectRows(**table, {"(a1, e1)", "(a2, e1)", "(a2, e2)"});
+}
+
+TEST_P(SqlExtensionsTest, LeftJoinPadsWithNulls) {
+  QueryResult r = Exec(
+      s(), "select R.C, S.E from R left join S on R.C = S.C;");
+  auto table = r.RequireTable();
+  ASSERT_TRUE(table.ok());
+  ExpectRows(**table, {"(c1, NULL)", "(c2, e1)", "(c3, NULL)", "(c4, e1)",
+                       "(c4, e2)", "(c5, NULL)"});
+}
+
+TEST_P(SqlExtensionsTest, JoinWithAliasesAndCompoundCondition) {
+  QueryResult r = Exec(s(),
+      "select x.A from R x inner join R y "
+      "on x.B = y.B and x.C <> y.C;");
+  auto table = r.RequireTable();
+  ASSERT_TRUE(table.ok());
+  ExpectRows(**table, {"(a2)", "(a3)"});
+}
+
+TEST_P(SqlExtensionsTest, IntersectAndExcept) {
+  QueryResult r = Exec(s(),
+      "select C from R intersect select C from S;");
+  ExpectRows(**r.RequireTable(), {"(c2)", "(c4)"});
+
+  r = Exec(s(), "select C from R except select C from S;");
+  ExpectRows(**r.RequireTable(), {"(c1)", "(c3)", "(c5)"});
+
+  // Left-associative chain.
+  r = Exec(s(),
+           "select C from R except select C from S union select C from S;");
+  ExpectRows(**r.RequireTable(), {"(c1)", "(c2)", "(c3)", "(c4)", "(c5)"});
+}
+
+TEST_P(SqlExtensionsTest, OrderByOrdinal) {
+  QueryResult r = Exec(s(), "select A, B from R order by 2 desc, 1 limit 2;");
+  auto table = r.RequireTable();
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ((*table)->num_rows(), 2u);
+  EXPECT_EQ((*table)->row(0).value(0).AsText(), "a2");
+  EXPECT_EQ((*table)->row(1).value(0).AsText(), "a3");
+
+  auto bad = s().Execute("select A from R order by 5;");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_P(SqlExtensionsTest, ScalarFunctionLibrary) {
+  QueryResult r = Exec(s(),
+      "select substr('incomplete', 3, 4), replace('a1a2', 'a', 'x'), "
+      "nullif(1, 1), nullif(2, 1), floor(2.7), ceil(2.1), sign(-5), "
+      "mod(7, 3), concat('w', 42, 'x');");
+  auto table = r.RequireTable();
+  ASSERT_TRUE(table.ok());
+  const Tuple& row = (*table)->row(0);
+  EXPECT_EQ(row.value(0).AsText(), "comp");
+  EXPECT_EQ(row.value(1).AsText(), "x1x2");
+  EXPECT_TRUE(row.value(2).is_null());
+  EXPECT_EQ(row.value(3).AsInteger(), 2);
+  EXPECT_EQ(row.value(4).AsInteger(), 2);
+  EXPECT_EQ(row.value(5).AsInteger(), 3);
+  EXPECT_EQ(row.value(6).AsInteger(), -1);
+  EXPECT_EQ(row.value(7).AsInteger(), 1);
+  EXPECT_EQ(row.value(8).AsText(), "w42x");
+}
+
+TEST_P(SqlExtensionsTest, SubstrEdgeCases) {
+  QueryResult r = Exec(s(),
+      "select substr('abc', 0, 2), substr('abc', 2), substr('abc', 10), "
+      "substr('abc', -1, 3);");
+  const Tuple& row = (*r.RequireTable())->row(0);
+  EXPECT_EQ(row.value(0).AsText(), "a");   // clamped start
+  EXPECT_EQ(row.value(1).AsText(), "bc");  // to end
+  EXPECT_EQ(row.value(2).AsText(), "");    // past end
+  EXPECT_EQ(row.value(3).AsText(), "a");   // negative start
+}
+
+// The extensions compose with world operations.
+TEST_P(SqlExtensionsTest, JoinOverUncertainRelation) {
+  Exec(s(), "create table I as select A, B, C from R "
+            "repair by key A weight D;");
+  QueryResult r = Exec(
+      s(), "select possible I.A, S.E from I join S on I.C = S.C;");
+  ASSERT_EQ(r.kind(), QueryResult::Kind::kTable);
+  // c2 appears in worlds B,D -> (a1,e1); c4 in worlds C,D -> (a2,e1),(a2,e2).
+  ExpectRows(r.table(), {"(a1, e1)", "(a2, e1)", "(a2, e2)"});
+}
+
+TEST_P(SqlExtensionsTest, LeftJoinConfOverWorlds) {
+  Exec(s(), "create table I as select A, B, C from R "
+            "repair by key A weight D;");
+  QueryResult r = Exec(s(),
+      "select conf, I.C, S.E from I left join S on I.C = S.C "
+      "where I.A = 'a1';");
+  ASSERT_EQ(r.kind(), QueryResult::Kind::kTable);
+  // World A,C have (c1, NULL) [P=1/4]; worlds B,D have (c2, e1) [P=3/4].
+  bool saw_null = false, saw_e1 = false;
+  for (const Tuple& row : r.table().rows()) {
+    if (row.value(0).AsText() == "c1") {
+      EXPECT_TRUE(row.value(1).is_null());
+      EXPECT_NEAR(row.value(2).AsReal(), 0.25, 1e-12);
+      saw_null = true;
+    } else {
+      EXPECT_EQ(row.value(1).AsText(), "e1");
+      EXPECT_NEAR(row.value(2).AsReal(), 0.75, 1e-12);
+      saw_e1 = true;
+    }
+  }
+  EXPECT_TRUE(saw_null);
+  EXPECT_TRUE(saw_e1);
+}
+
+TEST_P(SqlExtensionsTest, IntersectAcrossWorlds) {
+  Exec(s(), "create table I as select A, B, C from R repair by key A;");
+  // Per world: C-values of I that also occur in S.
+  QueryResult r = Exec(s(),
+      "select possible C from I intersect select C from S;");
+  // Parsed as (possible C from I) INTERSECT (C from S)? No: set-op chains
+  // bind before world clauses, so this is possible((I ∩ S) per world).
+  ASSERT_EQ(r.kind(), QueryResult::Kind::kTable);
+  ExpectRows(r.table(), {"(c2)", "(c4)"});
+}
+
+TEST_P(SqlExtensionsTest, RepairOverJoinedSource) {
+  // repair by key over a join: the source relation is the join result.
+  // An unqualified ambiguous key column is rejected...
+  auto ambiguous = s().Execute(
+      "select E from R join S on R.C = S.C repair by key C;");
+  ASSERT_FALSE(ambiguous.ok());
+  EXPECT_EQ(ambiguous.status().code(), StatusCode::kInvalidArgument);
+
+  // ...while an unambiguous key repairs the join result.
+  QueryResult r = Exec(s(),
+      "select S.C, E from R join S on R.C = S.C repair by key E;");
+  ASSERT_EQ(r.kind(), QueryResult::Kind::kWorlds);
+  auto dist = WorldDistribution(r.worlds());
+  // Join rows: (c2,e1), (c4,e1), (c4,e2); key E -> groups {e1: 2, e2: 1}.
+  ASSERT_EQ(dist.size(), 2u);
+  EXPECT_TRUE(dist.count("(c2, e1);(c4, e2);"));
+  EXPECT_TRUE(dist.count("(c4, e1);(c4, e2);"));
+  for (const auto& [key, p] : dist) EXPECT_NEAR(p, 0.5, 1e-12);
+}
+
+TEST(SqlExtensionsParserTest, JoinRoundTrip) {
+  auto stmt = sql::Parser::ParseStatement(
+      "select * from A a left outer join B b on a.X = b.X "
+      "inner join C on C.Y = b.Y");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& select = static_cast<const sql::SelectStatement&>(**stmt);
+  ASSERT_EQ(select.joins.size(), 2u);
+  EXPECT_EQ(select.joins[0].kind, sql::JoinKind::kLeftOuter);
+  EXPECT_EQ(select.joins[1].kind, sql::JoinKind::kInner);
+  EXPECT_EQ(select.ToString(), select.Clone()->ToString());
+}
+
+TEST(SqlExtensionsParserTest, JoinRequiresOn) {
+  auto stmt = sql::Parser::ParseStatement("select * from A join B");
+  EXPECT_FALSE(stmt.ok());
+}
+
+MAYBMS_INSTANTIATE_ENGINES(SqlExtensionsTest);
+
+}  // namespace
+}  // namespace maybms

@@ -1,0 +1,97 @@
+#include "base/status.h"
+
+#include <gtest/gtest.h>
+
+#include "base/result.h"
+
+namespace maybms {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::TypeError("x").code(), StatusCode::kTypeError);
+  EXPECT_EQ(Status::ConstraintViolation("x").code(),
+            StatusCode::kConstraintViolation);
+  EXPECT_EQ(Status::EmptyWorldSet("x").code(), StatusCode::kEmptyWorldSet);
+  EXPECT_EQ(Status::Unsupported("x").code(), StatusCode::kUnsupported);
+  EXPECT_EQ(Status::RuntimeError("x").code(), StatusCode::kRuntimeError);
+}
+
+TEST(StatusTest, ToStringIncludesCodeAndMessage) {
+  Status s = Status::ParseError("unexpected token");
+  EXPECT_EQ(s.ToString(), "ParseError: unexpected token");
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(StatusTest, CopySemantics) {
+  Status s = Status::NotFound("table t");
+  Status copy = s;
+  EXPECT_EQ(copy.code(), StatusCode::kNotFound);
+  EXPECT_EQ(copy.message(), "table t");
+  copy = Status::OK();
+  EXPECT_TRUE(copy.ok());
+  EXPECT_FALSE(s.ok());  // original unaffected
+}
+
+TEST(StatusTest, MoveSemantics) {
+  Status s = Status::TypeError("bad cast");
+  Status moved = std::move(s);
+  EXPECT_EQ(moved.code(), StatusCode::kTypeError);
+  EXPECT_EQ(moved.message(), "bad cast");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("hello");
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "hello");
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status UseHalf(int x, int* out) {
+  MAYBMS_ASSIGN_OR_RETURN(*out, Half(x));
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnMacroPropagatesError) {
+  int out = 0;
+  EXPECT_TRUE(UseHalf(8, &out).ok());
+  EXPECT_EQ(out, 4);
+  Status s = UseHalf(7, &out);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusCodeTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kEmptyWorldSet),
+               "EmptyWorldSet");
+}
+
+}  // namespace
+}  // namespace maybms

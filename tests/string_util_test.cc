@@ -1,0 +1,85 @@
+#include "base/string_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace maybms {
+namespace {
+
+TEST(StringUtilTest, AsciiCaseConversion) {
+  EXPECT_EQ(AsciiToLower("SeLeCt * FROM R"), "select * from r");
+  EXPECT_EQ(AsciiToUpper("repair by key"), "REPAIR BY KEY");
+  EXPECT_EQ(AsciiToLower(""), "");
+}
+
+TEST(StringUtilTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(AsciiEqualsIgnoreCase("SELECT", "select"));
+  EXPECT_TRUE(AsciiEqualsIgnoreCase("SSN'", "ssn'"));
+  EXPECT_FALSE(AsciiEqualsIgnoreCase("selec", "select"));
+  EXPECT_FALSE(AsciiEqualsIgnoreCase("a", "b"));
+  EXPECT_TRUE(AsciiEqualsIgnoreCase("", ""));
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"a"}, ", "), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, " | "), "a | b | c");
+}
+
+TEST(StringUtilTest, Split) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+}
+
+TEST(StringUtilTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  hi  "), "hi");
+  EXPECT_EQ(StripWhitespace("\t\nhi"), "hi");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace("a b"), "a b");
+}
+
+TEST(LikeMatchTest, ExactMatch) {
+  EXPECT_TRUE(LikeMatch("abc", "abc"));
+  EXPECT_FALSE(LikeMatch("abc", "abd"));
+  EXPECT_FALSE(LikeMatch("abc", "ab"));
+}
+
+TEST(LikeMatchTest, PercentWildcard) {
+  EXPECT_TRUE(LikeMatch("whale", "%"));
+  EXPECT_TRUE(LikeMatch("whale", "wh%"));
+  EXPECT_TRUE(LikeMatch("whale", "%ale"));
+  EXPECT_TRUE(LikeMatch("whale", "%ha%"));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_FALSE(LikeMatch("whale", "%x%"));
+  EXPECT_TRUE(LikeMatch("whale", "%%le"));
+}
+
+TEST(LikeMatchTest, UnderscoreWildcard) {
+  EXPECT_TRUE(LikeMatch("cat", "c_t"));
+  EXPECT_FALSE(LikeMatch("caat", "c_t"));
+  EXPECT_TRUE(LikeMatch("cat", "___"));
+  EXPECT_FALSE(LikeMatch("cat", "____"));
+  EXPECT_TRUE(LikeMatch("a1b2", "a_b_"));
+}
+
+TEST(FormatDoubleTest, IntegralValuesWithoutDecimals) {
+  EXPECT_EQ(FormatDouble(1.0), "1");
+  EXPECT_EQ(FormatDouble(0.0), "0");
+  EXPECT_EQ(FormatDouble(-42.0), "-42");
+}
+
+TEST(FormatDoubleTest, FractionsKeepPrecision) {
+  EXPECT_EQ(FormatDouble(0.25), "0.25");
+  EXPECT_EQ(FormatDouble(1.0 / 3), "0.333333333333");
+}
+
+TEST(FormatDoubleTest, SpecialValues) {
+  EXPECT_EQ(FormatDouble(std::nan("")), "NaN");
+  EXPECT_EQ(FormatDouble(1.0 / 0.0), "Inf");
+  EXPECT_EQ(FormatDouble(-1.0 / 0.0), "-Inf");
+}
+
+}  // namespace
+}  // namespace maybms

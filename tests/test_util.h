@@ -1,0 +1,172 @@
+#ifndef MAYBMS_TESTS_TEST_UTIL_H_
+#define MAYBMS_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isql/session.h"
+#include "storage/table.h"
+#include "types/tuple.h"
+#include "types/value.h"
+
+namespace maybms::testing {
+
+#define MAYBMS_ASSERT_OK(expr)                                       \
+  do {                                                               \
+    const ::maybms::Status _st = (expr);                             \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();                         \
+  } while (false)
+
+#define MAYBMS_EXPECT_OK(expr)                                       \
+  do {                                                               \
+    const ::maybms::Status _st = (expr);                             \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();                         \
+  } while (false)
+
+/// Shorthand literal constructors.
+inline Value I(int64_t v) { return Value::Integer(v); }
+inline Value D(double v) { return Value::Real(v); }
+inline Value T(const char* v) { return Value::Text(v); }
+inline Value B(bool v) { return Value::Boolean(v); }
+inline Value N() { return Value::Null(); }
+
+inline Tuple Row(std::vector<Value> values) { return Tuple(std::move(values)); }
+
+/// Canonical multiset of rows as strings, for order-independent equality.
+inline std::vector<std::string> RowStrings(const Table& table) {
+  std::vector<std::string> rows;
+  rows.reserve(table.num_rows());
+  for (const Tuple& t : table.rows()) rows.push_back(t.ToString());
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+/// Asserts the table contains exactly `expected` rows (as rendered by
+/// Tuple::ToString), regardless of order.
+inline void ExpectRows(const Table& table,
+                       std::vector<std::string> expected) {
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(RowStrings(table), expected);
+}
+
+/// Runs a statement that must succeed; returns its result.
+inline isql::QueryResult Exec(isql::Session& session, const std::string& sql) {
+  auto result = session.Execute(sql);
+  EXPECT_TRUE(result.ok()) << "statement failed: " << sql << "\n  "
+                           << result.status().ToString();
+  if (!result.ok()) return isql::QueryResult::Message("error");
+  return std::move(result).value();
+}
+
+/// Runs a script of statements that must all succeed.
+inline void ExecScript(isql::Session& session, const std::string& sql) {
+  auto result = session.ExecuteScript(sql);
+  ASSERT_TRUE(result.ok()) << "script failed: " << result.status().ToString()
+                           << "\nscript: " << sql;
+}
+
+/// Distribution view of a per-world result: canonical table rendering ->
+/// total probability. Collapses duplicate worlds, so it is comparable
+/// between the explicit and decomposed engines.
+inline std::map<std::string, double> WorldDistribution(
+    const std::vector<std::pair<double, Table>>& worlds) {
+  std::map<std::string, double> dist;
+  for (const auto& [prob, table] : worlds) {
+    Table canonical = table.SortedDistinct();
+    std::string key;
+    for (const Tuple& row : canonical.rows()) key += row.ToString() + ";";
+    dist[key] += prob;
+  }
+  return dist;
+}
+
+/// Asserts two world distributions are equal up to probability tolerance.
+inline void ExpectSameDistribution(const std::map<std::string, double>& a,
+                                   const std::map<std::string, double>& b,
+                                   double tolerance = 1e-9) {
+  ASSERT_EQ(a.size(), b.size()) << "different world support";
+  auto it = a.begin();
+  auto jt = b.begin();
+  for (; it != a.end(); ++it, ++jt) {
+    EXPECT_EQ(it->first, jt->first);
+    EXPECT_NEAR(it->second, jt->second, tolerance) << "for world " << it->first;
+  }
+}
+
+/// Loads the paper's Figure 1 database (relations R and S).
+inline void LoadFigure1(isql::Session& session) {
+  ExecScript(session, R"sql(
+    create table R (A text, B integer, C text, D integer);
+    insert into R values
+      ('a1', 10, 'c1', 2),
+      ('a1', 15, 'c2', 6),
+      ('a2', 14, 'c3', 4),
+      ('a2', 20, 'c4', 5),
+      ('a3', 20, 'c5', 6);
+    create table S (C text, E text);
+    insert into S values
+      ('c2', 'e1'),
+      ('c4', 'e1'),
+      ('c4', 'e2');
+  )sql");
+}
+
+/// Loads the whale-tracking observations of Figure 3 as a relation Obs
+/// with a world-id column; `choice of WID` turns it into the paper's six
+/// worlds.
+inline void LoadFigure3(isql::Session& session) {
+  ExecScript(session, R"sql(
+    create table Obs (WID text, Id integer, Species text, Gender text, Pos text);
+    insert into Obs values
+      ('A', 1, 'sperm', 'calf', 'b'),
+      ('A', 2, 'sperm', 'cow',  'c'),
+      ('A', 3, 'orca',  'cow',  'a'),
+      ('B', 1, 'sperm', 'calf', 'b'),
+      ('B', 2, 'sperm', 'cow',  'c'),
+      ('B', 3, 'orca',  'bull', 'a'),
+      ('C', 1, 'sperm', 'calf', 'b'),
+      ('C', 2, 'sperm', 'bull', 'c'),
+      ('C', 3, 'orca',  'cow',  'a'),
+      ('D', 1, 'sperm', 'calf', 'b'),
+      ('D', 2, 'sperm', 'bull', 'c'),
+      ('D', 3, 'orca',  'bull', 'a'),
+      ('E', 1, 'sperm', 'calf', 'c'),
+      ('E', 2, 'sperm', 'cow',  'b'),
+      ('E', 3, 'orca',  'cow',  'a'),
+      ('F', 1, 'sperm', 'calf', 'c'),
+      ('F', 2, 'sperm', 'bull', 'b'),
+      ('F', 3, 'orca',  'cow',  'a');
+    create table I as
+      select Id, Species, Gender, Pos from Obs choice of WID;
+  )sql");
+}
+
+/// Test fixture parameterized over the two world-set engines; every
+/// semantic test runs against both.
+class EngineTest : public ::testing::TestWithParam<isql::EngineMode> {
+ protected:
+  isql::SessionOptions Options() const {
+    isql::SessionOptions options;
+    options.engine = GetParam();
+    options.max_display_worlds = 4096;
+    return options;
+  }
+};
+
+#define MAYBMS_INSTANTIATE_ENGINES(suite)                               \
+  INSTANTIATE_TEST_SUITE_P(                                             \
+      Engines, suite,                                                   \
+      ::testing::Values(::maybms::isql::EngineMode::kExplicit,          \
+                        ::maybms::isql::EngineMode::kDecomposed),       \
+      [](const ::testing::TestParamInfo<::maybms::isql::EngineMode>& info) { \
+        return info.param == ::maybms::isql::EngineMode::kExplicit      \
+                   ? "Explicit"                                         \
+                   : "Decomposed";                                      \
+      })
+
+}  // namespace maybms::testing
+
+#endif  // MAYBMS_TESTS_TEST_UTIL_H_

@@ -1,0 +1,199 @@
+// Tests for the extensions beyond the demo paper: top-k most probable
+// worlds (best-first over the decomposition) and Monte-Carlo approximate
+// confidence (per-component world sampling).
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "isql/session.h"
+#include "sql/parser.h"
+#include "tests/test_util.h"
+#include "worlds/decomposed_world_set.h"
+#include "worlds/sampling.h"
+
+namespace maybms::worlds {
+namespace {
+
+using isql::EngineMode;
+using isql::Session;
+using maybms::testing::Exec;
+using maybms::testing::EngineTest;
+
+class TopKTest : public EngineTest {};
+
+TEST_P(TopKTest, TopKMatchesSortedEnumeration) {
+  Session session((Options()));
+  maybms::testing::LoadFigure1(session);
+  Exec(session,
+       "create table I as select A, B, C from R repair by key A weight D;");
+
+  auto top = session.world_set().TopKWorlds(4);
+  ASSERT_TRUE(top.ok()) << top.status().ToString();
+  ASSERT_EQ(top->size(), 4u);
+  // Figure 2 order: D (5/12), B (1/3), C (5/36), A (1/9).
+  EXPECT_NEAR((*top)[0].probability, 5.0 / 12, 1e-12);
+  EXPECT_NEAR((*top)[1].probability, 1.0 / 3, 1e-12);
+  EXPECT_NEAR((*top)[2].probability, 5.0 / 36, 1e-12);
+  EXPECT_NEAR((*top)[3].probability, 1.0 / 9, 1e-12);
+  // Probabilities are non-increasing (general invariant).
+  for (size_t i = 1; i < top->size(); ++i) {
+    EXPECT_GE((*top)[i - 1].probability, (*top)[i].probability - 1e-15);
+  }
+  // The most probable world is the Figure 2 world D.
+  auto i_table = (*top)[0].db.GetRelation("I");
+  ASSERT_TRUE(i_table.ok());
+  EXPECT_TRUE((*i_table)->ContainsTuple(Tuple(
+      {Value::Text("a1"), Value::Integer(15), Value::Text("c2")})));
+}
+
+TEST_P(TopKTest, KLargerThanWorldCountReturnsAll) {
+  Session session((Options()));
+  maybms::testing::LoadFigure1(session);
+  Exec(session, "create table I as select A, B, C from R repair by key A;");
+  auto top = session.world_set().TopKWorlds(1000);
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ(top->size(), 4u);
+  double total = 0;
+  for (const World& w : *top) total += w.probability;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+MAYBMS_INSTANTIATE_ENGINES(TopKTest);
+
+TEST(TopKDecomposedTest, WorksOnAstronomicalWorldSets) {
+  isql::SessionOptions options;
+  options.engine = EngineMode::kDecomposed;
+  Session session(options);
+  Exec(session, "create table R (K integer, V integer, W integer);");
+  std::string values;
+  for (int k = 0; k < 200; ++k) {
+    // Per group: one heavy alternative (w=8), one light (w=2).
+    values += (values.empty() ? "" : ", ");
+    values += "(" + std::to_string(k) + ", 0, 8), (" + std::to_string(k) +
+              ", 1, 2)";
+  }
+  Exec(session, "insert into R values " + values + ";");
+  Exec(session,
+       "create table I as select K, V from R repair by key K weight W;");
+  // 2^200 worlds; top-3 in milliseconds.
+  auto top = session.world_set().TopKWorlds(3);
+  ASSERT_TRUE(top.ok()) << top.status().ToString();
+  ASSERT_EQ(top->size(), 3u);
+  // Best world: all heavy picks, P = 0.8^200. Runners-up swap exactly one
+  // group to the light alternative: P = 0.8^199 * 0.2.
+  EXPECT_NEAR(std::log(top->at(0).probability), 200 * std::log(0.8), 1e-6);
+  EXPECT_NEAR(std::log(top->at(1).probability),
+              199 * std::log(0.8) + std::log(0.2), 1e-6);
+  EXPECT_NEAR(top->at(1).probability, top->at(2).probability, 1e-60);
+}
+
+class SamplingTest : public EngineTest {};
+
+TEST_P(SamplingTest, SampledWorldsFollowTheDistribution) {
+  Session session((Options()));
+  maybms::testing::LoadFigure1(session);
+  Exec(session,
+       "create table I as select A, B, C from R repair by key A weight D;");
+  std::mt19937 rng(7);
+  // Count how often the a1-group resolves to B=10 (probability 1/4).
+  int hits = 0;
+  const int kDraws = 4000;
+  Tuple b10({Value::Text("a1"), Value::Integer(10), Value::Text("c1")});
+  for (int i = 0; i < kDraws; ++i) {
+    auto world = session.world_set().SampleWorld(&rng);
+    ASSERT_TRUE(world.ok());
+    auto table = world->db.GetRelation("I");
+    ASSERT_TRUE(table.ok());
+    if ((*table)->ContainsTuple(b10)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.25, 0.03);
+}
+
+TEST_P(SamplingTest, EstimateConfidenceApproximatesExact) {
+  Session session((Options()));
+  maybms::testing::LoadFigure1(session);
+  Exec(session,
+       "create table I as select A, B, C from R repair by key A weight D;");
+
+  auto stmt = sql::Parser::ParseStatement("select B from I;");
+  ASSERT_TRUE(stmt.ok());
+  auto estimate = EstimateConfidence(
+      session.world_set(), static_cast<const sql::SelectStatement&>(**stmt),
+      4000, /*seed=*/11);
+  ASSERT_TRUE(estimate.ok()) << estimate.status().ToString();
+
+  // Exact: conf(10)=1/4, conf(14)=4/9, conf(15)=3/4, conf(20)=1.
+  std::map<int64_t, double> exact = {
+      {10, 0.25}, {14, 4.0 / 9}, {15, 0.75}, {20, 1.0}};
+  ASSERT_EQ(estimate->num_rows(), exact.size());
+  for (const Tuple& row : estimate->rows()) {
+    double expected = exact.at(row.value(0).AsInteger());
+    EXPECT_NEAR(row.value(1).AsReal(), expected, 0.04);
+  }
+}
+
+TEST_P(SamplingTest, EstimateConditionProbability) {
+  Session session((Options()));
+  maybms::testing::LoadFigure1(session);
+  Exec(session,
+       "create table I as select A, B, C from R repair by key A weight D;");
+  // Ex. 2.10: P(sum(B) < 50) = 4/9 exactly.
+  auto stmt = sql::Parser::ParseStatement(
+      "select 1 where 50 > (select sum(B) from I);");
+  ASSERT_TRUE(stmt.ok());
+  const auto& select = static_cast<const sql::SelectStatement&>(**stmt);
+  ASSERT_NE(select.where, nullptr);
+  auto p = EstimateConditionProbability(session.world_set(), *select.where,
+                                        4000, /*seed=*/13);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_NEAR(*p, 4.0 / 9, 0.04);
+}
+
+TEST_P(SamplingTest, RejectsWorldOpsAndZeroSamples) {
+  Session session((Options()));
+  maybms::testing::LoadFigure1(session);
+  auto stmt = sql::Parser::ParseStatement("select A from R repair by key A;");
+  ASSERT_TRUE(stmt.ok());
+  auto bad = EstimateConfidence(
+      session.world_set(), static_cast<const sql::SelectStatement&>(**stmt),
+      100, 1);
+  EXPECT_EQ(bad.status().code(), StatusCode::kUnsupported);
+
+  auto zero = EstimateConfidence(
+      session.world_set(),
+      static_cast<const sql::SelectStatement&>(**stmt), 0, 1);
+  EXPECT_EQ(zero.status().code(), StatusCode::kInvalidArgument);
+}
+
+MAYBMS_INSTANTIATE_ENGINES(SamplingTest);
+
+// Sampling scales to world-sets only the decomposed engine can hold.
+TEST(SamplingDecomposedTest, SamplesFromHugeWorldSets) {
+  isql::SessionOptions options;
+  options.engine = EngineMode::kDecomposed;
+  Session session(options);
+  Exec(session, "create table R (K integer, V integer);");
+  std::string values;
+  for (int k = 0; k < 500; ++k) {
+    values += (values.empty() ? "" : ", ");
+    values += "(" + std::to_string(k) + ", 0), (" + std::to_string(k) + ", 1)";
+  }
+  Exec(session, "insert into R values " + values + ";");
+  Exec(session, "create table I as select K, V from R repair by key K;");
+
+  auto stmt = sql::Parser::ParseStatement(
+      "select V from I where K = 123;");
+  ASSERT_TRUE(stmt.ok());
+  auto estimate = EstimateConfidence(
+      session.world_set(), static_cast<const sql::SelectStatement&>(**stmt),
+      800, /*seed=*/3);
+  ASSERT_TRUE(estimate.ok());
+  ASSERT_EQ(estimate->num_rows(), 2u);  // V in {0, 1}, each ~0.5
+  for (const Tuple& row : estimate->rows()) {
+    EXPECT_NEAR(row.value(1).AsReal(), 0.5, 0.08);
+  }
+}
+
+}  // namespace
+}  // namespace maybms::worlds

@@ -1,0 +1,151 @@
+#include "types/value.h"
+
+#include <gtest/gtest.h>
+
+namespace maybms {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value::Null().type(), DataType::kNull);
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Integer(7).AsInteger(), 7);
+  EXPECT_EQ(Value::Real(2.5).AsReal(), 2.5);
+  EXPECT_EQ(Value::Text("hi").AsText(), "hi");
+  EXPECT_TRUE(Value::Boolean(true).AsBoolean());
+}
+
+TEST(ValueTest, NumericValueWidensIntegers) {
+  EXPECT_EQ(Value::Integer(3).NumericValue(), 3.0);
+  EXPECT_EQ(Value::Real(3.25).NumericValue(), 3.25);
+  EXPECT_TRUE(Value::Integer(1).IsNumeric());
+  EXPECT_TRUE(Value::Real(1).IsNumeric());
+  EXPECT_FALSE(Value::Text("1").IsNumeric());
+  EXPECT_FALSE(Value::Null().IsNumeric());
+}
+
+TEST(ValueTest, SqlEqualsThreeValued) {
+  auto eq = Value::Integer(1).SqlEquals(Value::Integer(1));
+  ASSERT_TRUE(eq.ok());
+  EXPECT_EQ(*eq, Trivalent::kTrue);
+
+  eq = Value::Integer(1).SqlEquals(Value::Real(1.0));
+  ASSERT_TRUE(eq.ok());
+  EXPECT_EQ(*eq, Trivalent::kTrue) << "cross-numeric comparison";
+
+  eq = Value::Null().SqlEquals(Value::Integer(1));
+  ASSERT_TRUE(eq.ok());
+  EXPECT_EQ(*eq, Trivalent::kUnknown) << "NULL yields UNKNOWN";
+
+  eq = Value::Text("a").SqlEquals(Value::Text("b"));
+  ASSERT_TRUE(eq.ok());
+  EXPECT_EQ(*eq, Trivalent::kFalse);
+
+  auto err = Value::Text("a").SqlEquals(Value::Integer(1));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kTypeError);
+}
+
+TEST(ValueTest, SqlLessOrdering) {
+  auto lt = Value::Integer(1).SqlLess(Value::Real(1.5));
+  ASSERT_TRUE(lt.ok());
+  EXPECT_EQ(*lt, Trivalent::kTrue);
+
+  lt = Value::Text("abc").SqlLess(Value::Text("abd"));
+  ASSERT_TRUE(lt.ok());
+  EXPECT_EQ(*lt, Trivalent::kTrue);
+
+  lt = Value::Null().SqlLess(Value::Integer(1));
+  ASSERT_TRUE(lt.ok());
+  EXPECT_EQ(*lt, Trivalent::kUnknown);
+
+  lt = Value::Boolean(false).SqlLess(Value::Boolean(true));
+  ASSERT_TRUE(lt.ok());
+  EXPECT_EQ(*lt, Trivalent::kTrue);
+}
+
+TEST(ValueTest, TotalOrderIsStrictWeakOrder) {
+  std::vector<Value> values = {Value::Null(),        Value::Integer(1),
+                               Value::Integer(2),    Value::Real(1.5),
+                               Value::Text("a"),     Value::Text("b"),
+                               Value::Boolean(false), Value::Boolean(true)};
+  for (const Value& a : values) {
+    EXPECT_EQ(a.TotalOrderCompare(a), 0);
+    for (const Value& b : values) {
+      EXPECT_EQ(a.TotalOrderCompare(b), -b.TotalOrderCompare(a));
+    }
+  }
+}
+
+TEST(ValueTest, IntegerAndRealCoincideInTotalOrder) {
+  EXPECT_EQ(Value::Integer(1).TotalOrderCompare(Value::Real(1.0)), 0);
+  EXPECT_EQ(Value::Integer(1).Hash(), Value::Real(1.0).Hash())
+      << "hash must be consistent with equality";
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Integer(-3).ToString(), "-3");
+  EXPECT_EQ(Value::Real(0.5).ToString(), "0.5");
+  EXPECT_EQ(Value::Text("x y").ToString(), "x y");
+  EXPECT_EQ(Value::Boolean(true).ToString(), "true");
+}
+
+TEST(ValueTest, CastNumericAndText) {
+  auto v = Value::Integer(3).CastTo(DataType::kReal);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsReal(), 3.0);
+
+  v = Value::Real(3.9).CastTo(DataType::kInteger);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsInteger(), 3);
+
+  v = Value::Text("42").CastTo(DataType::kInteger);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsInteger(), 42);
+
+  v = Value::Text("2.5").CastTo(DataType::kReal);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsReal(), 2.5);
+
+  v = Value::Integer(42).CastTo(DataType::kText);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsText(), "42");
+
+  EXPECT_FALSE(Value::Text("abc").CastTo(DataType::kInteger).ok());
+  auto null_cast = Value::Null().CastTo(DataType::kInteger);
+  ASSERT_TRUE(null_cast.ok());
+  EXPECT_TRUE(null_cast->is_null()) << "NULL casts to NULL";
+}
+
+TEST(TrivalentTest, KleeneLogicTables) {
+  using enum Trivalent;
+  EXPECT_EQ(TrivalentAnd(kTrue, kTrue), kTrue);
+  EXPECT_EQ(TrivalentAnd(kTrue, kFalse), kFalse);
+  EXPECT_EQ(TrivalentAnd(kFalse, kUnknown), kFalse);
+  EXPECT_EQ(TrivalentAnd(kTrue, kUnknown), kUnknown);
+  EXPECT_EQ(TrivalentAnd(kUnknown, kUnknown), kUnknown);
+
+  EXPECT_EQ(TrivalentOr(kFalse, kFalse), kFalse);
+  EXPECT_EQ(TrivalentOr(kTrue, kUnknown), kTrue);
+  EXPECT_EQ(TrivalentOr(kFalse, kUnknown), kUnknown);
+  EXPECT_EQ(TrivalentOr(kUnknown, kUnknown), kUnknown);
+
+  EXPECT_EQ(TrivalentNot(kTrue), kFalse);
+  EXPECT_EQ(TrivalentNot(kFalse), kTrue);
+  EXPECT_EQ(TrivalentNot(kUnknown), kUnknown);
+}
+
+TEST(DataTypeTest, FromStringAliases) {
+  EXPECT_EQ(*DataTypeFromString("integer"), DataType::kInteger);
+  EXPECT_EQ(*DataTypeFromString("INT"), DataType::kInteger);
+  EXPECT_EQ(*DataTypeFromString("bigint"), DataType::kInteger);
+  EXPECT_EQ(*DataTypeFromString("real"), DataType::kReal);
+  EXPECT_EQ(*DataTypeFromString("DOUBLE"), DataType::kReal);
+  EXPECT_EQ(*DataTypeFromString("text"), DataType::kText);
+  EXPECT_EQ(*DataTypeFromString("varchar"), DataType::kText);
+  EXPECT_EQ(*DataTypeFromString("boolean"), DataType::kBoolean);
+  EXPECT_FALSE(DataTypeFromString("blob").ok());
+}
+
+}  // namespace
+}  // namespace maybms

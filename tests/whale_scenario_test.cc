@@ -1,0 +1,145 @@
+// Reproduces Section 3.1 of the paper: tracking whales with incomplete
+// observations (Figures 3 and 4), including views over world-sets and the
+// group-worlds-by query.
+
+#include <gtest/gtest.h>
+
+#include "isql/session.h"
+#include "tests/test_util.h"
+
+namespace maybms {
+namespace {
+
+using isql::QueryResult;
+using isql::Session;
+using maybms::testing::EngineTest;
+using maybms::testing::Exec;
+using maybms::testing::LoadFigure3;
+using maybms::testing::WorldDistribution;
+
+class WhaleScenarioTest : public EngineTest {
+ protected:
+  void SetUp() override {
+    session_ = std::make_unique<Session>(Options());
+    LoadFigure3(*session_);
+  }
+  Session& s() { return *session_; }
+  std::unique_ptr<Session> session_;
+};
+
+TEST_P(WhaleScenarioTest, FigureThreeHasSixWorlds) {
+  QueryResult result = Exec(s(), "select * from I;");
+  auto dist = WorldDistribution(result.worlds());
+  EXPECT_EQ(dist.size(), 6u);
+  double total = 0;
+  for (const auto& [key, p] : dist) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+// Query Q: is there a possibility that the orca attacks the calf (calf at
+// position b)? Answer: yes (worlds A through D).
+TEST_P(WhaleScenarioTest, QueryQPossibleAttack) {
+  QueryResult result =
+      Exec(s(), "select possible 'yes' from I where Id=1 and Pos='b';");
+  ASSERT_EQ(result.kind(), QueryResult::Kind::kTable);
+  maybms::testing::ExpectRows(result.table(), {"(yes)"});
+}
+
+// The view Valid keeps only worlds consistent with the expert knowledge
+// (a cow at position b) — world E. Q on Valid is empty.
+TEST_P(WhaleScenarioTest, ValidViewDropsContradictingWorlds) {
+  Exec(s(), "create view Valid as select * from I assert exists"
+            "(select * from I where Gender='cow' and Pos='b');");
+  QueryResult q = Exec(
+      s(), "select possible 'yes' from Valid where Id=1 and Pos='b';");
+  ASSERT_EQ(q.kind(), QueryResult::Kind::kTable);
+  EXPECT_TRUE(q.table().empty());
+
+  // Querying the view does not change the session's world-set.
+  QueryResult check = Exec(s(), "select * from I;");
+  EXPECT_EQ(WorldDistribution(check.worlds()).size(), 6u);
+}
+
+// Valid' keeps all six worlds but the relation is empty outside world E.
+TEST_P(WhaleScenarioTest, ValidPrimeViewKeepsAllWorlds) {
+  Exec(s(), "create view Valid2 as select * from I where exists"
+            "(select * from I where Gender='cow' and Pos='b');");
+  QueryResult q = Exec(
+      s(), "select possible 'yes' from Valid2 where Id=1 and Pos='b';");
+  EXPECT_TRUE(q.table().empty());
+
+  // Per-world: five empty instances and one equal to I_E.
+  QueryResult per_world = Exec(s(), "select * from Valid2;");
+  auto dist = WorldDistribution(per_world.worlds());
+  ASSERT_EQ(dist.size(), 2u);  // empty vs I_E contents
+  EXPECT_NEAR(dist[""], 5.0 / 6, 1e-12);
+}
+
+// The paper's key distinction: certain answers differ on Valid vs Valid'.
+TEST_P(WhaleScenarioTest, CertainDistinguishesValidFromValidPrime) {
+  Exec(s(), "create view Valid as select * from I assert exists"
+            "(select * from I where Gender='cow' and Pos='b');");
+  Exec(s(), "create view Valid2 as select * from I where exists"
+            "(select * from I where Gender='cow' and Pos='b');");
+
+  QueryResult certain_valid = Exec(s(), "select certain * from Valid;");
+  maybms::testing::ExpectRows(certain_valid.table(),
+                              {"(1, sperm, calf, c)", "(2, sperm, cow, b)",
+                               "(3, orca, cow, a)"});
+
+  QueryResult certain_valid2 = Exec(s(), "select certain * from Valid2;");
+  EXPECT_TRUE(certain_valid2.table().empty());
+}
+
+// Figure 4: group worlds by the position of whale 2; within each group the
+// possible gender combinations of the adult whales.
+TEST_P(WhaleScenarioTest, GroupWorldsByPositionOfWhaleTwo) {
+  QueryResult result = Exec(s(),
+      "select possible i2.Gender as G2, i3.Gender as G3 "
+      "from I i2, I i3 where i2.Id = 2 and i3.Id = 3 "
+      "group worlds by (select Pos from I where Id = 2);");
+  ASSERT_EQ(result.kind(), QueryResult::Kind::kGroups);
+  ASSERT_EQ(result.groups().size(), 2u);
+
+  for (const auto& group : result.groups()) {
+    ASSERT_EQ(group.key.num_rows(), 1u);
+    std::string pos = group.key.row(0).value(0).AsText();
+    if (pos == "c") {
+      // Worlds A-D: all four combinations (Figure 4, left).
+      maybms::testing::ExpectRows(group.table, {"(cow, cow)", "(cow, bull)",
+                                                "(bull, cow)", "(bull, bull)"});
+      EXPECT_NEAR(group.probability, 4.0 / 6, 1e-12);
+    } else {
+      // Worlds E,F: two combinations (Figure 4, right).
+      ASSERT_EQ(pos, "b");
+      maybms::testing::ExpectRows(group.table, {"(cow, cow)", "(bull, cow)"});
+      EXPECT_NEAR(group.probability, 2.0 / 6, 1e-12);
+    }
+  }
+}
+
+// The independence check of §3.1: within each Groups instance, Groups =
+// pi_G2(Groups) x pi_G3(Groups). Materialize Groups and verify in SQL.
+TEST_P(WhaleScenarioTest, GenderIndependenceCheck) {
+  Exec(s(),
+       "create table Groups as "
+       "select possible i2.Gender as G2, i3.Gender as G3 "
+       "from I i2, I i3 where i2.Id = 2 and i3.Id = 3 "
+       "group worlds by (select Pos from I where Id = 2);");
+
+  // In every world: no pair (g2, g3) from the projections is missing from
+  // Groups, i.e. Groups is the full cross product.
+  QueryResult check = Exec(s(),
+      "select possible 'dependent' from Groups g "
+      "where exists (select * from Groups g1, Groups g2 "
+      "  where not exists (select * from Groups g3 "
+      "    where g3.G2 = g1.G2 and g3.G3 = g2.G3));");
+  ASSERT_EQ(check.kind(), QueryResult::Kind::kTable);
+  EXPECT_TRUE(check.table().empty())
+      << "genders should be independent in both groups";
+}
+
+MAYBMS_INSTANTIATE_ENGINES(WhaleScenarioTest);
+
+}  // namespace
+}  // namespace maybms
