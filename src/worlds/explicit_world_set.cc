@@ -352,8 +352,10 @@ Status ExplicitWorldSet::MaterializeSelect(const std::string& name,
   if (HasRelation(name)) {
     return Status::AlreadyExists("relation already exists: " + name);
   }
-  MAYBMS_ASSIGN_OR_RETURN(PipelineOutput out,
-                          RunPipeline(std::move(worlds_), stmt, name));
+  // Run on a copy so a mid-pipeline error (e.g. `choice of` over an empty
+  // relation, or the world cap) leaves the world-set untouched, matching
+  // the decomposed engine's compute-then-commit behavior.
+  MAYBMS_ASSIGN_OR_RETURN(PipelineOutput out, RunPipeline(worlds_, stmt, name));
   worlds_ = std::move(out.worlds);
   return Status::OK();
 }
