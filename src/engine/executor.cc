@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <numeric>
+#include <optional>
 
 #include "base/string_util.h"
 
@@ -62,8 +63,36 @@ Result<std::vector<OutputItem>> ResolveItems(const SelectStatement& stmt,
   return items;
 }
 
-/// Infers output column types: declared source type for star columns,
-/// first non-null produced value otherwise.
+/// Static type of an expression where it can be known without evaluating
+/// rows: declared source type for column references, the literal's type,
+/// the cast target. Returns nullopt for everything else.
+std::optional<DataType> StaticExprType(const sql::Expr& expr,
+                                       const Schema& source) {
+  switch (expr.kind) {
+    case sql::ExprKind::kLiteral: {
+      const Value& v = static_cast<const sql::LiteralExpr&>(expr).value;
+      if (v.is_null()) return std::nullopt;
+      return v.type();
+    }
+    case sql::ExprKind::kColumnRef: {
+      const auto& ref = static_cast<const sql::ColumnRefExpr&>(expr);
+      Result<size_t> idx = source.FindColumn(ref.name, ref.qualifier);
+      if (!idx.ok()) return std::nullopt;  // unknown/ambiguous: fall back
+      return source.column(*idx).type;
+    }
+    case sql::ExprKind::kCast:
+      return static_cast<const sql::CastExpr&>(expr).target;
+    default:
+      return std::nullopt;
+  }
+}
+
+/// Infers output column types: declared source type for star columns and
+/// statically typed expressions; first non-null produced value otherwise.
+/// The static path matters for correctness, not just precision: a derived
+/// relation materialized from an empty (partition of a) source must still
+/// carry the source's declared column types, or later inserts/queries
+/// would see a schema that disagrees across engine representations.
 Schema InferOutputSchema(const std::vector<OutputItem>& items,
                          const Schema& source,
                          const std::vector<Tuple>& rows) {
@@ -72,6 +101,9 @@ Schema InferOutputSchema(const std::vector<OutputItem>& items,
     DataType type = DataType::kText;
     if (items[i].expr == nullptr) {
       type = source.column(items[i].source_column).type;
+    } else if (std::optional<DataType> static_type =
+                   StaticExprType(*items[i].expr, source)) {
+      type = *static_type;
     } else {
       for (const Tuple& row : rows) {
         if (!row.value(i).is_null()) {
