@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <iterator>
+#include <memory>
+#include <set>
+#include <string>
+
 #include "base/result.h"
 
 namespace maybms {
@@ -91,6 +96,104 @@ TEST(StatusCodeTest, AllCodesHaveNames) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kEmptyWorldSet),
                "EmptyWorldSet");
+}
+
+TEST(StatusCodeTest, EveryCodeHasADistinctName) {
+  const StatusCode codes[] = {
+      StatusCode::kOk,          StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,    StatusCode::kAlreadyExists,
+      StatusCode::kParseError,  StatusCode::kTypeError,
+      StatusCode::kConstraintViolation, StatusCode::kEmptyWorldSet,
+      StatusCode::kUnsupported, StatusCode::kRuntimeError,
+  };
+  std::set<std::string> names;
+  for (StatusCode code : codes) {
+    const char* name = StatusCodeToString(code);
+    ASSERT_NE(name, nullptr);
+    EXPECT_FALSE(std::string(name).empty());
+    names.insert(name);
+  }
+  EXPECT_EQ(names.size(), std::size(codes));
+}
+
+TEST(StatusTest, EmptyMessage) {
+  Status s = Status::RuntimeError("");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "RuntimeError: ");
+}
+
+TEST(StatusTest, MessagePreservesUtf8) {
+  const std::string msg = "unexpected token: «Wal£ 🐳»";
+  Status s = Status::ParseError(msg);
+  EXPECT_EQ(s.message(), msg);
+  EXPECT_EQ(s.ToString(), "ParseError: " + msg);
+}
+
+TEST(StatusTest, MessagePreservesEmbeddedNul) {
+  std::string msg = "before";
+  msg.push_back('\0');
+  msg += "after";
+  Status s = Status::InvalidArgument(msg);
+  EXPECT_EQ(s.message().size(), msg.size());
+  EXPECT_EQ(s.message(), msg);
+}
+
+TEST(StatusTest, AssignmentOverNonOkReleasesOldState) {
+  Status s = Status::NotFound("old");
+  s = Status::TypeError("new");
+  EXPECT_EQ(s.code(), StatusCode::kTypeError);
+  EXPECT_EQ(s.message(), "new");
+  s = Status::OK();
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+Status FailAt(int fail_depth, int depth = 0) {
+  if (depth == fail_depth) {
+    return Status::EmptyWorldSet("layer " + std::to_string(depth));
+  }
+  if (depth == 3) return Status::OK();
+  MAYBMS_RETURN_NOT_OK(FailAt(fail_depth, depth + 1));
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnNotOkPropagatesThroughCallChain) {
+  EXPECT_TRUE(FailAt(-1).ok());
+  for (int depth = 0; depth <= 3; ++depth) {
+    Status s = FailAt(depth);
+    ASSERT_FALSE(s.ok()) << depth;
+    EXPECT_EQ(s.code(), StatusCode::kEmptyWorldSet);
+    EXPECT_EQ(s.message(), "layer " + std::to_string(depth));
+  }
+}
+
+Result<std::unique_ptr<int>> MakeBox(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return std::make_unique<int>(x);
+}
+
+Result<int> UnboxDoubled(int x) {
+  std::unique_ptr<int> box;
+  MAYBMS_ASSIGN_OR_RETURN(box, MakeBox(x));
+  return *box * 2;
+}
+
+TEST(ResultTest, AssignOrReturnWorksWithMoveOnlyTypes) {
+  auto ok = UnboxDoubled(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  auto err = UnboxDoubled(-1);
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, ErrorStatusSurvivesCopyOfResult) {
+  Result<int> r = Status::Unsupported("no");
+  Result<int> copy = r;
+  EXPECT_FALSE(copy.ok());
+  EXPECT_EQ(copy.status().code(), StatusCode::kUnsupported);
+  EXPECT_EQ(copy.status().message(), "no");
 }
 
 }  // namespace

@@ -81,5 +81,88 @@ TEST(FormatDoubleTest, SpecialValues) {
   EXPECT_EQ(FormatDouble(-1.0 / 0.0), "-Inf");
 }
 
+// ---------------------------------------------------------------------------
+// Edge cases: empty inputs, non-ASCII (UTF-8) bytes, embedded NUL. The
+// utilities are byte-oriented and ASCII-only by contract; these tests pin
+// down that non-ASCII bytes pass through untouched rather than being
+// locale-mangled.
+// ---------------------------------------------------------------------------
+
+TEST(StringUtilTest, CaseConversionLeavesUtf8BytesIntact) {
+  const std::string utf8 = "Größe WAL 🐳 Ωmega";
+  EXPECT_EQ(AsciiToLower(utf8), "größe wal 🐳 Ωmega");
+  EXPECT_EQ(AsciiToUpper(utf8), "GRößE WAL 🐳 ΩMEGA");
+}
+
+TEST(StringUtilTest, CaseConversionPreservesEmbeddedNul) {
+  std::string s = "AB";
+  s.push_back('\0');
+  s += "cd";
+  std::string lower = AsciiToLower(s);
+  ASSERT_EQ(lower.size(), s.size());
+  EXPECT_EQ(lower[0], 'a');
+  EXPECT_EQ(lower[2], '\0');
+  EXPECT_EQ(lower[3], 'c');
+}
+
+TEST(StringUtilTest, EqualsIgnoreCaseIsByteExactForNonAscii) {
+  // ASCII-only case folding: non-ASCII bytes must match exactly.
+  EXPECT_TRUE(AsciiEqualsIgnoreCase("Größe", "gRÖSSE") == false);
+  EXPECT_TRUE(AsciiEqualsIgnoreCase("Größe", "größe"));
+  std::string with_nul = "a";
+  with_nul.push_back('\0');
+  std::string other = "a";
+  other.push_back('\0');
+  EXPECT_TRUE(AsciiEqualsIgnoreCase(with_nul, other));
+  EXPECT_FALSE(AsciiEqualsIgnoreCase(with_nul, "a"));  // length differs
+}
+
+TEST(StringUtilTest, SplitHandlesEmptyAndNulBytes) {
+  EXPECT_EQ(Split("", 'x'), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+  std::string s = "a";
+  s.push_back('\0');
+  s += "b";
+  std::vector<std::string> parts = Split(s, '\0');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+}
+
+TEST(StringUtilTest, JoinRoundTripsSplit) {
+  std::vector<std::string> parts = {"", "a", "", "b", ""};
+  EXPECT_EQ(Split(Join(parts, ","), ','), parts);
+}
+
+TEST(StringUtilTest, StripWhitespaceOnlyStripsAsciiWhitespace) {
+  // U+00A0 (NBSP, bytes 0xC2 0xA0) is not ASCII whitespace; it stays.
+  const std::string nbsp = "\xC2\xA0hi\xC2\xA0";
+  EXPECT_EQ(StripWhitespace(nbsp), nbsp);
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" \t\r\n\v\f"), "");
+}
+
+TEST(LikeMatchTest, EmptyStringAndPattern) {
+  EXPECT_TRUE(LikeMatch("", ""));
+  EXPECT_FALSE(LikeMatch("a", ""));
+  EXPECT_FALSE(LikeMatch("", "_"));
+  EXPECT_TRUE(LikeMatch("", "%%"));
+}
+
+TEST(LikeMatchTest, MatchingIsByteOriented) {
+  // 'é' is two bytes in UTF-8, so it matches two underscores, not one —
+  // the documented byte-level semantics of our LIKE.
+  EXPECT_FALSE(LikeMatch("é", "_"));
+  EXPECT_TRUE(LikeMatch("é", "__"));
+  EXPECT_TRUE(LikeMatch("école", "é%"));
+  EXPECT_TRUE(LikeMatch("🐳", "%"));
+}
+
+TEST(FormatDoubleTest, NegativeZeroAndTinyValues) {
+  EXPECT_EQ(FormatDouble(-0.0), "-0");
+  EXPECT_EQ(FormatDouble(1e-300), "1e-300");
+  EXPECT_EQ(FormatDouble(0.1 + 0.2), "0.3");  // %.12g hides the ulp noise
+}
+
 }  // namespace
 }  // namespace maybms
