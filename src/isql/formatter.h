@@ -1,6 +1,7 @@
 #ifndef MAYBMS_ISQL_FORMATTER_H_
 #define MAYBMS_ISQL_FORMATTER_H_
 
+#include <cstddef>
 #include <string>
 
 #include "isql/query_result.h"

@@ -1,6 +1,7 @@
 #ifndef MAYBMS_ISQL_SESSION_H_
 #define MAYBMS_ISQL_SESSION_H_
 
+#include <cstddef>
 #include <map>
 #include <memory>
 #include <set>

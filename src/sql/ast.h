@@ -1,6 +1,7 @@
 #ifndef MAYBMS_SQL_AST_H_
 #define MAYBMS_SQL_AST_H_
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>

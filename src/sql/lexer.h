@@ -1,6 +1,7 @@
 #ifndef MAYBMS_SQL_LEXER_H_
 #define MAYBMS_SQL_LEXER_H_
 
+#include <cstddef>
 #include <string>
 #include <vector>
 

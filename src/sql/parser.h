@@ -1,6 +1,7 @@
 #ifndef MAYBMS_SQL_PARSER_H_
 #define MAYBMS_SQL_PARSER_H_
 
+#include <cstddef>
 #include <memory>
 #include <string>
 #include <vector>

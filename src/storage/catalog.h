@@ -1,6 +1,7 @@
 #ifndef MAYBMS_STORAGE_CATALOG_H_
 #define MAYBMS_STORAGE_CATALOG_H_
 
+#include <cstddef>
 #include <map>
 #include <string>
 #include <vector>

@@ -1,6 +1,7 @@
 #ifndef MAYBMS_STORAGE_TABLE_H_
 #define MAYBMS_STORAGE_TABLE_H_
 
+#include <cstddef>
 #include <string>
 #include <vector>
 

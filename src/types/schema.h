@@ -1,6 +1,7 @@
 #ifndef MAYBMS_TYPES_SCHEMA_H_
 #define MAYBMS_TYPES_SCHEMA_H_
 
+#include <cstddef>
 #include <optional>
 #include <string>
 #include <vector>

@@ -1,6 +1,7 @@
 #ifndef MAYBMS_TYPES_TUPLE_H_
 #define MAYBMS_TYPES_TUPLE_H_
 
+#include <cstddef>
 #include <string>
 #include <vector>
 

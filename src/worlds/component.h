@@ -1,6 +1,7 @@
 #ifndef MAYBMS_WORLDS_COMPONENT_H_
 #define MAYBMS_WORLDS_COMPONENT_H_
 
+#include <cstddef>
 #include <map>
 #include <string>
 #include <vector>

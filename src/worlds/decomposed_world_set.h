@@ -1,6 +1,8 @@
 #ifndef MAYBMS_WORLDS_DECOMPOSED_WORLD_SET_H_
 #define MAYBMS_WORLDS_DECOMPOSED_WORLD_SET_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>

@@ -1,6 +1,7 @@
 #ifndef MAYBMS_WORLDS_WORLD_H_
 #define MAYBMS_WORLDS_WORLD_H_
 
+#include <cstddef>
 #include <string>
 
 #include "storage/catalog.h"

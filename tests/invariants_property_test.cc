@@ -172,11 +172,11 @@ std::vector<Scenario> AllScenarios() {
 
 INSTANTIATE_TEST_SUITE_P(
     Randomized, InvariantTest, ::testing::ValuesIn(AllScenarios()),
-    [](const ::testing::TestParamInfo<Scenario>& info) {
-      return std::string(info.param.mode == EngineMode::kExplicit
+    [](const ::testing::TestParamInfo<Scenario>& param_info) {
+      return std::string(param_info.param.mode == EngineMode::kExplicit
                              ? "Explicit"
                              : "Decomposed") +
-             "Seed" + std::to_string(info.param.seed);
+             "Seed" + std::to_string(param_info.param.seed);
     });
 
 }  // namespace

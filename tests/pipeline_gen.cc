@@ -1,0 +1,329 @@
+#include "tests/pipeline_gen.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace maybms::testing {
+
+std::string GeneratedPipeline::DebugString() const {
+  std::ostringstream out;
+  out << "-- setup (world bound " << world_bound << ")\n";
+  for (const std::string& s : setup) out << s << "\n";
+  out << "-- probes\n";
+  for (const std::string& s : probes) out << s << "\n";
+  return out.str();
+}
+
+PipelineGenerator::PipelineGenerator(uint32_t seed)
+    : PipelineGenerator(seed, Options()) {}
+
+PipelineGenerator::PipelineGenerator(uint32_t seed, Options options)
+    : rng_(seed), options_(options) {}
+
+// Derived from raw mt19937 output rather than std::uniform_*_distribution,
+// whose mapping is implementation-defined: a seed must reproduce the same
+// pipeline on every standard library, or failure seeds would not be
+// portable. Modulo bias is irrelevant at our tiny ranges.
+int PipelineGenerator::Int(int lo, int hi) {
+  return lo + static_cast<int>(rng_() %
+                               static_cast<uint32_t>(hi - lo + 1));
+}
+
+bool PipelineGenerator::Chance(double p) {
+  return (rng_() >> 8) * (1.0 / 16777216.0) < p;  // 24 uniform bits
+}
+
+const PipelineGenerator::TableInfo& PipelineGenerator::Pick(
+    bool prefer_uncertain) {
+  if (prefer_uncertain && Chance(0.8)) {
+    std::vector<size_t> uncertain;
+    for (size_t i = 0; i < tables_.size(); ++i) {
+      if (tables_[i].uncertain) uncertain.push_back(i);
+    }
+    if (!uncertain.empty()) {
+      return tables_[uncertain[Int(0, static_cast<int>(uncertain.size()) - 1)]];
+    }
+  }
+  return tables_[Int(0, static_cast<int>(tables_.size()) - 1)];
+}
+
+uint64_t PipelineGenerator::RepairFactor(const std::vector<Row>& rows,
+                                         bool key_includes_g) {
+  std::map<std::pair<int, char>, uint64_t> groups;
+  for (const Row& r : rows) ++groups[{r.k, key_includes_g ? r.g : ' '}];
+  uint64_t factor = 1;
+  for (const auto& [key, n] : groups) factor *= n;
+  return factor;
+}
+
+uint64_t PipelineGenerator::ChoiceFactor(const std::vector<Row>& rows,
+                                         char col) {
+  std::set<int> distinct;
+  for (const Row& r : rows) distinct.insert(col == 'K' ? r.k : r.g);
+  return std::max<uint64_t>(distinct.size(), 1);
+}
+
+void PipelineGenerator::EmitBaseTable(GeneratedPipeline* p) {
+  TableInfo info;
+  info.name = "B" + std::to_string(next_base_++);
+  const char kGs[] = {'x', 'y', 'z'};
+  int keys = Int(1, 3);
+  for (int k = 0; k < keys; ++k) {
+    int group = Int(1, 3);
+    for (int i = 0; i < group; ++i) {
+      info.ancestor_rows.push_back(
+          Row{k, Int(1, 6), Int(1, 9), kGs[Int(0, 2)]});
+    }
+  }
+  std::ostringstream create;
+  create << "create table " << info.name
+         << " (K integer, V integer, W integer, G text);";
+  p->setup.push_back(create.str());
+
+  std::ostringstream insert;
+  insert << "insert into " << info.name << " values ";
+  for (size_t i = 0; i < info.ancestor_rows.size(); ++i) {
+    const Row& r = info.ancestor_rows[i];
+    if (i > 0) insert << ", ";
+    insert << "(" << r.k << ", " << r.v << ", " << r.w << ", '" << r.g << "')";
+  }
+  insert << ";";
+  p->setup.push_back(insert.str());
+  tables_.push_back(std::move(info));
+}
+
+void PipelineGenerator::EmitDerivedTable(GeneratedPipeline* p) {
+  const TableInfo& src = Pick(/*prefer_uncertain=*/Chance(0.5));
+  TableInfo info;
+  info.name = "U" + std::to_string(next_derived_++);
+  info.ancestor_rows = src.ancestor_rows;
+
+  std::ostringstream sql;
+  sql << "create table " << info.name << " as select K, V, W, G from "
+      << src.name;
+  // A WHERE filter only ever shrinks repair/choice fan-out, so the world
+  // bound computed from the unfiltered ancestor rows stays valid.
+  if (Chance(0.35)) sql << " where " << RandomPredicate("");
+
+  int form = Int(0, 3);
+  uint64_t factor = 1;
+  if (form == 0) {  // repair by key
+    bool key_includes_g = Chance(0.3);
+    factor = RepairFactor(src.ancestor_rows, key_includes_g);
+    if (world_bound_ * factor <= options_.world_budget) {
+      sql << " repair by key K" << (key_includes_g ? ", G" : "")
+          << (Chance(0.5) ? " weight W" : "");
+    } else {
+      factor = 1;  // over budget: plain filtered copy
+    }
+  } else if (form == 1) {  // choice of
+    char col = Chance(0.5) ? 'K' : 'G';
+    factor = ChoiceFactor(src.ancestor_rows, col);
+    if (world_bound_ * factor <= options_.world_budget) {
+      sql << " choice of " << col << (Chance(0.5) ? " weight W" : "");
+    } else {
+      factor = 1;
+    }
+  } else if (form == 2) {  // assert (drops worlds; never multiplies)
+    sql << " assert exists(select * from " << src.name << " where V >= "
+        << Int(1, 2) << ")";
+  }
+  // form == 3: plain per-world selection.
+  sql << ";";
+  world_bound_ *= factor;
+  info.uncertain = src.uncertain || factor > 1;
+  p->setup.push_back(sql.str());
+  tables_.push_back(std::move(info));
+}
+
+void PipelineGenerator::EmitLateDml(GeneratedPipeline* p) {
+  // Late DML runs in every world and never multiplies the world count.
+  if (Chance(0.5)) {
+    const TableInfo& t = Pick(/*prefer_uncertain=*/Chance(0.5));
+    const char kGs[] = {'x', 'y', 'z'};
+    std::ostringstream sql;
+    sql << "insert into " << t.name << " values (" << Int(0, 3) << ", "
+        << Int(1, 6) << ", " << Int(1, 9) << ", '" << kGs[Int(0, 2)] << "');";
+    p->setup.push_back(sql.str());
+  }
+  if (Chance(0.25)) {
+    const TableInfo& t = Pick(/*prefer_uncertain=*/false);
+    std::ostringstream sql;
+    sql << "delete from " << t.name << " where " << RandomPredicate("");
+    sql << ";";
+    p->setup.push_back(sql.str());
+  }
+  if (Chance(0.2)) {
+    const TableInfo& t = Pick(/*prefer_uncertain=*/true);
+    std::ostringstream sql;
+    sql << "update " << t.name << " set V = V + 1 where "
+        << RandomPredicate("");
+    sql << ";";
+    p->setup.push_back(sql.str());
+  }
+}
+
+std::string PipelineGenerator::RandomPredicate(const std::string& q) {
+  std::ostringstream out;
+  switch (Int(0, 5)) {
+    case 0:
+      out << q << "V > " << Int(1, 5);
+      break;
+    case 1:
+      out << q << "V <= " << Int(2, 6);
+      break;
+    case 2:
+      out << q << "K <> " << Int(0, 2);
+      break;
+    case 3: {
+      const char kGs[] = {'x', 'y', 'z'};
+      out << q << "G = '" << kGs[Int(0, 2)] << "'";
+      break;
+    }
+    case 4: {
+      int lo = Int(1, 4);
+      out << q << "V between " << lo << " and " << lo + Int(1, 2);
+      break;
+    }
+    default:
+      out << q << "W >= " << Int(1, 8);
+      break;
+  }
+  return out.str();
+}
+
+std::string PipelineGenerator::RandomProjection(const std::string& q) {
+  switch (Int(0, 6)) {
+    case 0:
+      return "*";
+    case 1:
+      return q + "K";
+    case 2:
+      return q + "V";
+    case 3:
+      return q + "K, " + q + "V";
+    case 4:
+      return q + "V, " + q + "G";
+    case 5:
+      return q + "V + 1 as X";
+    default:
+      return q + "K, " + q + "V, " + q + "G";
+  }
+}
+
+std::string PipelineGenerator::RandomProbe() {
+  // Quantifier: 0 = none (per-world result), 1 = possible, 2 = certain,
+  // 3 = conf.
+  int quant = Int(0, 3);
+  const char* quant_prefix[] = {"", "possible ", "certain ", "conf, "};
+  std::ostringstream out;
+  switch (Int(0, 8)) {
+    case 0: {  // selection + projection scan
+      const TableInfo& t = Pick(true);
+      out << "select " << quant_prefix[quant] << RandomProjection("");
+      out << " from " << t.name;
+      if (Chance(0.6)) out << " where " << RandomPredicate("");
+      break;
+    }
+    case 1: {  // self-join
+      const TableInfo& t = Pick(true);
+      if (quant == 3) quant = Int(0, 2);
+      out << "select " << quant_prefix[quant] << "a.V, b.K from " << t.name
+          << " a, " << t.name << " b where a.K < b.K";
+      if (Chance(0.5)) out << " and " << RandomPredicate("b.");
+      break;
+    }
+    case 2: {  // equi-join of two tables
+      const TableInfo& a = Pick(true);
+      const TableInfo& b = Pick(false);
+      out << "select " << quant_prefix[quant] << "a.K, b.V from " << a.name
+          << " a, " << b.name << " b where a.K = b.K";
+      if (Chance(0.5)) out << " and " << RandomPredicate("a.");
+      break;
+    }
+    case 3: {  // aggregate
+      const TableInfo& t = Pick(true);
+      if (quant == 3) quant = Int(0, 2);
+      const char* aggs[] = {"sum(V)", "count(*)", "min(V)", "max(W)"};
+      out << "select " << quant_prefix[quant] << aggs[Int(0, 3)] << " from "
+          << t.name;
+      if (Chance(0.5)) out << " where " << RandomPredicate("");
+      break;
+    }
+    case 4: {  // bare conf with a subquery condition
+      const TableInfo& t = Pick(true);
+      const TableInfo& u = Pick(true);
+      if (Chance(0.5)) {
+        out << "select conf from " << t.name << " where " << Int(5, 30)
+            << " > (select sum(V) from " << u.name << ")";
+      } else {
+        out << "select conf from " << t.name
+            << " where exists(select * from " << u.name << " where "
+            << RandomPredicate("") << ")";
+      }
+      break;
+    }
+    case 5: {  // group worlds by
+      const TableInfo& t = Pick(true);
+      const TableInfo& u = Pick(true);
+      const char* kQuant[] = {"possible", "certain"};
+      const char* kKey[] = {"min(V)", "count(*)", "max(V)"};
+      out << "select " << kQuant[Int(0, 1)] << " " << RandomProjection("")
+          << " from " << t.name << " group worlds by (select "
+          << kKey[Int(0, 2)] << " from " << u.name;
+      if (Chance(0.5)) out << " where " << RandomPredicate("");
+      out << ")";
+      break;
+    }
+    case 6: {  // query-level assert
+      const TableInfo& t = Pick(true);
+      out << "select " << quant_prefix[quant] << "V from " << t.name
+          << " assert exists(select * from " << t.name << " where V >= "
+          << Int(1, 2) << ")";
+      break;
+    }
+    case 7: {  // set operation
+      const TableInfo& a = Pick(true);
+      const TableInfo& b = Pick(true);
+      if (quant == 3) quant = Int(0, 2);
+      const char* kOps[] = {"union", "intersect", "except"};
+      out << "select " << quant_prefix[quant] << "V from " << a.name << " "
+          << kOps[Int(0, 2)] << " select V from " << b.name;
+      break;
+    }
+    default: {  // correlated EXISTS subquery
+      const TableInfo& t = Pick(true);
+      if (quant == 3) quant = Int(0, 2);
+      out << "select " << quant_prefix[quant] << "t.K from " << t.name
+          << " t where exists(select * from " << t.name
+          << " t2 where t2.V = t.V and t2.K <> t.K)";
+      break;
+    }
+  }
+  out << ";";
+  return out.str();
+}
+
+GeneratedPipeline PipelineGenerator::Generate() {
+  GeneratedPipeline p;
+  tables_.clear();
+  world_bound_ = 1;
+  next_base_ = 0;
+  next_derived_ = 0;
+
+  int bases = Int(1, options_.max_base_tables);
+  for (int i = 0; i < bases; ++i) EmitBaseTable(&p);
+  int derived = Int(1, options_.max_derived_tables);
+  for (int i = 0; i < derived; ++i) EmitDerivedTable(&p);
+  EmitLateDml(&p);
+
+  int probes = Int(options_.min_probes, options_.max_probes);
+  for (int i = 0; i < probes; ++i) p.probes.push_back(RandomProbe());
+
+  p.world_bound = world_bound_;
+  return p;
+}
+
+}  // namespace maybms::testing

@@ -1,0 +1,102 @@
+#ifndef MAYBMS_TESTS_PIPELINE_GEN_H_
+#define MAYBMS_TESTS_PIPELINE_GEN_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace maybms::testing {
+
+/// A randomly generated I-SQL pipeline: a setup script that builds a
+/// world-set (base tables, inserts, repair-by-key / choice-of / assert
+/// materializations, late DML) followed by read-only probe queries that
+/// exercise selections, projections, joins, aggregates, set operations,
+/// possible/certain/conf quantifiers, assert, and group-worlds-by.
+///
+/// The differential conformance harness executes every statement on both
+/// engine backends (ExplicitWorldSet and DecomposedWorldSet) and asserts
+/// that the observable behavior — success/failure, world counts, world
+/// distributions, answer relations, per-tuple confidences — agrees.
+struct GeneratedPipeline {
+  /// Statements that build the world-set, in order. They are expected to
+  /// succeed or fail *identically* on both engines; the harness executes
+  /// them one at a time and checks status agreement.
+  std::vector<std::string> setup;
+
+  /// Read-only queries whose full results are compared across engines.
+  std::vector<std::string> probes;
+
+  /// Upper bound on the number of worlds the setup can create (the
+  /// generator stays within its world budget so the explicit engine can
+  /// always enumerate).
+  uint64_t world_bound = 1;
+
+  /// The whole pipeline as one script, for failure messages.
+  std::string DebugString() const;
+};
+
+/// Deterministic seeded generator: the same seed always yields the same
+/// pipeline — on every platform and standard library (randomness is drawn
+/// from raw mt19937 words, never std::uniform_*_distribution) — so any
+/// conformance failure is reproducible from its seed.
+class PipelineGenerator {
+ public:
+  struct Options {
+    int max_base_tables = 2;      // >= 1
+    int max_derived_tables = 3;   // >= 1
+    int min_probes = 5;
+    int max_probes = 9;
+    uint64_t world_budget = 512;  // cap on worlds the setup may create
+  };
+
+  explicit PipelineGenerator(uint32_t seed);
+  PipelineGenerator(uint32_t seed, Options options);
+
+  GeneratedPipeline Generate();
+
+ private:
+  struct Row {
+    int k, v, w;
+    char g;
+  };
+
+  struct TableInfo {
+    std::string name;
+    bool uncertain = false;
+    // Rows of the root base table this table was derived from (derived
+    // tables only ever project subsets of their ancestor's rows, so these
+    // bound any repair/choice fan-out applied to this table).
+    std::vector<Row> ancestor_rows;
+  };
+
+  int Int(int lo, int hi);  // uniform in [lo, hi]
+  bool Chance(double p);    // true with probability ~p
+  const TableInfo& Pick(bool prefer_uncertain);
+
+  void EmitBaseTable(GeneratedPipeline* p);
+  void EmitDerivedTable(GeneratedPipeline* p);
+  void EmitLateDml(GeneratedPipeline* p);
+
+  /// Worst-case world multiplication factor of `repair by key <cols>`
+  /// (product of key-group sizes) or `choice of <col>` (distinct count)
+  /// over `rows`.
+  static uint64_t RepairFactor(const std::vector<Row>& rows,
+                               bool key_includes_g);
+  static uint64_t ChoiceFactor(const std::vector<Row>& rows, char col);
+
+  std::string RandomPredicate(const std::string& qualifier);
+  std::string RandomProjection(const std::string& qualifier);
+  std::string RandomProbe();
+
+  std::mt19937 rng_;
+  Options options_;
+  std::vector<TableInfo> tables_;
+  uint64_t world_bound_ = 1;
+  int next_base_ = 0;
+  int next_derived_ = 0;
+};
+
+}  // namespace maybms::testing
+
+#endif  // MAYBMS_TESTS_PIPELINE_GEN_H_

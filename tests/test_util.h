@@ -161,8 +161,9 @@ class EngineTest : public ::testing::TestWithParam<isql::EngineMode> {
       Engines, suite,                                                   \
       ::testing::Values(::maybms::isql::EngineMode::kExplicit,          \
                         ::maybms::isql::EngineMode::kDecomposed),       \
-      [](const ::testing::TestParamInfo<::maybms::isql::EngineMode>& info) { \
-        return info.param == ::maybms::isql::EngineMode::kExplicit      \
+      [](const ::testing::TestParamInfo<::maybms::isql::EngineMode>&    \
+             param_info) {                                              \
+        return param_info.param == ::maybms::isql::EngineMode::kExplicit \
                    ? "Explicit"                                         \
                    : "Decomposed";                                      \
       })
