@@ -1,0 +1,7 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure, build (with -Werror), and run the full test
+# suite. This is the exact line every PR is gated on (see ROADMAP.md).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j
