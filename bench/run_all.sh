@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Runs every bench binary and merges their JSON outputs into one baseline
+# file (default BENCH_seed.json in the repo root).
+#
+# Usage:
+#   bench/run_all.sh [output.json]
+#
+# Environment:
+#   BUILD_DIR       build directory holding the bench binaries (default: build)
+#   BENCH_MIN_TIME  per-benchmark min time (default: 0.05s — a smoke
+#                   baseline; raise for stable numbers, e.g. 0.5s)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+MIN_TIME="${BENCH_MIN_TIME:-0.05s}"
+OUT="${1:-BENCH_seed.json}"
+
+if ! ls "${BUILD_DIR}"/bench_* >/dev/null 2>&1; then
+  echo "no bench binaries in ${BUILD_DIR}/ — build first (scripts/check.sh)" >&2
+  exit 1
+fi
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "${tmpdir}"' EXIT
+
+for bin in "${BUILD_DIR}"/bench_*; do
+  name="$(basename "${bin}")"
+  echo "== ${name}" >&2
+  "${bin}" --benchmark_min_time="${MIN_TIME}" \
+           --benchmark_out="${tmpdir}/${name}.json" \
+           --benchmark_out_format=json >&2
+done
+
+python3 - "${OUT}" "${tmpdir}"/*.json <<'EOF'
+import json, os, sys
+
+out_path, inputs = sys.argv[1], sys.argv[2:]
+merged = {"context": None, "benchmarks": {}}
+for path in inputs:
+    with open(path) as f:
+        data = json.load(f)
+    if merged["context"] is None:
+        merged["context"] = data.get("context", {})
+    name = os.path.splitext(os.path.basename(path))[0]
+    merged["benchmarks"][name] = data.get("benchmarks", [])
+with open(out_path, "w") as f:
+    json.dump(merged, f, indent=1, sort_keys=True)
+    f.write("\n")
+total = sum(len(v) for v in merged["benchmarks"].values())
+print(f"wrote {out_path}: {total} benchmark cases "
+      f"from {len(inputs)} binaries")
+EOF
