@@ -5,6 +5,7 @@
 #include "base/string_util.h"
 #include "engine/executor.h"
 #include "engine/expr_eval.h"
+#include "engine/planner.h"
 
 namespace maybms::engine {
 
@@ -100,13 +101,15 @@ Status ExecuteInsert(const sql::InsertStatement& stmt, Database* db,
     }
     new_rows = result.rows();
   } else {
+    SubqueryCache subquery_cache;
     for (const auto& row_exprs : stmt.rows) {
       if (row_exprs.size() != targets.size()) {
         return Status::InvalidArgument("INSERT row arity mismatch: expected " +
                                        std::to_string(targets.size()));
       }
       Tuple row;
-      EvalContext ctx{db, nullptr, nullptr, nullptr, nullptr};
+      EvalContext ctx{db, nullptr, nullptr, nullptr, nullptr,
+                      &subquery_cache};
       for (const auto& e : row_exprs) {
         MAYBMS_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, ctx));
         row.Append(std::move(v));
@@ -145,8 +148,11 @@ Status ExecuteUpdate(const sql::UpdateStatement& stmt, Database* db,
     assignments.emplace_back(idx, expr.get());
   }
 
+  // The cache reads the pre-update relation in `db` (the copy is only
+  // published at the end), so one cache serves the whole row loop.
+  SubqueryCache subquery_cache;
   for (Tuple& row : *updated.mutable_rows()) {
-    EvalContext ctx{db, &schema, &row, nullptr, nullptr};
+    EvalContext ctx{db, &schema, &row, nullptr, nullptr, &subquery_cache};
     if (stmt.where) {
       MAYBMS_ASSIGN_OR_RETURN(Trivalent match, EvalPredicate(*stmt.where, ctx));
       if (match != Trivalent::kTrue) continue;
@@ -177,10 +183,11 @@ Status ExecuteDelete(const sql::DeleteStatement& stmt, Database* db) {
                           db->GetRelation(stmt.table_name));
   Table updated(existing->schema());
   const Schema& schema = existing->schema();
+  SubqueryCache subquery_cache;
   for (const Tuple& row : existing->rows()) {
     bool remove = true;
     if (stmt.where) {
-      EvalContext ctx{db, &schema, &row, nullptr, nullptr};
+      EvalContext ctx{db, &schema, &row, nullptr, nullptr, &subquery_cache};
       MAYBMS_ASSIGN_OR_RETURN(Trivalent match, EvalPredicate(*stmt.where, ctx));
       remove = match == Trivalent::kTrue;
     }

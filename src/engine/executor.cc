@@ -6,6 +6,8 @@
 #include <optional>
 
 #include "base/string_util.h"
+#include "engine/planner.h"
+#include "engine/type_deriver.h"
 
 namespace maybms::engine {
 
@@ -63,66 +65,34 @@ Result<std::vector<OutputItem>> ResolveItems(const SelectStatement& stmt,
   return items;
 }
 
-/// Static type of an expression where it can be known without evaluating
-/// rows: declared source type for column references, the literal's type,
-/// the cast target. Returns nullopt for everything else.
-std::optional<DataType> StaticExprType(const sql::Expr& expr,
-                                       const Schema& source) {
-  switch (expr.kind) {
-    case sql::ExprKind::kLiteral: {
-      const Value& v = static_cast<const sql::LiteralExpr&>(expr).value;
-      if (v.is_null()) return std::nullopt;
-      return v.type();
-    }
-    case sql::ExprKind::kColumnRef: {
-      const auto& ref = static_cast<const sql::ColumnRefExpr&>(expr);
-      Result<size_t> idx = source.FindColumn(ref.name, ref.qualifier);
-      if (!idx.ok()) return std::nullopt;  // unknown/ambiguous: fall back
-      return source.column(*idx).type;
-    }
-    case sql::ExprKind::kCast:
-      return static_cast<const sql::CastExpr&>(expr).target;
-    default:
-      return std::nullopt;
-  }
-}
-
-/// Infers output column types: declared source type for star columns and
-/// statically typed expressions; first non-null produced value otherwise.
-/// The static path matters for correctness, not just precision: a derived
-/// relation materialized from an empty (partition of a) source must still
-/// carry the source's declared column types, or later inserts/queries
-/// would see a schema that disagrees across engine representations.
+/// Infers output column types statically: declared source type for star
+/// columns, the type deriver (engine/type_deriver.h) for expressions, a
+/// deterministic kText default where nothing can be derived. Produced rows
+/// are never consulted: sampling would type an empty result differently
+/// from a populated one — and, worse, differently across the two engine
+/// representations (an empty partition vs. an empty enumerated world), so
+/// static derivation is a correctness requirement, not a precision nicety.
+/// NULL-padded LEFT-join columns likewise keep the joined table's declared
+/// types because derivation reads the schema, never the padded values.
 Schema InferOutputSchema(const std::vector<OutputItem>& items,
-                         const Schema& source,
-                         const std::vector<Tuple>& rows) {
+                         const Schema& source, const Database& db,
+                         const EvalContext* outer) {
+  EvalContext type_ctx;
+  type_ctx.db = &db;
+  type_ctx.schema = &source;
+  type_ctx.outer = outer;
   Schema schema;
-  for (size_t i = 0; i < items.size(); ++i) {
+  for (const OutputItem& item : items) {
     DataType type = DataType::kText;
-    if (items[i].expr == nullptr) {
-      type = source.column(items[i].source_column).type;
-    } else if (std::optional<DataType> static_type =
-                   StaticExprType(*items[i].expr, source)) {
-      type = *static_type;
-    } else {
-      for (const Tuple& row : rows) {
-        if (!row.value(i).is_null()) {
-          type = row.value(i).type();
-          break;
-        }
-      }
+    if (item.expr == nullptr) {
+      type = source.column(item.source_column).type;
+    } else if (std::optional<DataType> derived =
+                   DeriveExprType(*item.expr, type_ctx)) {
+      type = *derived;
     }
-    schema.AddColumn(Column(items[i].name, type));
+    schema.AddColumn(Column(item.name, type));
   }
   return schema;
-}
-
-bool StatementHasAggregates(const SelectStatement& stmt) {
-  for (const sql::SelectItem& item : stmt.items) {
-    if (item.expr && ContainsAggregate(*item.expr)) return true;
-  }
-  if (stmt.having && ContainsAggregate(*stmt.having)) return true;
-  return false;
 }
 
 /// Evaluates the core (no UNION) of a select statement in one world.
@@ -136,6 +106,11 @@ Result<Table> ExecuteSimpleSelect(const SelectStatement& stmt,
                           ResolveItems(stmt, source));
 
   bool grouped = !stmt.group_by.empty() || StatementHasAggregates(stmt);
+
+  // One subquery plan cache per select evaluation: EXISTS/IN/scalar
+  // subqueries in the select list, HAVING, or ORDER BY are decorrelated or
+  // evaluated once instead of re-executed per row (engine/planner.h).
+  SubqueryCache subquery_cache;
 
   std::vector<Tuple> out_rows;
   // For ORDER BY we keep, per output row, a representative source row
@@ -155,7 +130,7 @@ Result<Table> ExecuteSimpleSelect(const SelectStatement& stmt,
       groups.emplace(Tuple(), joined.rows());  // one global group (maybe empty)
     } else {
       for (const Tuple& row : joined.rows()) {
-        EvalContext ctx{&db, &source, &row, outer, nullptr};
+        EvalContext ctx{&db, &source, &row, outer, nullptr, &subquery_cache};
         Tuple key;
         for (const auto& g : stmt.group_by) {
           MAYBMS_ASSIGN_OR_RETURN(Value v, EvalExpr(*g, ctx));
@@ -167,7 +142,7 @@ Result<Table> ExecuteSimpleSelect(const SelectStatement& stmt,
     for (auto& [key, rows] : groups) {
       const Tuple* first = rows.empty() ? nullptr : &rows[0];
       EvalContext ctx{&db, rows.empty() ? nullptr : &source, first, outer,
-                      &rows};
+                      &rows, &subquery_cache};
       if (stmt.having) {
         MAYBMS_ASSIGN_OR_RETURN(Trivalent keep, EvalPredicate(*stmt.having, ctx));
         if (keep != Trivalent::kTrue) continue;
@@ -182,7 +157,7 @@ Result<Table> ExecuteSimpleSelect(const SelectStatement& stmt,
     }
   } else {
     for (const Tuple& row : joined.rows()) {
-      EvalContext ctx{&db, &source, &row, outer, nullptr};
+      EvalContext ctx{&db, &source, &row, outer, nullptr, &subquery_cache};
       Tuple out;
       for (const OutputItem& item : items) {
         if (item.expr == nullptr) {
@@ -197,7 +172,7 @@ Result<Table> ExecuteSimpleSelect(const SelectStatement& stmt,
     }
   }
 
-  Schema out_schema = InferOutputSchema(items, source, out_rows);
+  Schema out_schema = InferOutputSchema(items, source, db, outer);
 
   // DISTINCT before ORDER BY (standard SQL evaluation order).
   if (stmt.distinct) {
@@ -253,7 +228,8 @@ Result<Table> ExecuteSimpleSelect(const SelectStatement& stmt,
           }
         }
         if (!resolved) {
-          EvalContext ctx{&db, &source, &representative[i], outer, nullptr};
+          EvalContext ctx{&db, &source, &representative[i], outer, nullptr,
+                          &subquery_cache};
           MAYBMS_ASSIGN_OR_RETURN(key, EvalExpr(*item.expr, ctx));
         }
         keys[i].push_back(std::move(key));
@@ -292,69 +268,16 @@ bool HasWorldOps(const SelectStatement& stmt) {
   return false;
 }
 
-Result<Table> ExecuteFromWhere(const SelectStatement& stmt, const Database& db,
-                               const EvalContext* outer) {
-  Schema schema;
-  std::vector<Tuple> rows = {Tuple()};
-
-  for (const sql::TableRef& ref : stmt.from) {
-    MAYBMS_ASSIGN_OR_RETURN(const Table* table, db.GetRelation(ref.table_name));
-    Schema qualified = table->schema().WithQualifier(ref.effective_alias());
-    Schema next_schema = Schema::Concat(schema, qualified);
-    std::vector<Tuple> next_rows;
-    next_rows.reserve(rows.size() * std::max<size_t>(1, table->num_rows()));
-    for (const Tuple& left : rows) {
-      for (const Tuple& right : table->rows()) {
-        next_rows.push_back(Tuple::Concat(left, right));
-      }
-    }
-    schema = std::move(next_schema);
-    rows = std::move(next_rows);
+bool StatementHasAggregates(const SelectStatement& stmt) {
+  for (const sql::SelectItem& item : stmt.items) {
+    if (item.expr && ContainsAggregate(*item.expr)) return true;
   }
-
-  // Explicit JOIN ... ON clauses (nested-loop; LEFT joins pad with NULLs).
-  for (const sql::JoinClause& join : stmt.joins) {
-    MAYBMS_ASSIGN_OR_RETURN(const Table* table,
-                            db.GetRelation(join.table.table_name));
-    Schema qualified =
-        table->schema().WithQualifier(join.table.effective_alias());
-    Schema next_schema = Schema::Concat(schema, qualified);
-    std::vector<Tuple> next_rows;
-    for (const Tuple& left : rows) {
-      bool matched = false;
-      for (const Tuple& right : table->rows()) {
-        Tuple combined = Tuple::Concat(left, right);
-        EvalContext ctx{&db, &next_schema, &combined, outer, nullptr};
-        MAYBMS_ASSIGN_OR_RETURN(Trivalent keep, EvalPredicate(*join.on, ctx));
-        if (keep == Trivalent::kTrue) {
-          matched = true;
-          next_rows.push_back(std::move(combined));
-        }
-      }
-      if (!matched && join.kind == sql::JoinKind::kLeftOuter) {
-        Tuple padded = left;
-        for (size_t i = 0; i < qualified.num_columns(); ++i) {
-          padded.Append(Value::Null());
-        }
-        next_rows.push_back(std::move(padded));
-      }
-    }
-    schema = std::move(next_schema);
-    rows = std::move(next_rows);
-  }
-
-  if (stmt.where) {
-    std::vector<Tuple> filtered;
-    for (Tuple& row : rows) {
-      EvalContext ctx{&db, &schema, &row, outer, nullptr};
-      MAYBMS_ASSIGN_OR_RETURN(Trivalent keep, EvalPredicate(*stmt.where, ctx));
-      if (keep == Trivalent::kTrue) filtered.push_back(std::move(row));
-    }
-    rows = std::move(filtered);
-  }
-
-  return Table(std::move(schema), std::move(rows));
+  if (stmt.having && ContainsAggregate(*stmt.having)) return true;
+  return false;
 }
+
+// ExecuteFromWhere — the hash-join FROM/WHERE pipeline — lives in
+// engine/planner.cc.
 
 Result<Table> ProjectTuples(const sql::SelectStatement& stmt,
                             const Database& db, const Schema& source,
@@ -367,10 +290,11 @@ Result<Table> ProjectTuples(const sql::SelectStatement& stmt,
           "aggregates cannot be combined with repair by key / choice of");
     }
   }
+  SubqueryCache subquery_cache;
   std::vector<Tuple> out_rows;
   out_rows.reserve(rows.size());
   for (const Tuple& row : rows) {
-    EvalContext ctx{&db, &source, &row, nullptr, nullptr};
+    EvalContext ctx{&db, &source, &row, nullptr, nullptr, &subquery_cache};
     Tuple out;
     for (const OutputItem& item : items) {
       if (item.expr == nullptr) {
@@ -382,7 +306,7 @@ Result<Table> ProjectTuples(const sql::SelectStatement& stmt,
     }
     out_rows.push_back(std::move(out));
   }
-  Schema out_schema = InferOutputSchema(items, source, out_rows);
+  Schema out_schema = InferOutputSchema(items, source, db, nullptr);
   return Table(std::move(out_schema), std::move(out_rows));
 }
 

@@ -15,6 +15,11 @@ namespace maybms::engine {
 /// evaluated by the world-set layer, not by the per-world executor.
 bool HasWorldOps(const sql::SelectStatement& stmt);
 
+/// True if the statement's select list or HAVING clause contains an
+/// aggregate function call (which makes the statement a grouped query even
+/// without GROUP BY).
+bool StatementHasAggregates(const sql::SelectStatement& stmt);
+
 /// Evaluates the SQL core of `stmt` in a single world `db` under standard
 /// (per-world) semantics. `outer` is the enclosing row context for
 /// correlated subqueries (null at top level).
@@ -24,9 +29,13 @@ Result<Table> ExecuteSelect(const sql::SelectStatement& stmt,
                             const Database& db,
                             const EvalContext* outer = nullptr);
 
-/// Builds the cross product of the FROM clause (with alias-qualified
-/// schemas) and applies the WHERE filter. Exposed for the world-set layer,
-/// which reuses it for repair/choice input relations.
+/// Evaluates the FROM clause (comma items and JOIN ... ON clauses, with
+/// alias-qualified schemas) and applies the WHERE filter. Equi-conjuncts
+/// are executed as hash joins with residual predicates applied per bucket
+/// match; non-equi joins fall back to nested loops; subquery predicates
+/// are decorrelated where possible (implementation in engine/planner.cc).
+/// Exposed for the world-set layer, which reuses it for repair/choice
+/// input relations.
 Result<Table> ExecuteFromWhere(const sql::SelectStatement& stmt,
                                const Database& db,
                                const EvalContext* outer = nullptr);

@@ -6,6 +6,7 @@
 
 #include "base/string_util.h"
 #include "engine/executor.h"
+#include "engine/planner.h"
 
 namespace maybms::engine {
 
@@ -15,18 +16,6 @@ using sql::BinaryOp;
 using sql::Expr;
 using sql::ExprKind;
 using sql::UnaryOp;
-
-Value TrivalentToValue(Trivalent t) {
-  switch (t) {
-    case Trivalent::kTrue:
-      return Value::Boolean(true);
-    case Trivalent::kFalse:
-      return Value::Boolean(false);
-    case Trivalent::kUnknown:
-      return Value::Null();
-  }
-  return Value::Null();
-}
 
 Trivalent ValueToTrivalent(const Value& v) {
   if (v.is_null()) return Trivalent::kUnknown;
@@ -405,67 +394,92 @@ Result<Value> EvalScalarFunction(const sql::FunctionCallExpr& call,
 
 }  // namespace
 
+Value TrivalentToValue(Trivalent t) {
+  switch (t) {
+    case Trivalent::kTrue:
+      return Value::Boolean(true);
+    case Trivalent::kFalse:
+      return Value::Boolean(false);
+    case Trivalent::kUnknown:
+      return Value::Null();
+  }
+  return Value::Null();
+}
+
+void ForEachChildExpr(const sql::Expr& expr,
+                      const std::function<void(const sql::Expr&)>& fn) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+    case ExprKind::kColumnRef:
+    case ExprKind::kExists:
+    case ExprKind::kScalarSubquery:
+      return;  // leaves (subquery statements are scoped separately)
+    case ExprKind::kUnary:
+      fn(*static_cast<const sql::UnaryExpr&>(expr).operand);
+      return;
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const sql::BinaryExpr&>(expr);
+      fn(*b.left);
+      fn(*b.right);
+      return;
+    }
+    case ExprKind::kFunctionCall:
+      for (const auto& a : static_cast<const sql::FunctionCallExpr&>(expr).args) {
+        fn(*a);
+      }
+      return;
+    case ExprKind::kIsNull:
+      fn(*static_cast<const sql::IsNullExpr&>(expr).operand);
+      return;
+    case ExprKind::kInList: {
+      const auto& in = static_cast<const sql::InListExpr&>(expr);
+      fn(*in.operand);
+      for (const auto& i : in.items) fn(*i);
+      return;
+    }
+    case ExprKind::kInSubquery:
+      fn(*static_cast<const sql::InSubqueryExpr&>(expr).operand);
+      return;
+    case ExprKind::kBetween: {
+      const auto& b = static_cast<const sql::BetweenExpr&>(expr);
+      fn(*b.operand);
+      fn(*b.low);
+      fn(*b.high);
+      return;
+    }
+    case ExprKind::kCase: {
+      const auto& c = static_cast<const sql::CaseExpr&>(expr);
+      for (const auto& w : c.whens) {
+        fn(*w.condition);
+        fn(*w.result);
+      }
+      if (c.else_result) fn(*c.else_result);
+      return;
+    }
+    case ExprKind::kCast:
+      fn(*static_cast<const sql::CastExpr&>(expr).operand);
+      return;
+  }
+}
+
 bool IsAggregateFunction(const std::string& name) {
   return name == "sum" || name == "count" || name == "avg" || name == "min" ||
          name == "max";
 }
 
 bool ContainsAggregate(const sql::Expr& expr) {
-  switch (expr.kind) {
-    case ExprKind::kLiteral:
-    case ExprKind::kColumnRef:
-      return false;
-    case ExprKind::kUnary:
-      return ContainsAggregate(
-          *static_cast<const sql::UnaryExpr&>(expr).operand);
-    case ExprKind::kBinary: {
-      const auto& b = static_cast<const sql::BinaryExpr&>(expr);
-      return ContainsAggregate(*b.left) || ContainsAggregate(*b.right);
-    }
-    case ExprKind::kFunctionCall: {
-      const auto& f = static_cast<const sql::FunctionCallExpr&>(expr);
-      if (IsAggregateFunction(f.name)) return true;
-      for (const auto& a : f.args) {
-        if (ContainsAggregate(*a)) return true;
-      }
-      return false;
-    }
-    case ExprKind::kIsNull:
-      return ContainsAggregate(
-          *static_cast<const sql::IsNullExpr&>(expr).operand);
-    case ExprKind::kInList: {
-      const auto& in = static_cast<const sql::InListExpr&>(expr);
-      if (ContainsAggregate(*in.operand)) return true;
-      for (const auto& i : in.items) {
-        if (ContainsAggregate(*i)) return true;
-      }
-      return false;
-    }
-    case ExprKind::kInSubquery:
-      return ContainsAggregate(
-          *static_cast<const sql::InSubqueryExpr&>(expr).operand);
-    case ExprKind::kExists:
-    case ExprKind::kScalarSubquery:
-      return false;  // subqueries aggregate independently
-    case ExprKind::kBetween: {
-      const auto& b = static_cast<const sql::BetweenExpr&>(expr);
-      return ContainsAggregate(*b.operand) || ContainsAggregate(*b.low) ||
-             ContainsAggregate(*b.high);
-    }
-    case ExprKind::kCase: {
-      const auto& c = static_cast<const sql::CaseExpr&>(expr);
-      for (const auto& w : c.whens) {
-        if (ContainsAggregate(*w.condition) || ContainsAggregate(*w.result)) {
-          return true;
-        }
-      }
-      return c.else_result && ContainsAggregate(*c.else_result);
-    }
-    case ExprKind::kCast:
-      return ContainsAggregate(
-          *static_cast<const sql::CastExpr&>(expr).operand);
+  if (expr.kind == ExprKind::kFunctionCall &&
+      IsAggregateFunction(
+          static_cast<const sql::FunctionCallExpr&>(expr).name)) {
+    return true;
   }
-  return false;
+  // Subquery statements are not descended into: they aggregate
+  // independently (ForEachChildExpr still visits the IN operand).
+  bool found = false;
+  ForEachChildExpr(expr, [&found](const sql::Expr& child) {
+    if (!found) found = ContainsAggregate(child);
+  });
+  return found;
 }
 
 Result<Trivalent> EvalPredicate(const sql::Expr& expr,
@@ -524,6 +538,11 @@ Result<Value> EvalExpr(const sql::Expr& expr, const EvalContext& ctx) {
     }
 
     case ExprKind::kInSubquery: {
+      if (ctx.cache != nullptr) {
+        MAYBMS_ASSIGN_OR_RETURN(std::optional<Value> cached,
+                                EvalSubqueryViaCache(expr, ctx));
+        if (cached.has_value()) return std::move(*cached);
+      }
       const auto& in = static_cast<const sql::InSubqueryExpr&>(expr);
       MAYBMS_ASSIGN_OR_RETURN(Value operand, EvalExpr(*in.operand, ctx));
       MAYBMS_ASSIGN_OR_RETURN(Table result,
@@ -542,6 +561,11 @@ Result<Value> EvalExpr(const sql::Expr& expr, const EvalContext& ctx) {
     }
 
     case ExprKind::kExists: {
+      if (ctx.cache != nullptr) {
+        MAYBMS_ASSIGN_OR_RETURN(std::optional<Value> cached,
+                                EvalSubqueryViaCache(expr, ctx));
+        if (cached.has_value()) return std::move(*cached);
+      }
       const auto& ex = static_cast<const sql::ExistsExpr&>(expr);
       MAYBMS_ASSIGN_OR_RETURN(Table result,
                               ExecuteSelect(*ex.subquery, *ctx.db, &ctx));
@@ -550,6 +574,11 @@ Result<Value> EvalExpr(const sql::Expr& expr, const EvalContext& ctx) {
     }
 
     case ExprKind::kScalarSubquery: {
+      if (ctx.cache != nullptr) {
+        MAYBMS_ASSIGN_OR_RETURN(std::optional<Value> cached,
+                                EvalSubqueryViaCache(expr, ctx));
+        if (cached.has_value()) return std::move(*cached);
+      }
       const auto& sub = static_cast<const sql::ScalarSubqueryExpr&>(expr);
       MAYBMS_ASSIGN_OR_RETURN(Table result,
                               ExecuteSelect(*sub.subquery, *ctx.db, &ctx));

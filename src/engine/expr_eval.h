@@ -1,6 +1,7 @@
 #ifndef MAYBMS_ENGINE_EXPR_EVAL_H_
 #define MAYBMS_ENGINE_EXPR_EVAL_H_
 
+#include <functional>
 #include <vector>
 
 #include "base/result.h"
@@ -12,6 +13,8 @@
 
 namespace maybms::engine {
 
+class SubqueryCache;
+
 /// Evaluation environment for one expression over one candidate row.
 ///
 /// `outer` chains contexts for correlated subqueries: a column that does
@@ -19,12 +22,19 @@ namespace maybms::engine {
 /// query's row. `group_rows` is set while evaluating the select/having
 /// list of a grouped query; aggregate function nodes then aggregate over
 /// these rows instead of reading the current row.
+///
+/// `cache` (optional) is the enclosing query scope's subquery plan cache
+/// (see engine/planner.h): when set, EXISTS/IN/scalar subquery nodes are
+/// evaluated through one-shot decorrelated plans instead of re-executing
+/// the subquery per row. It must only be set on contexts whose `outer`
+/// chain stays fixed for the cache's lifetime.
 struct EvalContext {
   const Database* db = nullptr;
   const Schema* schema = nullptr;             // may be null (no FROM)
   const Tuple* row = nullptr;                 // may be null (no FROM)
   const EvalContext* outer = nullptr;
   const std::vector<Tuple>* group_rows = nullptr;
+  SubqueryCache* cache = nullptr;
 };
 
 /// Evaluates `expr` in `ctx`. Boolean-valued expressions produce
@@ -33,6 +43,17 @@ Result<Value> EvalExpr(const sql::Expr& expr, const EvalContext& ctx);
 
 /// Evaluates `expr` as a predicate; NULL/UNKNOWN maps to kUnknown.
 Result<Trivalent> EvalPredicate(const sql::Expr& expr, const EvalContext& ctx);
+
+/// SQL boolean Value for a trivalent truth value (kUnknown -> NULL).
+Value TrivalentToValue(Trivalent t);
+
+/// Invokes `fn` on each immediate child expression of `expr`. Subquery
+/// statements are not descended into — their expressions resolve in their
+/// own scope — but the IN-subquery operand, which lives in the enclosing
+/// scope, is visited. The shared traversal skeleton for AST analyses
+/// (ContainsAggregate, the planner's reference/correlation scans).
+void ForEachChildExpr(const sql::Expr& expr,
+                      const std::function<void(const sql::Expr&)>& fn);
 
 /// True if the expression tree contains an aggregate function call
 /// (outside of subqueries, which aggregate independently).

@@ -1,0 +1,57 @@
+#ifndef MAYBMS_ENGINE_PLANNER_H_
+#define MAYBMS_ENGINE_PLANNER_H_
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "base/result.h"
+#include "engine/expr_eval.h"
+#include "sql/ast.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+
+namespace maybms::engine {
+
+/// Splits `pred` into its top-level AND conjuncts, left to right
+/// (borrowed pointers into the statement's AST).
+std::vector<const sql::Expr*> SplitConjuncts(const sql::Expr& pred);
+
+/// Per-query cache of subquery evaluation plans, keyed by AST node
+/// identity. One cache covers one evaluation scope (a FROM/WHERE pipeline,
+/// a select list, one DML statement): within a scope the database and
+/// every enclosing (`outer`) row are fixed, so a subquery can be analyzed
+/// once and either evaluated a single time (no correlation with the
+/// scope's varying row) or decorrelated into a hash semi-join probed per
+/// row. A cache must never outlive its scope.
+///
+/// Entries are built lazily by EvalSubqueryViaCache on the first
+/// evaluation of each subquery node, so a query whose predicate never
+/// reaches a subquery pays nothing.
+class SubqueryCache {
+ public:
+  SubqueryCache();
+  ~SubqueryCache();
+  SubqueryCache(const SubqueryCache&) = delete;
+  SubqueryCache& operator=(const SubqueryCache&) = delete;
+
+  struct Entry;
+
+ private:
+  friend Result<std::optional<Value>> EvalSubqueryViaCache(
+      const sql::Expr& expr, const EvalContext& ctx);
+
+  std::unordered_map<const sql::Expr*, std::unique_ptr<Entry>> entries_;
+};
+
+/// Evaluates a kExists / kInSubquery / kScalarSubquery node through
+/// `ctx.cache`. Returns an engaged Value when the cached plan applies;
+/// nullopt when the node is not amenable (the caller falls back to
+/// per-row subquery execution). Requires ctx.cache != nullptr.
+Result<std::optional<Value>> EvalSubqueryViaCache(const sql::Expr& expr,
+                                                  const EvalContext& ctx);
+
+}  // namespace maybms::engine
+
+#endif  // MAYBMS_ENGINE_PLANNER_H_

@@ -1,0 +1,235 @@
+#include "engine/type_deriver.h"
+
+#include <vector>
+
+#include "engine/executor.h"
+
+namespace maybms::engine {
+
+namespace {
+
+using sql::BinaryOp;
+using sql::ExprKind;
+
+/// Merges the types a multi-branch construct (CASE, COALESCE) can produce.
+/// Branches that are literal NULLs never contribute a value type and are
+/// skipped by the caller; any remaining underivable branch makes the whole
+/// construct underivable. Equal types merge to themselves; mixed numeric
+/// types widen to REAL; anything else is unknown.
+std::optional<DataType> MergeBranchTypes(
+    const std::vector<std::optional<DataType>>& branches) {
+  std::optional<DataType> merged;
+  for (const std::optional<DataType>& t : branches) {
+    if (!t.has_value()) return std::nullopt;
+    if (!merged.has_value()) {
+      merged = t;
+    } else if (*merged != *t) {
+      bool both_numeric =
+          (*merged == DataType::kInteger || *merged == DataType::kReal) &&
+          (*t == DataType::kInteger || *t == DataType::kReal);
+      if (!both_numeric) return std::nullopt;
+      merged = DataType::kReal;
+    }
+  }
+  return merged;
+}
+
+bool IsNullLiteral(const sql::Expr& expr) {
+  return expr.kind == ExprKind::kLiteral &&
+         static_cast<const sql::LiteralExpr&>(expr).value.is_null();
+}
+
+std::optional<DataType> DeriveColumnRef(const sql::ColumnRefExpr& ref,
+                                        const EvalContext& ctx) {
+  for (const EvalContext* c = &ctx; c != nullptr; c = c->outer) {
+    if (c->schema == nullptr) continue;
+    if (c->schema->HasColumn(ref.name, ref.qualifier)) {
+      Result<size_t> idx = c->schema->FindColumn(ref.name, ref.qualifier);
+      if (!idx.ok()) return std::nullopt;  // ambiguous: evaluation will error
+      return c->schema->column(*idx).type;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<DataType> DeriveFunctionCall(const sql::FunctionCallExpr& call,
+                                           const EvalContext& ctx) {
+  if (IsAggregateFunction(call.name)) {
+    if (call.name == "count") return DataType::kInteger;
+    if (call.name == "avg") return DataType::kReal;
+    if (call.args.size() != 1) return std::nullopt;
+    std::optional<DataType> arg = DeriveExprType(*call.args[0], ctx);
+    if (call.name == "sum") {
+      // EvalAggregate returns Integer iff every input is an integer.
+      if (arg == DataType::kInteger || arg == DataType::kReal) return arg;
+      return std::nullopt;
+    }
+    return arg;  // min/max preserve the argument type
+  }
+
+  if (call.name == "abs") {
+    if (call.args.size() != 1) return std::nullopt;
+    std::optional<DataType> arg = DeriveExprType(*call.args[0], ctx);
+    if (arg == DataType::kInteger || arg == DataType::kReal) return arg;
+    return std::nullopt;
+  }
+  if (call.name == "round") return DataType::kReal;
+  if (call.name == "lower" || call.name == "upper" || call.name == "substr" ||
+      call.name == "substring" || call.name == "replace" ||
+      call.name == "concat") {
+    return DataType::kText;
+  }
+  if (call.name == "length" || call.name == "floor" || call.name == "ceil" ||
+      call.name == "ceiling" || call.name == "sign" || call.name == "mod") {
+    return DataType::kInteger;
+  }
+  if (call.name == "coalesce") {
+    std::vector<std::optional<DataType>> branches;
+    for (const auto& a : call.args) {
+      if (IsNullLiteral(*a)) continue;
+      branches.push_back(DeriveExprType(*a, ctx));
+    }
+    return MergeBranchTypes(branches);
+  }
+  if (call.name == "nullif") {
+    if (call.args.size() != 2) return std::nullopt;
+    return DeriveExprType(*call.args[0], ctx);
+  }
+  return std::nullopt;  // unknown function: evaluation will error
+}
+
+std::optional<DataType> DeriveScalarSubquery(const sql::SelectStatement& sub,
+                                             const EvalContext& ctx) {
+  if (HasWorldOps(sub)) return std::nullopt;
+  // Set-operation chains take the head statement's schema (ExecuteSelect).
+  if (sub.items.size() != 1 || sub.items[0].star) return std::nullopt;
+  if (ctx.db == nullptr) return std::nullopt;
+  std::optional<Schema> source = DeriveSourceSchema(sub, *ctx.db);
+  if (!source.has_value()) return std::nullopt;
+  EvalContext sub_ctx;
+  sub_ctx.db = ctx.db;
+  sub_ctx.schema = &*source;
+  sub_ctx.outer = &ctx;
+  return DeriveExprType(*sub.items[0].expr, sub_ctx);
+}
+
+}  // namespace
+
+std::optional<Schema> DeriveSourceSchema(const sql::SelectStatement& stmt,
+                                         const Database& db) {
+  Schema schema;
+  for (const sql::TableRef& ref : stmt.from) {
+    Result<const Table*> table = db.GetRelation(ref.table_name);
+    if (!table.ok()) return std::nullopt;
+    schema = Schema::Concat(
+        schema, (*table)->schema().WithQualifier(ref.effective_alias()));
+  }
+  for (const sql::JoinClause& join : stmt.joins) {
+    Result<const Table*> table = db.GetRelation(join.table.table_name);
+    if (!table.ok()) return std::nullopt;
+    schema = Schema::Concat(
+        schema,
+        (*table)->schema().WithQualifier(join.table.effective_alias()));
+  }
+  return schema;
+}
+
+std::optional<DataType> DeriveExprType(const sql::Expr& expr,
+                                       const EvalContext& ctx) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral: {
+      const Value& v = static_cast<const sql::LiteralExpr&>(expr).value;
+      if (v.is_null()) return std::nullopt;
+      return v.type();
+    }
+
+    case ExprKind::kColumnRef:
+      return DeriveColumnRef(static_cast<const sql::ColumnRefExpr&>(expr),
+                             ctx);
+
+    case ExprKind::kUnary: {
+      const auto& u = static_cast<const sql::UnaryExpr&>(expr);
+      if (u.op == sql::UnaryOp::kNot) return DataType::kBoolean;
+      std::optional<DataType> operand = DeriveExprType(*u.operand, ctx);
+      if (operand == DataType::kInteger || operand == DataType::kReal) {
+        return operand;
+      }
+      return std::nullopt;
+    }
+
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const sql::BinaryExpr&>(expr);
+      switch (b.op) {
+        case BinaryOp::kAnd:
+        case BinaryOp::kOr:
+        case BinaryOp::kEquals:
+        case BinaryOp::kNotEquals:
+        case BinaryOp::kLess:
+        case BinaryOp::kLessEquals:
+        case BinaryOp::kGreater:
+        case BinaryOp::kGreaterEquals:
+        case BinaryOp::kLike:
+          return DataType::kBoolean;
+        case BinaryOp::kDivide:
+          return DataType::kReal;  // division is always real (EvalBinary)
+        case BinaryOp::kModulo:
+          return DataType::kInteger;
+        case BinaryOp::kAdd:
+        case BinaryOp::kSubtract:
+        case BinaryOp::kMultiply: {
+          std::optional<DataType> left = DeriveExprType(*b.left, ctx);
+          std::optional<DataType> right = DeriveExprType(*b.right, ctx);
+          if (!left.has_value() || !right.has_value()) return std::nullopt;
+          if (*left == DataType::kInteger && *right == DataType::kInteger) {
+            return DataType::kInteger;
+          }
+          bool left_num =
+              *left == DataType::kInteger || *left == DataType::kReal;
+          bool right_num =
+              *right == DataType::kInteger || *right == DataType::kReal;
+          if (left_num && right_num) return DataType::kReal;
+          if (b.op == BinaryOp::kAdd && *left == DataType::kText &&
+              *right == DataType::kText) {
+            return DataType::kText;  // '+' concatenates two texts
+          }
+          return std::nullopt;  // evaluation will error
+        }
+      }
+      return std::nullopt;
+    }
+
+    case ExprKind::kFunctionCall:
+      return DeriveFunctionCall(static_cast<const sql::FunctionCallExpr&>(expr),
+                                ctx);
+
+    case ExprKind::kIsNull:
+    case ExprKind::kInList:
+    case ExprKind::kInSubquery:
+    case ExprKind::kExists:
+    case ExprKind::kBetween:
+      return DataType::kBoolean;
+
+    case ExprKind::kScalarSubquery:
+      return DeriveScalarSubquery(
+          *static_cast<const sql::ScalarSubqueryExpr&>(expr).subquery, ctx);
+
+    case ExprKind::kCase: {
+      const auto& c = static_cast<const sql::CaseExpr&>(expr);
+      std::vector<std::optional<DataType>> branches;
+      for (const auto& w : c.whens) {
+        if (IsNullLiteral(*w.result)) continue;
+        branches.push_back(DeriveExprType(*w.result, ctx));
+      }
+      if (c.else_result && !IsNullLiteral(*c.else_result)) {
+        branches.push_back(DeriveExprType(*c.else_result, ctx));
+      }
+      return MergeBranchTypes(branches);
+    }
+
+    case ExprKind::kCast:
+      return static_cast<const sql::CastExpr&>(expr).target;
+  }
+  return std::nullopt;
+}
+
+}  // namespace maybms::engine

@@ -1,0 +1,37 @@
+#ifndef MAYBMS_ENGINE_TYPE_DERIVER_H_
+#define MAYBMS_ENGINE_TYPE_DERIVER_H_
+
+#include <optional>
+
+#include "engine/expr_eval.h"
+#include "sql/ast.h"
+#include "storage/catalog.h"
+#include "types/schema.h"
+
+namespace maybms::engine {
+
+/// Derives the static output type of `expr` without evaluating any rows.
+///
+/// Resolution mirrors EvalExpr: column references bind to `ctx.schema`
+/// first, then walk the `ctx.outer` chain; scalar subqueries are typed by
+/// building the subquery's FROM schema from the catalog and recursing on
+/// its single select item. Only `ctx.db`, `ctx.schema`, and `ctx.outer`
+/// are consulted — rows are never touched, so the result is identical for
+/// empty and populated inputs (the property both engine representations
+/// must agree on).
+///
+/// Returns nullopt where no type can be known statically (NULL literals,
+/// unknown columns, unresolvable subqueries); callers fall back to a
+/// deterministic default (kText), never to sampling produced rows.
+std::optional<DataType> DeriveExprType(const sql::Expr& expr,
+                                       const EvalContext& ctx);
+
+/// Builds the qualified FROM/JOIN source schema of `stmt` (declared column
+/// types, alias qualifiers) from the catalog alone. Returns nullopt if a
+/// referenced relation does not exist.
+std::optional<Schema> DeriveSourceSchema(const sql::SelectStatement& stmt,
+                                         const Database& db);
+
+}  // namespace maybms::engine
+
+#endif  // MAYBMS_ENGINE_TYPE_DERIVER_H_

@@ -10,6 +10,7 @@
 #include "engine/dml.h"
 #include "engine/executor.h"
 #include "engine/expr_eval.h"
+#include "engine/planner.h"
 #include "worlds/explicit_world_set.h"
 #include "worlds/partition.h"
 
@@ -102,9 +103,11 @@ Result<std::vector<Tuple>> FilterProjectRows(
     const std::vector<Tuple>& rows, Schema* out_schema) {
   std::vector<Tuple> kept;
   kept.reserve(rows.size());
+  engine::SubqueryCache subquery_cache;  // one fixed db across the row loop
   for (const Tuple& row : rows) {
     if (core.where) {
-      engine::EvalContext ctx{&db, &schema, &row, nullptr, nullptr};
+      engine::EvalContext ctx{&db,     &schema, &row,
+                              nullptr, nullptr, &subquery_cache};
       MAYBMS_ASSIGN_OR_RETURN(Trivalent keep,
                               engine::EvalPredicate(*core.where, ctx));
       if (keep != Trivalent::kTrue) continue;
@@ -617,7 +620,8 @@ Result<DecomposedWorldSet::PipelineOutput> DecomposedWorldSet::RunPipeline(
     if (out.certain_result.has_value()) {
       Database extended = certain_;
       extended.PutRelation(result_name, *out.certain_result);
-      engine::EvalContext ctx{&extended, nullptr, nullptr, nullptr, nullptr};
+      engine::EvalContext ctx{&extended, nullptr, nullptr, nullptr, nullptr,
+                              nullptr};
       MAYBMS_ASSIGN_OR_RETURN(
           Trivalent keep, engine::EvalPredicate(*stmt.assert_condition, ctx));
       if (keep != Trivalent::kTrue) {
@@ -655,7 +659,8 @@ Result<DecomposedWorldSet::PipelineOutput> DecomposedWorldSet::RunPipeline(
         Database local =
             BuildLocalDatabase({&merged.component.alternatives[i]});
         local.PutRelation(result_name, merged.results[i]);
-        engine::EvalContext ctx{&local, nullptr, nullptr, nullptr, nullptr};
+        engine::EvalContext ctx{&local, nullptr, nullptr, nullptr, nullptr,
+                                nullptr};
         MAYBMS_ASSIGN_OR_RETURN(
             Trivalent keep,
             engine::EvalPredicate(*stmt.assert_condition, ctx));

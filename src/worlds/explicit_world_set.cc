@@ -258,7 +258,9 @@ Result<ExplicitWorldSet::PipelineOutput> ExplicitWorldSet::RunPipeline(
     std::vector<World> surviving;
     double total = 0;
     for (World& world : out.worlds) {
-      engine::EvalContext ctx{&world.db, nullptr, nullptr, nullptr, nullptr};
+      // Per-world database: subquery plans cannot be cached across worlds.
+      engine::EvalContext ctx{&world.db, nullptr, nullptr, nullptr, nullptr,
+                              nullptr};
       MAYBMS_ASSIGN_OR_RETURN(
           Trivalent keep,
           engine::EvalPredicate(*stmt.assert_condition, ctx));

@@ -56,7 +56,8 @@ Result<double> EstimateConditionProbability(const WorldSet& world_set,
   size_t hits = 0;
   for (size_t s = 0; s < samples; ++s) {
     MAYBMS_ASSIGN_OR_RETURN(World world, world_set.SampleWorld(&rng));
-    engine::EvalContext ctx{&world.db, nullptr, nullptr, nullptr, nullptr};
+    engine::EvalContext ctx{&world.db, nullptr, nullptr, nullptr, nullptr,
+                            nullptr};
     MAYBMS_ASSIGN_OR_RETURN(Trivalent holds,
                             engine::EvalPredicate(condition, ctx));
     if (holds == Trivalent::kTrue) ++hits;

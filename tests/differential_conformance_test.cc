@@ -251,7 +251,8 @@ TEST(PipelineGeneratorTest, CorpusCoversISqlSurface) {
         "group worlds by", "select possible", "select certain",
         "select conf", "insert into", "delete from", "update ", "where",
         "sum(V)", "count(*)", "union", "intersect", "except", "exists(",
-        "between", " a, "}) {
+        "between", " a, ", "left join ", " join ", " on a.K = b.K",
+        " in (select", "< (select"}) {
     EXPECT_NE(corpus.find(feature), std::string::npos)
         << "corpus never exercises: " << feature;
   }

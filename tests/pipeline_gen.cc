@@ -219,7 +219,7 @@ std::string PipelineGenerator::RandomProbe() {
   int quant = Int(0, 3);
   const char* quant_prefix[] = {"", "possible ", "certain ", "conf, "};
   std::ostringstream out;
-  switch (Int(0, 8)) {
+  switch (Int(0, 10)) {
     case 0: {  // selection + projection scan
       const TableInfo& t = Pick(true);
       out << "select " << quant_prefix[quant] << RandomProjection("");
@@ -293,12 +293,38 @@ std::string PipelineGenerator::RandomProbe() {
           << kOps[Int(0, 2)] << " select V from " << b.name;
       break;
     }
-    default: {  // correlated EXISTS subquery
+    case 8: {  // correlated EXISTS subquery
       const TableInfo& t = Pick(true);
       if (quant == 3) quant = Int(0, 2);
       out << "select " << quant_prefix[quant] << "t.K from " << t.name
           << " t where exists(select * from " << t.name
           << " t2 where t2.V = t.V and t2.K <> t.K)";
+      break;
+    }
+    case 9: {  // explicit [LEFT] JOIN ... ON with equi key + residual
+      const TableInfo& a = Pick(true);
+      const TableInfo& b = Pick(false);
+      out << "select " << quant_prefix[quant] << "a.K, b.V from " << a.name
+          << " a " << (Chance(0.5) ? "left join " : "join ") << b.name
+          << " b on a.K = b.K";
+      if (Chance(0.5)) out << " and a.V < b.W";
+      if (Chance(0.4)) out << " where " << RandomPredicate("a.");
+      break;
+    }
+    default: {  // correlated IN / scalar-aggregate subquery
+      const TableInfo& t = Pick(true);
+      const TableInfo& u = Pick(true);
+      if (quant == 3) quant = Int(0, 2);
+      if (Chance(0.5)) {
+        out << "select " << quant_prefix[quant] << "t.K from " << t.name
+            << " t where t.V " << (Chance(0.3) ? "not in" : "in")
+            << " (select u.V from " << u.name << " u where u.K = t.K)";
+      } else {
+        const char* aggs[] = {"max(u.V)", "count(*)", "sum(u.W)"};
+        out << "select " << quant_prefix[quant] << "t.K, t.V from " << t.name
+            << " t where " << Int(0, 3) << " < (select " << aggs[Int(0, 2)]
+            << " from " << u.name << " u where u.K = t.K)";
+      }
       break;
     }
   }

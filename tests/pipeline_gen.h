@@ -11,8 +11,10 @@ namespace maybms::testing {
 /// A randomly generated I-SQL pipeline: a setup script that builds a
 /// world-set (base tables, inserts, repair-by-key / choice-of / assert
 /// materializations, late DML) followed by read-only probe queries that
-/// exercise selections, projections, joins, aggregates, set operations,
-/// possible/certain/conf quantifiers, assert, and group-worlds-by.
+/// exercise selections, projections, joins (comma-lists and explicit
+/// [LEFT] JOIN ... ON), aggregates, correlated EXISTS/IN/scalar
+/// subqueries, set operations, possible/certain/conf quantifiers, assert,
+/// and group-worlds-by.
 ///
 /// The differential conformance harness executes every statement on both
 /// engine backends (ExplicitWorldSet and DecomposedWorldSet) and asserts
