@@ -15,6 +15,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <sstream>
 #include <string>
 
 #include "bench/workloads.h"
@@ -79,6 +80,88 @@ void BM_SelectionOverUncertain(benchmark::State& state, EngineMode mode) {
   state.counters["worlds_log10"] = n_keys * std::log10(double(group));
 }
 
+// ---------------------------------------------------------------------------
+// Per-world constant overhead (PR 3): world count scales, per-world data
+// stays fixed at 10 rows, so the slope of time vs. worlds is exactly the
+// per-world cost. Two statements of very different *planning* complexity
+// run over the same data; with plan-once-per-statement execution their
+// per-world costs should be nearly identical (scan + evaluate only).
+// ---------------------------------------------------------------------------
+
+/// 2^`n_keys` possible worlds via repair of a small key-violating
+/// relation, plus two *certain* 10-row relations T and U the measured
+/// queries actually read. Every world therefore evaluates the statement
+/// over identical 10-row inputs: total time is
+/// (one-time planning) + worlds x (fixed per-world evaluation).
+std::string FixedRowsScalingScript(int n_keys) {
+  std::ostringstream script;
+  script << KeyViolationScript(n_keys, 2);
+  script << "create table I as select K, V from R repair by key K;\n";
+  const char* names[] = {"T", "U"};
+  for (int t = 0; t < 2; ++t) {
+    script << "create table " << names[t] << " (K integer, V integer);\n";
+    script << "insert into " << names[t] << " values ";
+    for (int k = 0; k < 10; ++k) {
+      if (k > 0) script << ", ";
+      script << "(" << k << ", " << (k * 7 + 3 * t) % 13 << ")";
+    }
+    script << ";\n";
+  }
+  return script.str();
+}
+
+void BM_PerWorldConstant(benchmark::State& state, EngineMode mode,
+                         const std::string& query) {
+  const int n_keys = static_cast<int>(state.range(0));
+  const int worlds = 1 << n_keys;
+  auto session = MakeSession(mode);
+  MustExecute(*session, FixedRowsScalingScript(n_keys));
+  for (auto _ : state) {
+    auto result = MustQuery(*session, query);
+    benchmark::DoNotOptimize(result.kind());
+  }
+  state.counters["worlds"] = worlds;
+  // kInvert reports elapsed_seconds / worlds: SECONDS per world (the
+  // console humanizes it, e.g. "3.7us"; the raw JSON value is seconds).
+  state.counters["sec_per_world"] = benchmark::Counter(
+      static_cast<double>(worlds),
+      benchmark::Counter::kIsIterationInvariantRate |
+          benchmark::Counter::kInvert);
+}
+
+void RegisterPerWorldConstantBenchmarks() {
+  struct Variant {
+    const char* name;
+    const char* query;
+  };
+  // `simple` plans one scan; `join3` classifies four conjuncts, extracts a
+  // hash-join key, and type-checks both sides — planning work that must
+  // not be paid per world.
+  const Variant kVariants[] = {
+      {"simple", "select certain count(*) from T;"},
+      {"join3",
+       "select certain count(*) from T, U "
+       "where T.K = U.K and T.V >= 0 and U.V >= 0 and T.K < 100;"},
+  };
+  for (EngineMode mode : {EngineMode::kExplicit, EngineMode::kDecomposed}) {
+    std::string engine =
+        mode == EngineMode::kExplicit ? "explicit" : "decomposed";
+    for (const auto& v : kVariants) {
+      for (int n_keys : {6, 9, 12}) {  // 64 / 512 / 4096 worlds
+        benchmark::RegisterBenchmark(
+            ("per_world_constant/" + std::string(v.name) + "/" + engine +
+             "/worlds:" + std::to_string(1 << n_keys))
+                .c_str(),
+            [mode, v](benchmark::State& s) {
+              BM_PerWorldConstant(s, mode, v.query);
+            })
+            ->Args({n_keys})
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+}
+
 void RegisterBenchmarks() {
   // Explicit engine: up to 2^16 worlds.
   for (int n : {4, 8, 12, 16}) {
@@ -124,6 +207,7 @@ void RegisterBenchmarks() {
 int main(int argc, char** argv) {
   maybms::bench::PrintHeadline();
   maybms::bench::RegisterBenchmarks();
+  maybms::bench::RegisterPerWorldConstantBenchmarks();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -1,7 +1,57 @@
 #!/usr/bin/env bash
-# Tier-1 verify: configure, build (with -Werror), and run the full test
-# suite. This is the exact line every PR is gated on (see ROADMAP.md).
+# Tier-1 verify: docs-freshness gate, then configure, build (with
+# -Werror), and run the full test suite. The build+test line is the exact
+# line every PR is gated on (see ROADMAP.md).
+#
+# Usage:
+#   scripts/check.sh              # docs check + build + ctest
+#   scripts/check.sh --docs-only  # just the docs-freshness check
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# ---------------------------------------------------------------------------
+# Docs freshness: documentation must not reference repo files or bench
+# case families that no longer exist.
+# ---------------------------------------------------------------------------
+docs_freshness() {
+  local fail=0
+
+  # 1) Every repo-relative path mentioned in docs/ (and the README) must
+  #    exist on disk.
+  local path
+  while IFS= read -r path; do
+    if [[ ! -e "${path}" ]]; then
+      echo "docs-freshness: '${path}' is referenced in docs but does not exist" >&2
+      fail=1
+    fi
+  done < <(grep -hoE '(src|tests|bench|examples|scripts|docs)/[A-Za-z0-9_./-]+\.(h|cc|cpp|md|sh|yml|json)' \
+             docs/*.md README.md 2>/dev/null | sort -u)
+
+  # 2) Every bench case mentioned in docs (tokens shaped like
+  #    family/.../explicit|decomposed/...) must have its family name
+  #    registered somewhere in bench/*.cc.
+  # The family must appear as a registration string literal — `"family/`
+  # or `"family"` — not merely as a substring of a comment or identifier.
+  local case family
+  while IFS= read -r case; do
+    family="${case%%/*}"
+    if ! grep -Eq "\"${family}[/\"]" bench/*.cc; then
+      echo "docs-freshness: bench case '${case}' (family '${family}') is referenced in docs but not registered in bench/" >&2
+      fail=1
+    fi
+  done < <(grep -hoE '[a-z][a-z0-9_]*(/[a-z0-9_*.:]+)+' docs/*.md README.md 2>/dev/null \
+             | grep -E '/(explicit|decomposed)(/|$)' | sort -u)
+
+  if [[ ${fail} -ne 0 ]]; then
+    echo "docs-freshness check FAILED" >&2
+    return 1
+  fi
+  echo "docs-freshness check OK"
+}
+
+docs_freshness
+if [[ "${1:-}" == "--docs-only" ]]; then
+  exit 0
+fi
 
 cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j

@@ -1,11 +1,14 @@
 #include "engine/dml.h"
 
+#include <optional>
 #include <set>
+#include <utility>
 
 #include "base/string_util.h"
 #include "engine/executor.h"
 #include "engine/expr_eval.h"
 #include "engine/planner.h"
+#include "engine/prepared.h"
 
 namespace maybms::engine {
 
@@ -39,6 +42,11 @@ Result<std::vector<size_t>> ResolveTargetColumns(
     indices.push_back(idx);
   }
   return indices;
+}
+
+const std::vector<Constraint>& NoConstraints() {
+  static const std::vector<Constraint> empty;
+  return empty;
 }
 
 }  // namespace
@@ -82,26 +90,49 @@ Status CheckTableConstraints(const Table& table,
   return Status::OK();
 }
 
-Status ExecuteInsert(const sql::InsertStatement& stmt, Database* db,
-                     const Catalog& catalog) {
+/// Schema-level plan for one DML statement. All members are resolved
+/// against the schema database at preparation; Execute re-reads the
+/// target relation from the world it is applied to.
+class PreparedDmlImpl {
+ public:
+  sql::StatementKind kind = sql::StatementKind::kInsert;
+  const sql::InsertStatement* insert = nullptr;
+  const sql::UpdateStatement* update = nullptr;
+  const sql::DeleteStatement* del = nullptr;
+
+  // Constraints of the target relation (borrowed from the catalog; the
+  // empty list for DELETE).
+  const std::vector<Constraint>* constraints = &NoConstraints();
+
+  // INSERT: resolved target column indices + the prepared SELECT source.
+  std::vector<size_t> targets;
+  std::optional<PreparedSelect> insert_query;
+
+  // UPDATE: resolved (column index, value expression) assignments.
+  std::vector<std::pair<size_t, const sql::Expr*>> assignments;
+
+  // Subquery plans for VALUES expressions / WHERE clauses, shared across
+  // every world this statement executes in (results stay per world).
+  SubqueryPlanCache plans;
+
+  Status ExecuteInsert(Database* db);
+  Status ExecuteUpdate(Database* db);
+  Status ExecuteDelete(Database* db);
+};
+
+Status PreparedDmlImpl::ExecuteInsert(Database* db) {
+  const sql::InsertStatement& stmt = *insert;
   MAYBMS_ASSIGN_OR_RETURN(const Table* existing,
                           db->GetRelation(stmt.table_name));
   Table updated = *existing;
   const Schema& schema = updated.schema();
-  MAYBMS_ASSIGN_OR_RETURN(std::vector<size_t> targets,
-                          ResolveTargetColumns(schema, stmt.columns));
 
   std::vector<Tuple> new_rows;
-  if (stmt.query) {
-    MAYBMS_ASSIGN_OR_RETURN(Table result,
-                            ExecuteSelect(*stmt.query, *db, nullptr));
-    if (result.schema().num_columns() != targets.size()) {
-      return Status::InvalidArgument(
-          "INSERT ... SELECT column count mismatch");
-    }
-    new_rows = result.rows();
+  if (insert_query.has_value()) {
+    MAYBMS_ASSIGN_OR_RETURN(Table result, insert_query->Execute(*db));
+    new_rows = std::move(*result.mutable_rows());
   } else {
-    SubqueryCache subquery_cache;
+    SubqueryCache subquery_cache(&plans);
     for (const auto& row_exprs : stmt.rows) {
       if (row_exprs.size() != targets.size()) {
         return Status::InvalidArgument("INSERT row arity mismatch: expected " +
@@ -129,28 +160,21 @@ Status ExecuteInsert(const sql::InsertStatement& stmt, Database* db,
     MAYBMS_RETURN_NOT_OK(updated.Append(Tuple(std::move(values))));
   }
 
-  MAYBMS_RETURN_NOT_OK(CheckTableConstraints(
-      updated, catalog.ConstraintsFor(stmt.table_name)));
+  MAYBMS_RETURN_NOT_OK(CheckTableConstraints(updated, *constraints));
   db->PutRelation(stmt.table_name, std::move(updated));
   return Status::OK();
 }
 
-Status ExecuteUpdate(const sql::UpdateStatement& stmt, Database* db,
-                     const Catalog& catalog) {
+Status PreparedDmlImpl::ExecuteUpdate(Database* db) {
+  const sql::UpdateStatement& stmt = *update;
   MAYBMS_ASSIGN_OR_RETURN(const Table* existing,
                           db->GetRelation(stmt.table_name));
   Table updated = *existing;
   const Schema& schema = updated.schema();
 
-  std::vector<std::pair<size_t, const sql::Expr*>> assignments;
-  for (const auto& [col, expr] : stmt.assignments) {
-    MAYBMS_ASSIGN_OR_RETURN(size_t idx, schema.FindColumn(col));
-    assignments.emplace_back(idx, expr.get());
-  }
-
   // The cache reads the pre-update relation in `db` (the copy is only
   // published at the end), so one cache serves the whole row loop.
-  SubqueryCache subquery_cache;
+  SubqueryCache subquery_cache(&plans);
   for (Tuple& row : *updated.mutable_rows()) {
     EvalContext ctx{db, &schema, &row, nullptr, nullptr, &subquery_cache};
     if (stmt.where) {
@@ -172,18 +196,18 @@ Status ExecuteUpdate(const sql::UpdateStatement& stmt, Database* db,
     }
   }
 
-  MAYBMS_RETURN_NOT_OK(CheckTableConstraints(
-      updated, catalog.ConstraintsFor(stmt.table_name)));
+  MAYBMS_RETURN_NOT_OK(CheckTableConstraints(updated, *constraints));
   db->PutRelation(stmt.table_name, std::move(updated));
   return Status::OK();
 }
 
-Status ExecuteDelete(const sql::DeleteStatement& stmt, Database* db) {
+Status PreparedDmlImpl::ExecuteDelete(Database* db) {
+  const sql::DeleteStatement& stmt = *del;
   MAYBMS_ASSIGN_OR_RETURN(const Table* existing,
                           db->GetRelation(stmt.table_name));
   Table updated(existing->schema());
   const Schema& schema = existing->schema();
-  SubqueryCache subquery_cache;
+  SubqueryCache subquery_cache(&plans);
   for (const Tuple& row : existing->rows()) {
     bool remove = true;
     if (stmt.where) {
@@ -195,6 +219,103 @@ Status ExecuteDelete(const sql::DeleteStatement& stmt, Database* db) {
   }
   db->PutRelation(stmt.table_name, std::move(updated));
   return Status::OK();
+}
+
+PreparedDml::PreparedDml() : impl_(std::make_unique<PreparedDmlImpl>()) {}
+PreparedDml::PreparedDml(PreparedDml&&) noexcept = default;
+PreparedDml& PreparedDml::operator=(PreparedDml&&) noexcept = default;
+PreparedDml::~PreparedDml() = default;
+
+Result<PreparedDml> PreparedDml::Prepare(const sql::Statement& stmt,
+                                         const Database& schema_db,
+                                         const Catalog* catalog) {
+  PreparedDml plan;
+  PreparedDmlImpl& impl = *plan.impl_;
+  impl.kind = stmt.kind;
+  switch (stmt.kind) {
+    case sql::StatementKind::kInsert: {
+      const auto& insert = static_cast<const sql::InsertStatement&>(stmt);
+      impl.insert = &insert;
+      if (catalog == nullptr) {
+        return Status::InvalidArgument("INSERT requires a catalog");
+      }
+      impl.constraints = &catalog->ConstraintsFor(insert.table_name);
+      MAYBMS_ASSIGN_OR_RETURN(const Table* existing,
+                              schema_db.GetRelation(insert.table_name));
+      MAYBMS_ASSIGN_OR_RETURN(
+          impl.targets,
+          ResolveTargetColumns(existing->schema(), insert.columns));
+      if (insert.query) {
+        MAYBMS_ASSIGN_OR_RETURN(
+            PreparedSelect query,
+            PreparedSelect::Prepare(*insert.query, schema_db));
+        if (query.output_schema().num_columns() != impl.targets.size()) {
+          return Status::InvalidArgument(
+              "INSERT ... SELECT column count mismatch");
+        }
+        impl.insert_query = std::move(query);
+      }
+      return plan;
+    }
+    case sql::StatementKind::kUpdate: {
+      const auto& update = static_cast<const sql::UpdateStatement&>(stmt);
+      impl.update = &update;
+      if (catalog == nullptr) {
+        return Status::InvalidArgument("UPDATE requires a catalog");
+      }
+      impl.constraints = &catalog->ConstraintsFor(update.table_name);
+      MAYBMS_ASSIGN_OR_RETURN(const Table* existing,
+                              schema_db.GetRelation(update.table_name));
+      for (const auto& [col, expr] : update.assignments) {
+        MAYBMS_ASSIGN_OR_RETURN(size_t idx,
+                                existing->schema().FindColumn(col));
+        impl.assignments.emplace_back(idx, expr.get());
+      }
+      return plan;
+    }
+    case sql::StatementKind::kDelete: {
+      const auto& del = static_cast<const sql::DeleteStatement&>(stmt);
+      impl.del = &del;
+      MAYBMS_RETURN_NOT_OK(
+          schema_db.GetRelation(del.table_name).status());
+      return plan;
+    }
+    default:
+      return Status::InvalidArgument("not a DML statement");
+  }
+}
+
+Status PreparedDml::Execute(Database* db) {
+  switch (impl_->kind) {
+    case sql::StatementKind::kInsert:
+      return impl_->ExecuteInsert(db);
+    case sql::StatementKind::kUpdate:
+      return impl_->ExecuteUpdate(db);
+    case sql::StatementKind::kDelete:
+      return impl_->ExecuteDelete(db);
+    default:
+      return Status::InvalidArgument("not a DML statement");
+  }
+}
+
+Status ExecuteInsert(const sql::InsertStatement& stmt, Database* db,
+                     const Catalog& catalog) {
+  MAYBMS_ASSIGN_OR_RETURN(PreparedDml plan,
+                          PreparedDml::Prepare(stmt, *db, &catalog));
+  return plan.Execute(db);
+}
+
+Status ExecuteUpdate(const sql::UpdateStatement& stmt, Database* db,
+                     const Catalog& catalog) {
+  MAYBMS_ASSIGN_OR_RETURN(PreparedDml plan,
+                          PreparedDml::Prepare(stmt, *db, &catalog));
+  return plan.Execute(db);
+}
+
+Status ExecuteDelete(const sql::DeleteStatement& stmt, Database* db) {
+  MAYBMS_ASSIGN_OR_RETURN(PreparedDml plan,
+                          PreparedDml::Prepare(stmt, *db, nullptr));
+  return plan.Execute(db);
 }
 
 Result<Table> BuildTableFromDefinition(const sql::CreateTableStatement& stmt) {

@@ -1,11 +1,45 @@
 #ifndef MAYBMS_ENGINE_DML_H_
 #define MAYBMS_ENGINE_DML_H_
 
+#include <memory>
+#include <vector>
+
 #include "base/result.h"
 #include "sql/ast.h"
 #include "storage/catalog.h"
 
 namespace maybms::engine {
+
+class PreparedDmlImpl;
+
+/// One INSERT/UPDATE/DELETE statement planned against schemas: target
+/// columns and SET assignments resolved, the INSERT ... SELECT source
+/// prepared, and the statement's constraint list looked up — once per
+/// statement instead of once per world. Execute applies the statement to
+/// one world's database; like the prepared select plans (engine/
+/// prepared.h), a PreparedDml captures schema-level state only and may be
+/// executed against every world of a world-set. The statement and the
+/// catalog must outlive the plan.
+class PreparedDml {
+ public:
+  /// `catalog` may be null for DELETE (which checks no constraints); it is
+  /// required for INSERT/UPDATE.
+  static Result<PreparedDml> Prepare(const sql::Statement& stmt,
+                                     const Database& schema_db,
+                                     const Catalog* catalog);
+
+  PreparedDml(PreparedDml&&) noexcept;
+  PreparedDml& operator=(PreparedDml&&) noexcept;
+  ~PreparedDml();
+
+  /// Applies the statement to one world. On any error the world is left
+  /// unmodified.
+  Status Execute(Database* db);
+
+ private:
+  PreparedDml();
+  std::unique_ptr<PreparedDmlImpl> impl_;
+};
 
 /// Verifies every declared constraint of `table` (primary key uniqueness +
 /// NOT NULL, UNIQUE, NOT NULL columns). Returns ConstraintViolation with a
@@ -15,7 +49,8 @@ Status CheckTableConstraints(const Table& table,
 
 /// Executes INSERT against one world. Values are type-checked/coerced to
 /// the column types; constraints from `catalog` are verified afterwards.
-/// On any error the world is left unmodified.
+/// On any error the world is left unmodified. Single-shot wrapper over
+/// PreparedDml.
 Status ExecuteInsert(const sql::InsertStatement& stmt, Database* db,
                      const Catalog& catalog);
 

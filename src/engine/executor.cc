@@ -1,266 +1,17 @@
+// Per-world executor entry points. Since the prepared-statement layer
+// (engine/prepared.h) landed, these are single-shot wrappers: prepare the
+// statement against the target database's schemas, execute once. Callers
+// that evaluate one statement against many worlds (the world-set layer,
+// Monte-Carlo sampling) hold a PreparedSelect/PreparedFromWhere directly
+// and skip the per-call preparation.
+
 #include "engine/executor.h"
 
-#include <algorithm>
-#include <map>
-#include <numeric>
-#include <optional>
-
-#include "base/string_util.h"
-#include "engine/planner.h"
-#include "engine/type_deriver.h"
+#include "engine/prepared.h"
 
 namespace maybms::engine {
 
-namespace {
-
-using sql::SelectStatement;
-
-/// A fully resolved select item: either a source column range (star) or an
-/// expression with an output name.
-struct OutputItem {
-  const sql::Expr* expr = nullptr;  // null for star columns
-  size_t source_column = 0;         // used when expr == nullptr
-  std::string name;
-};
-
-Result<std::vector<OutputItem>> ResolveItems(const SelectStatement& stmt,
-                                             const Schema& source) {
-  std::vector<OutputItem> items;
-  for (const sql::SelectItem& item : stmt.items) {
-    if (item.star) {
-      bool any = false;
-      for (size_t i = 0; i < source.num_columns(); ++i) {
-        const Column& col = source.column(i);
-        if (!item.star_qualifier.empty() &&
-            !AsciiEqualsIgnoreCase(col.qualifier, item.star_qualifier)) {
-          continue;
-        }
-        OutputItem out;
-        out.source_column = i;
-        out.name = col.name;
-        items.push_back(std::move(out));
-        any = true;
-      }
-      if (!any) {
-        return Status::InvalidArgument(
-            item.star_qualifier.empty()
-                ? "SELECT * with no FROM relation"
-                : "unknown table alias: " + item.star_qualifier + ".*");
-      }
-      continue;
-    }
-    OutputItem out;
-    out.expr = item.expr.get();
-    if (!item.alias.empty()) {
-      out.name = item.alias;
-    } else if (item.expr->kind == sql::ExprKind::kColumnRef) {
-      out.name = static_cast<const sql::ColumnRefExpr&>(*item.expr).name;
-    } else if (item.expr->kind == sql::ExprKind::kFunctionCall) {
-      out.name = static_cast<const sql::FunctionCallExpr&>(*item.expr).name;
-    } else {
-      out.name = "column" + std::to_string(items.size() + 1);
-    }
-    items.push_back(std::move(out));
-  }
-  return items;
-}
-
-/// Infers output column types statically: declared source type for star
-/// columns, the type deriver (engine/type_deriver.h) for expressions, a
-/// deterministic kText default where nothing can be derived. Produced rows
-/// are never consulted: sampling would type an empty result differently
-/// from a populated one — and, worse, differently across the two engine
-/// representations (an empty partition vs. an empty enumerated world), so
-/// static derivation is a correctness requirement, not a precision nicety.
-/// NULL-padded LEFT-join columns likewise keep the joined table's declared
-/// types because derivation reads the schema, never the padded values.
-Schema InferOutputSchema(const std::vector<OutputItem>& items,
-                         const Schema& source, const Database& db,
-                         const EvalContext* outer) {
-  EvalContext type_ctx;
-  type_ctx.db = &db;
-  type_ctx.schema = &source;
-  type_ctx.outer = outer;
-  Schema schema;
-  for (const OutputItem& item : items) {
-    DataType type = DataType::kText;
-    if (item.expr == nullptr) {
-      type = source.column(item.source_column).type;
-    } else if (std::optional<DataType> derived =
-                   DeriveExprType(*item.expr, type_ctx)) {
-      type = *derived;
-    }
-    schema.AddColumn(Column(item.name, type));
-  }
-  return schema;
-}
-
-/// Evaluates the core (no UNION) of a select statement in one world.
-Result<Table> ExecuteSimpleSelect(const SelectStatement& stmt,
-                                  const Database& db,
-                                  const EvalContext* outer) {
-  MAYBMS_ASSIGN_OR_RETURN(Table joined, ExecuteFromWhere(stmt, db, outer));
-  const Schema& source = joined.schema();
-
-  MAYBMS_ASSIGN_OR_RETURN(std::vector<OutputItem> items,
-                          ResolveItems(stmt, source));
-
-  bool grouped = !stmt.group_by.empty() || StatementHasAggregates(stmt);
-
-  // One subquery plan cache per select evaluation: EXISTS/IN/scalar
-  // subqueries in the select list, HAVING, or ORDER BY are decorrelated or
-  // evaluated once instead of re-executed per row (engine/planner.h).
-  SubqueryCache subquery_cache;
-
-  std::vector<Tuple> out_rows;
-  // For ORDER BY we keep, per output row, a representative source row
-  // (the row itself, or the group's first row).
-  std::vector<Tuple> representative;
-
-  if (grouped) {
-    for (const OutputItem& item : items) {
-      if (item.expr == nullptr) {
-        return Status::InvalidArgument(
-            "SELECT * cannot be combined with aggregation");
-      }
-    }
-    // Partition rows into groups by the GROUP BY key.
-    std::map<Tuple, std::vector<Tuple>> groups;
-    if (stmt.group_by.empty()) {
-      groups.emplace(Tuple(), joined.rows());  // one global group (maybe empty)
-    } else {
-      for (const Tuple& row : joined.rows()) {
-        EvalContext ctx{&db, &source, &row, outer, nullptr, &subquery_cache};
-        Tuple key;
-        for (const auto& g : stmt.group_by) {
-          MAYBMS_ASSIGN_OR_RETURN(Value v, EvalExpr(*g, ctx));
-          key.Append(std::move(v));
-        }
-        groups[std::move(key)].push_back(row);
-      }
-    }
-    for (auto& [key, rows] : groups) {
-      const Tuple* first = rows.empty() ? nullptr : &rows[0];
-      EvalContext ctx{&db, rows.empty() ? nullptr : &source, first, outer,
-                      &rows, &subquery_cache};
-      if (stmt.having) {
-        MAYBMS_ASSIGN_OR_RETURN(Trivalent keep, EvalPredicate(*stmt.having, ctx));
-        if (keep != Trivalent::kTrue) continue;
-      }
-      Tuple out;
-      for (const OutputItem& item : items) {
-        MAYBMS_ASSIGN_OR_RETURN(Value v, EvalExpr(*item.expr, ctx));
-        out.Append(std::move(v));
-      }
-      out_rows.push_back(std::move(out));
-      representative.push_back(first ? *first : Tuple());
-    }
-  } else {
-    for (const Tuple& row : joined.rows()) {
-      EvalContext ctx{&db, &source, &row, outer, nullptr, &subquery_cache};
-      Tuple out;
-      for (const OutputItem& item : items) {
-        if (item.expr == nullptr) {
-          out.Append(row.value(item.source_column));
-        } else {
-          MAYBMS_ASSIGN_OR_RETURN(Value v, EvalExpr(*item.expr, ctx));
-          out.Append(std::move(v));
-        }
-      }
-      out_rows.push_back(std::move(out));
-      representative.push_back(row);
-    }
-  }
-
-  Schema out_schema = InferOutputSchema(items, source, db, outer);
-
-  // DISTINCT before ORDER BY (standard SQL evaluation order).
-  if (stmt.distinct) {
-    std::vector<size_t> order(out_rows.size());
-    std::iota(order.begin(), order.end(), 0);
-    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-      return out_rows[a] < out_rows[b];
-    });
-    std::vector<Tuple> kept_rows;
-    std::vector<Tuple> kept_repr;
-    for (size_t i = 0; i < order.size(); ++i) {
-      if (i > 0 && out_rows[order[i]] == out_rows[order[i - 1]]) continue;
-      kept_rows.push_back(out_rows[order[i]]);
-      kept_repr.push_back(representative[order[i]]);
-    }
-    out_rows = std::move(kept_rows);
-    representative = std::move(kept_repr);
-  }
-
-  if (!stmt.order_by.empty()) {
-    // Keys: each ORDER BY expression evaluated against the output row if it
-    // names an output column, otherwise against the representative source
-    // row.
-    std::vector<std::vector<Value>> keys(out_rows.size());
-    for (size_t i = 0; i < out_rows.size(); ++i) {
-      for (const sql::OrderItem& item : stmt.order_by) {
-        Value key;
-        bool resolved = false;
-        // ORDER BY <ordinal> names an output column (SQL-92 style).
-        if (item.expr->kind == sql::ExprKind::kLiteral) {
-          const Value& lit =
-              static_cast<const sql::LiteralExpr&>(*item.expr).value;
-          if (lit.type() == DataType::kInteger) {
-            int64_t ordinal = lit.AsInteger();
-            if (ordinal < 1 ||
-                ordinal > static_cast<int64_t>(out_schema.num_columns())) {
-              return Status::InvalidArgument(
-                  "ORDER BY position " + std::to_string(ordinal) +
-                  " is out of range");
-            }
-            key = out_rows[i].value(static_cast<size_t>(ordinal - 1));
-            resolved = true;
-          }
-        }
-        if (!resolved && item.expr->kind == sql::ExprKind::kColumnRef) {
-          const auto& ref =
-              static_cast<const sql::ColumnRefExpr&>(*item.expr);
-          if (ref.qualifier.empty() && out_schema.HasColumn(ref.name)) {
-            MAYBMS_ASSIGN_OR_RETURN(size_t idx,
-                                    out_schema.FindColumn(ref.name));
-            key = out_rows[i].value(idx);
-            resolved = true;
-          }
-        }
-        if (!resolved) {
-          EvalContext ctx{&db, &source, &representative[i], outer, nullptr,
-                          &subquery_cache};
-          MAYBMS_ASSIGN_OR_RETURN(key, EvalExpr(*item.expr, ctx));
-        }
-        keys[i].push_back(std::move(key));
-      }
-    }
-    std::vector<size_t> order(out_rows.size());
-    std::iota(order.begin(), order.end(), 0);
-    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-      for (size_t k = 0; k < stmt.order_by.size(); ++k) {
-        int c = keys[a][k].TotalOrderCompare(keys[b][k]);
-        if (c != 0) return stmt.order_by[k].descending ? c > 0 : c < 0;
-      }
-      return false;
-    });
-    std::vector<Tuple> sorted;
-    sorted.reserve(out_rows.size());
-    for (size_t i : order) sorted.push_back(std::move(out_rows[i]));
-    out_rows = std::move(sorted);
-  }
-
-  if (stmt.limit.has_value() &&
-      out_rows.size() > static_cast<size_t>(*stmt.limit)) {
-    out_rows.resize(static_cast<size_t>(std::max<int64_t>(0, *stmt.limit)));
-  }
-
-  return Table(std::move(out_schema), std::move(out_rows));
-}
-
-}  // namespace
-
-bool HasWorldOps(const SelectStatement& stmt) {
+bool HasWorldOps(const sql::SelectStatement& stmt) {
   if (stmt.quantifier != sql::WorldQuantifier::kNone) return true;
   if (stmt.repair.has_value() || stmt.choice.has_value()) return true;
   if (stmt.assert_condition || stmt.group_worlds_by) return true;
@@ -268,7 +19,7 @@ bool HasWorldOps(const SelectStatement& stmt) {
   return false;
 }
 
-bool StatementHasAggregates(const SelectStatement& stmt) {
+bool StatementHasAggregates(const sql::SelectStatement& stmt) {
   for (const sql::SelectItem& item : stmt.items) {
     if (item.expr && ContainsAggregate(*item.expr)) return true;
   }
@@ -276,95 +27,18 @@ bool StatementHasAggregates(const SelectStatement& stmt) {
   return false;
 }
 
-// ExecuteFromWhere — the hash-join FROM/WHERE pipeline — lives in
-// engine/planner.cc.
-
-Result<Table> ProjectTuples(const sql::SelectStatement& stmt,
-                            const Database& db, const Schema& source,
-                            const std::vector<Tuple>& rows) {
-  MAYBMS_ASSIGN_OR_RETURN(std::vector<OutputItem> items,
-                          ResolveItems(stmt, source));
-  for (const OutputItem& item : items) {
-    if (item.expr != nullptr && ContainsAggregate(*item.expr)) {
-      return Status::Unsupported(
-          "aggregates cannot be combined with repair by key / choice of");
-    }
-  }
-  SubqueryCache subquery_cache;
-  std::vector<Tuple> out_rows;
-  out_rows.reserve(rows.size());
-  for (const Tuple& row : rows) {
-    EvalContext ctx{&db, &source, &row, nullptr, nullptr, &subquery_cache};
-    Tuple out;
-    for (const OutputItem& item : items) {
-      if (item.expr == nullptr) {
-        out.Append(row.value(item.source_column));
-      } else {
-        MAYBMS_ASSIGN_OR_RETURN(Value v, EvalExpr(*item.expr, ctx));
-        out.Append(std::move(v));
-      }
-    }
-    out_rows.push_back(std::move(out));
-  }
-  Schema out_schema = InferOutputSchema(items, source, db, nullptr);
-  return Table(std::move(out_schema), std::move(out_rows));
+Result<Table> ExecuteFromWhere(const sql::SelectStatement& stmt,
+                               const Database& db, const EvalContext* outer) {
+  MAYBMS_ASSIGN_OR_RETURN(PreparedFromWhere plan,
+                          PreparedFromWhere::Prepare(stmt, db, outer));
+  return plan.Execute(db, outer);
 }
 
-Result<Table> ExecuteSelect(const SelectStatement& stmt, const Database& db,
-                            const EvalContext* outer) {
-  if (HasWorldOps(stmt)) {
-    return Status::Unsupported(
-        "world-set operations (possible/certain/conf, repair by key, choice "
-        "of, assert, group worlds by) cannot run inside the per-world "
-        "executor");
-  }
-
-  MAYBMS_ASSIGN_OR_RETURN(Table result, ExecuteSimpleSelect(stmt, db, outer));
-
-  const SelectStatement* link = &stmt;
-  Table acc = std::move(result);
-  while (link->union_next) {
-    sql::SetOpKind op = link->set_op;
-    const SelectStatement& next = *link->union_next;
-    MAYBMS_ASSIGN_OR_RETURN(Table rhs, ExecuteSimpleSelect(next, db, outer));
-    if (rhs.schema().num_columns() != acc.schema().num_columns()) {
-      return Status::InvalidArgument(
-          "set operation operands differ in column count: " +
-          std::to_string(acc.schema().num_columns()) + " vs " +
-          std::to_string(rhs.schema().num_columns()));
-    }
-    switch (op) {
-      case sql::SetOpKind::kUnionAll:
-        for (const Tuple& row : rhs.rows()) acc.AppendUnchecked(row);
-        break;
-      case sql::SetOpKind::kUnion:
-        for (const Tuple& row : rhs.rows()) acc.AppendUnchecked(row);
-        acc.DeduplicateRows();
-        break;
-      case sql::SetOpKind::kIntersect: {
-        Table rhs_distinct = rhs.SortedDistinct();
-        Table lhs_distinct = acc.SortedDistinct();
-        Table kept(acc.schema());
-        for (const Tuple& row : lhs_distinct.rows()) {
-          if (rhs_distinct.ContainsTuple(row)) kept.AppendUnchecked(row);
-        }
-        acc = std::move(kept);
-        break;
-      }
-      case sql::SetOpKind::kExcept: {
-        Table rhs_distinct = rhs.SortedDistinct();
-        Table lhs_distinct = acc.SortedDistinct();
-        Table kept(acc.schema());
-        for (const Tuple& row : lhs_distinct.rows()) {
-          if (!rhs_distinct.ContainsTuple(row)) kept.AppendUnchecked(row);
-        }
-        acc = std::move(kept);
-        break;
-      }
-    }
-    link = &next;
-  }
-  return acc;
+Result<Table> ExecuteSelect(const sql::SelectStatement& stmt,
+                            const Database& db, const EvalContext* outer) {
+  MAYBMS_ASSIGN_OR_RETURN(PreparedSelect plan,
+                          PreparedSelect::Prepare(stmt, db, outer));
+  return plan.Execute(db, outer);
 }
 
 }  // namespace maybms::engine

@@ -33,20 +33,12 @@ Result<Table> ExecuteSelect(const sql::SelectStatement& stmt,
 /// alias-qualified schemas) and applies the WHERE filter. Equi-conjuncts
 /// are executed as hash joins with residual predicates applied per bucket
 /// match; non-equi joins fall back to nested loops; subquery predicates
-/// are decorrelated where possible (implementation in engine/planner.cc).
-/// Exposed for the world-set layer, which reuses it for repair/choice
-/// input relations.
+/// are decorrelated where possible. Single-shot wrapper over
+/// PreparedFromWhere (engine/prepared.h); callers that execute one
+/// statement against many worlds should prepare once instead.
 Result<Table> ExecuteFromWhere(const sql::SelectStatement& stmt,
                                const Database& db,
                                const EvalContext* outer = nullptr);
-
-/// Projects `rows` (with schema `source`) through the statement's select
-/// list. Aggregates are rejected. Used by the world-set layer to build the
-/// per-world result of `repair by key` / `choice of` statements, whose
-/// select list applies to the chosen tuple subset.
-Result<Table> ProjectTuples(const sql::SelectStatement& stmt,
-                            const Database& db, const Schema& source,
-                            const std::vector<Tuple>& rows);
 
 }  // namespace maybms::engine
 

@@ -1,25 +1,22 @@
-// Physical planning for the per-world executor: hash equi-joins over the
-// FROM/WHERE pipeline and one-shot decorrelation of EXISTS/IN/scalar
-// subqueries. The planner only restructures *evaluation order*; every
-// predicate is still decided by EvalPredicate/SqlEquals over candidate
-// rows, so trivalent semantics (NULL join keys, UNKNOWN residuals,
-// LEFT-join padding) are inherited from the nested-loop definition rather
-// than re-implemented.
+// Subquery decorrelation for the per-world executor, on top of the
+// two-level cache declared in planner.h: schema-level plans (shared across
+// worlds) and per-scope results. The decorrelator only restructures
+// *evaluation order*; every predicate is still decided by
+// EvalPredicate/SqlEquals over candidate rows, so trivalent semantics
+// (NULL join keys, UNKNOWN residuals) are inherited from the per-row
+// definition rather than re-implemented.
 //
 // What is deliberately NOT preserved is *which* predicate evaluations
-// happen: pushdown evaluates single-source conjuncts on rows the naive
-// pipeline might never reach, hash probing skips pairs whose equi-key
-// cannot match, and decorrelated subqueries stop as soon as the answer is
-// decided. A predicate whose evaluation errors (division by zero, type
-// mismatch) can therefore error here where naive evaluation would not, or
-// vice versa — standard SQL latitude, and identical across both engine
-// backends since they share this code.
+// happen: decorrelated subqueries stop as soon as the answer is decided,
+// and hash probing skips candidates whose equi-key cannot match. A
+// predicate whose evaluation errors (division by zero, type mismatch) can
+// therefore error here where naive evaluation would not, or vice versa —
+// standard SQL latitude, and identical across both engine backends since
+// they share this code.
 
 #include "engine/planner.h"
 
-#include <algorithm>
 #include <cmath>
-#include <cstdint>
 #include <memory>
 #include <numeric>
 #include <optional>
@@ -27,6 +24,7 @@
 #include <vector>
 
 #include "engine/executor.h"
+#include "engine/prepared.h"
 #include "engine/type_deriver.h"
 #include "types/tuple.h"
 
@@ -50,121 +48,14 @@ void SplitConjunctsInto(const Expr& pred, std::vector<const Expr*>* out) {
   out->push_back(&pred);
 }
 
-// ---------------------------------------------------------------------------
-// Reference analysis
-// ---------------------------------------------------------------------------
+}  // namespace
 
-/// What an expression references. Column refs inside nested subqueries are
-/// not collected (their resolution is scoped to the subquery); the
-/// presence of a subquery is reported instead.
-struct RefScan {
-  std::vector<const sql::ColumnRefExpr*> refs;
-  bool has_subquery = false;
-  bool has_aggregate = false;
-};
-
-void ScanRefsInto(const Expr& expr, RefScan* out) {
-  switch (expr.kind) {
-    case ExprKind::kColumnRef:
-      out->refs.push_back(static_cast<const sql::ColumnRefExpr*>(&expr));
-      return;
-    case ExprKind::kFunctionCall:
-      if (IsAggregateFunction(
-              static_cast<const sql::FunctionCallExpr&>(expr).name)) {
-        out->has_aggregate = true;
-      }
-      break;
-    case ExprKind::kInSubquery:
-    case ExprKind::kExists:
-    case ExprKind::kScalarSubquery:
-      out->has_subquery = true;
-      break;
-    default:
-      break;
-  }
-  ForEachChildExpr(expr,
-                   [out](const Expr& child) { ScanRefsInto(child, out); });
-}
-
-// ---------------------------------------------------------------------------
-// FROM/WHERE pipeline
-// ---------------------------------------------------------------------------
-
-/// One FROM item or JOIN clause with its alias-qualified schema and column
-/// range inside the combined (all-sources) schema.
-struct SourceRel {
-  sql::JoinKind kind = sql::JoinKind::kInner;
-  const Expr* on = nullptr;  // JOIN ... ON predicate; null for comma items
-  const Table* table = nullptr;
-  Schema schema;
-  size_t col_begin = 0;
-  size_t col_end = 0;
-};
-
-/// A predicate with the set of sources it references. `opaque` predicates
-/// (subqueries, aggregates, ambiguous or unresolvable references) are
-/// never moved: they evaluate exactly where the nested-loop pipeline
-/// would have evaluated them.
-struct ClassifiedPred {
-  const Expr* expr = nullptr;
-  uint64_t mask = 0;
-  bool opaque = false;
-};
-
-ClassifiedPred Classify(const Expr& expr, const Schema& combined,
-                        const std::vector<SourceRel>& sources,
-                        const EvalContext* outer) {
-  ClassifiedPred out;
-  out.expr = &expr;
-  RefScan scan;
-  ScanRefsInto(expr, &scan);
-  if (scan.has_subquery || scan.has_aggregate) {
-    out.opaque = true;
-    return out;
-  }
-  for (const sql::ColumnRefExpr* ref : scan.refs) {
-    Result<size_t> idx = combined.FindColumn(ref->name, ref->qualifier);
-    if (idx.ok()) {
-      size_t source = 0;
-      while (source < sources.size() &&
-             (*idx < sources[source].col_begin ||
-              *idx >= sources[source].col_end)) {
-        ++source;
-      }
-      if (source >= 64 || source >= sources.size()) {
-        out.opaque = true;
-        return out;
-      }
-      out.mask |= uint64_t{1} << source;
-      continue;
-    }
-    if (idx.status().code() != StatusCode::kNotFound) {
-      out.opaque = true;  // ambiguous: the final filter reports the error
-      return out;
-    }
-    // Not in the combined schema: references into the enclosing query's
-    // rows are constants for this pipeline; anything else must stay in
-    // the final filter so evaluation reports the unknown column there.
-    bool found_outer = false;
-    for (const EvalContext* c = outer; c != nullptr; c = c->outer) {
-      if (c->schema != nullptr &&
-          c->schema->HasColumn(ref->name, ref->qualifier)) {
-        found_outer = true;
-        break;
-      }
-    }
-    if (!found_outer) {
-      out.opaque = true;
-      return out;
-    }
-  }
+std::vector<const Expr*> SplitConjuncts(const Expr& pred) {
+  std::vector<const Expr*> out;
+  SplitConjunctsInto(pred, &out);
   return out;
 }
 
-/// True if the two derived key types can be matched by Value's total-order
-/// hash/equality exactly where SqlEquals would return kTrue. Mismatched
-/// categories (where SqlEquals errors) disqualify a conjunct from hashing
-/// so the error still surfaces from residual evaluation.
 bool HashCompatible(std::optional<DataType> a, std::optional<DataType> b) {
   if (!a.has_value() || !b.has_value()) return false;
   if (*a == *b) return true;
@@ -172,47 +63,6 @@ bool HashCompatible(std::optional<DataType> a, std::optional<DataType> b) {
     return t == DataType::kInteger || t == DataType::kReal;
   };
   return numeric(*a) && numeric(*b);
-}
-
-struct EquiKey {
-  const Expr* acc = nullptr;    // side over already-joined sources
-  const Expr* right = nullptr;  // side over the incoming source
-};
-
-bool TryExtractEqui(const ClassifiedPred& pred, uint64_t present,
-                    uint64_t bit_i, const Schema& combined,
-                    const std::vector<SourceRel>& sources, const Database& db,
-                    const EvalContext* outer, EquiKey* out) {
-  if (pred.opaque || pred.expr->kind != ExprKind::kBinary) return false;
-  const auto& b = static_cast<const sql::BinaryExpr&>(*pred.expr);
-  if (b.op != sql::BinaryOp::kEquals) return false;
-  ClassifiedPred left = Classify(*b.left, combined, sources, outer);
-  ClassifiedPred right = Classify(*b.right, combined, sources, outer);
-  if (left.opaque || right.opaque) return false;
-  const Expr* acc_side = nullptr;
-  const Expr* right_side = nullptr;
-  if (left.mask != 0 && (left.mask & ~present) == 0 && right.mask != 0 &&
-      (right.mask & ~bit_i) == 0) {
-    acc_side = b.left.get();
-    right_side = b.right.get();
-  } else if (right.mask != 0 && (right.mask & ~present) == 0 &&
-             left.mask != 0 && (left.mask & ~bit_i) == 0) {
-    acc_side = b.right.get();
-    right_side = b.left.get();
-  } else {
-    return false;
-  }
-  EvalContext type_ctx;
-  type_ctx.db = &db;
-  type_ctx.schema = &combined;
-  type_ctx.outer = outer;
-  if (!HashCompatible(DeriveExprType(*acc_side, type_ctx),
-                      DeriveExprType(*right_side, type_ctx))) {
-    return false;
-  }
-  out->acc = acc_side;
-  out->right = right_side;
-  return true;
 }
 
 Result<bool> PassesAll(const std::vector<const Expr*>& preds,
@@ -224,9 +74,6 @@ Result<bool> PassesAll(const std::vector<const Expr*>& preds,
   return true;
 }
 
-/// Evaluates join-key expressions over one row. Returns nullopt when any
-/// key value is NULL or NaN: neither can ever compare kTrue under
-/// SqlEquals, but both would unify under hash equality.
 Result<std::optional<Tuple>> EvalJoinKey(const std::vector<const Expr*>& keys,
                                          const EvalContext& ctx) {
   Tuple key;
@@ -241,293 +88,21 @@ Result<std::optional<Tuple>> EvalJoinKey(const std::vector<const Expr*>& keys,
   return std::optional<Tuple>(std::move(key));
 }
 
-using JoinIndex = std::unordered_map<Tuple, std::vector<size_t>, TupleHash>;
-
-}  // namespace
-
-std::vector<const Expr*> SplitConjuncts(const Expr& pred) {
-  std::vector<const Expr*> out;
-  SplitConjunctsInto(pred, &out);
-  return out;
-}
-
-Result<Table> ExecuteFromWhere(const SelectStatement& stmt, const Database& db,
-                               const EvalContext* outer) {
-  std::vector<SourceRel> sources;
-  sources.reserve(stmt.from.size() + stmt.joins.size());
-  for (const sql::TableRef& ref : stmt.from) {
-    MAYBMS_ASSIGN_OR_RETURN(const Table* table, db.GetRelation(ref.table_name));
-    SourceRel src;
-    src.table = table;
-    src.schema = table->schema().WithQualifier(ref.effective_alias());
-    sources.push_back(std::move(src));
-  }
-  for (const sql::JoinClause& join : stmt.joins) {
-    MAYBMS_ASSIGN_OR_RETURN(const Table* table,
-                            db.GetRelation(join.table.table_name));
-    SourceRel src;
-    src.kind = join.kind;
-    src.on = join.on.get();
-    src.table = table;
-    src.schema = table->schema().WithQualifier(join.table.effective_alias());
-    sources.push_back(std::move(src));
-  }
-  // Predicate-free single-table pipeline — the shape the world-set layer
-  // evaluates once per world for repair/choice inputs and simple
-  // aggregates — is a plain qualified copy.
-  if (sources.size() == 1 && stmt.where == nullptr && stmt.joins.empty()) {
-    return Table(std::move(sources[0].schema), sources[0].table->rows());
-  }
-
-  // The combined all-sources schema exists purely to classify predicates;
-  // predicate-free pipelines (the per-world repair/choice hot path) skip
-  // building it.
-  Schema combined;
-  if (stmt.where != nullptr || !stmt.joins.empty()) {
-    for (SourceRel& src : sources) {
-      src.col_begin = combined.num_columns();
-      combined = Schema::Concat(combined, src.schema);
-      src.col_end = combined.num_columns();
-    }
-  }
-
-  // Classify each WHERE conjunct once against the full schema (the schema
-  // the predicate is resolved with), then apply it at the earliest join
-  // stage that binds every source it references. Sources beyond the mask
-  // width disable pushdown but not correctness (everything stays in the
-  // final filter).
-  const bool maskable = sources.size() <= 64;
-  struct WherePred {
-    ClassifiedPred pred;
-    bool consumed = false;
-  };
-  std::vector<WherePred> where_preds;
-  if (stmt.where != nullptr) {
-    for (const Expr* e : SplitConjuncts(*stmt.where)) {
-      WherePred w;
-      w.pred = maskable ? Classify(*e, combined, sources, outer)
-                        : ClassifiedPred{e, 0, true};
-      where_preds.push_back(std::move(w));
-    }
-  }
-
-  Schema acc_schema;
-  std::vector<Tuple> acc_rows;
-  acc_rows.emplace_back();
-  uint64_t present = 0;
-
-  for (size_t i = 0; i < sources.size(); ++i) {
-    const SourceRel& src = sources[i];
-    const uint64_t bit_i = maskable ? uint64_t{1} << i : 0;
-    const uint64_t with_i = present | bit_i;
-    const bool left_join = src.kind == sql::JoinKind::kLeftOuter;
-    Schema stage_schema = Schema::Concat(acc_schema, src.schema);
-
-    // Predicates deciding matches at this stage: WHERE conjuncts that
-    // become fully bound here (inner stages only — a WHERE filter over a
-    // LEFT-joined source applies after padding), plus the ON conjuncts.
-    std::vector<ClassifiedPred> stage;
-    if (!left_join && bit_i != 0) {
-      for (WherePred& w : where_preds) {
-        if (w.consumed || w.pred.opaque) continue;
-        if ((w.pred.mask & bit_i) == 0) continue;
-        if ((w.pred.mask & ~with_i) != 0) continue;
-        stage.push_back(w.pred);
-        w.consumed = true;
-      }
-    }
-    if (src.on != nullptr) {
-      for (const Expr* e : SplitConjuncts(*src.on)) {
-        stage.push_back(maskable ? Classify(*e, combined, sources, outer)
-                                 : ClassifiedPred{e, 0, true});
-      }
-    }
-
-    // Single-source predicates filter the incoming table's scan; equality
-    // conjuncts between the two sides become hash keys; everything else is
-    // a residual evaluated per candidate pair.
-    std::vector<const Expr*> scan_filters;
-    std::vector<const Expr*> acc_keys;
-    std::vector<const Expr*> right_keys;
-    std::vector<const Expr*> residuals;
-    for (const ClassifiedPred& p : stage) {
-      if (!p.opaque && p.mask != 0 && (p.mask & ~bit_i) == 0) {
-        scan_filters.push_back(p.expr);
-        continue;
-      }
-      EquiKey eq;
-      if (TryExtractEqui(p, present, bit_i, combined, sources, db, outer,
-                         &eq)) {
-        acc_keys.push_back(eq.acc);
-        right_keys.push_back(eq.right);
-        continue;
-      }
-      residuals.push_back(p.expr);
-    }
-
-    if (acc_rows.empty()) {
-      // Nothing to join against (and nothing to pad): skip the stage work.
-      acc_schema = std::move(stage_schema);
-      present = with_i;
-      continue;
-    }
-
-    std::vector<size_t> right_rows;
-    right_rows.reserve(src.table->num_rows());
-    for (size_t r = 0; r < src.table->num_rows(); ++r) {
-      if (!scan_filters.empty()) {
-        EvalContext ctx{&db, &src.schema, &src.table->row(r), outer, nullptr,
-                        nullptr};
-        MAYBMS_ASSIGN_OR_RETURN(bool pass, PassesAll(scan_filters, ctx));
-        if (!pass) continue;
-      }
-      right_rows.push_back(r);
-    }
-
-    std::vector<Tuple> next_rows;
-    auto pad_row = [&src](const Tuple& left) {
-      Tuple padded = left;
-      for (size_t c = 0; c < src.schema.num_columns(); ++c) {
-        padded.Append(Value::Null());
-      }
-      return padded;
-    };
-
-    if (acc_keys.empty()) {
-      // No usable equi conjunct: nested loop over the (scan-filtered)
-      // pair space.
-      for (const Tuple& left : acc_rows) {
-        bool matched = false;
-        for (size_t r : right_rows) {
-          Tuple combined_row = Tuple::Concat(left, src.table->row(r));
-          EvalContext ctx{&db, &stage_schema, &combined_row, outer, nullptr,
-                          nullptr};
-          MAYBMS_ASSIGN_OR_RETURN(bool pass, PassesAll(residuals, ctx));
-          if (!pass) continue;
-          matched = true;
-          next_rows.push_back(std::move(combined_row));
-        }
-        if (!matched && left_join) next_rows.push_back(pad_row(left));
-      }
-    } else if (acc_rows.size() <= right_rows.size()) {
-      // Build the hash table on the accumulated (smaller) side, probe with
-      // the incoming table; matches are buffered per accumulated row so
-      // the output keeps the nested-loop order (left-major, right rows in
-      // table order).
-      JoinIndex index;
-      index.reserve(acc_rows.size());
-      for (size_t l = 0; l < acc_rows.size(); ++l) {
-        EvalContext ctx{&db, &acc_schema, &acc_rows[l], outer, nullptr,
-                        nullptr};
-        MAYBMS_ASSIGN_OR_RETURN(std::optional<Tuple> key,
-                                EvalJoinKey(acc_keys, ctx));
-        if (key.has_value()) index[std::move(*key)].push_back(l);
-      }
-      std::vector<std::vector<Tuple>> by_left(acc_rows.size());
-      for (size_t r : right_rows) {
-        const Tuple& right = src.table->row(r);
-        EvalContext ctx{&db, &src.schema, &right, outer, nullptr, nullptr};
-        MAYBMS_ASSIGN_OR_RETURN(std::optional<Tuple> key,
-                                EvalJoinKey(right_keys, ctx));
-        if (!key.has_value()) continue;
-        auto it = index.find(*key);
-        if (it == index.end()) continue;
-        for (size_t l : it->second) {
-          Tuple combined_row = Tuple::Concat(acc_rows[l], right);
-          EvalContext rctx{&db, &stage_schema, &combined_row, outer, nullptr,
-                           nullptr};
-          MAYBMS_ASSIGN_OR_RETURN(bool pass, PassesAll(residuals, rctx));
-          if (pass) by_left[l].push_back(std::move(combined_row));
-        }
-      }
-      for (size_t l = 0; l < acc_rows.size(); ++l) {
-        if (by_left[l].empty()) {
-          if (left_join) next_rows.push_back(pad_row(acc_rows[l]));
-          continue;
-        }
-        for (Tuple& t : by_left[l]) next_rows.push_back(std::move(t));
-      }
-    } else {
-      // Build on the (smaller) incoming table, stream the accumulated
-      // side; output is naturally left-major.
-      JoinIndex index;
-      index.reserve(right_rows.size());
-      for (size_t r : right_rows) {
-        EvalContext ctx{&db, &src.schema, &src.table->row(r), outer, nullptr,
-                        nullptr};
-        MAYBMS_ASSIGN_OR_RETURN(std::optional<Tuple> key,
-                                EvalJoinKey(right_keys, ctx));
-        if (key.has_value()) index[std::move(*key)].push_back(r);
-      }
-      for (const Tuple& left : acc_rows) {
-        EvalContext lctx{&db, &acc_schema, &left, outer, nullptr, nullptr};
-        MAYBMS_ASSIGN_OR_RETURN(std::optional<Tuple> key,
-                                EvalJoinKey(acc_keys, lctx));
-        bool matched = false;
-        if (key.has_value()) {
-          auto it = index.find(*key);
-          if (it != index.end()) {
-            for (size_t r : it->second) {
-              Tuple combined_row = Tuple::Concat(left, src.table->row(r));
-              EvalContext rctx{&db, &stage_schema, &combined_row, outer,
-                               nullptr, nullptr};
-              MAYBMS_ASSIGN_OR_RETURN(bool pass, PassesAll(residuals, rctx));
-              if (!pass) continue;
-              matched = true;
-              next_rows.push_back(std::move(combined_row));
-            }
-          }
-        }
-        if (!matched && left_join) next_rows.push_back(pad_row(left));
-      }
-    }
-
-    acc_schema = std::move(stage_schema);
-    acc_rows = std::move(next_rows);
-    present = with_i;
-  }
-
-  // Final filter: conjuncts no join stage consumed (subquery predicates,
-  // filters over LEFT-joined columns, outer-only or unresolvable
-  // references). Subqueries evaluate through a per-pipeline decorrelation
-  // cache instead of re-executing per row.
-  bool any_final = false;
-  for (const WherePred& w : where_preds) any_final |= !w.consumed;
-  if (any_final) {
-    SubqueryCache cache;
-    std::vector<Tuple> filtered;
-    filtered.reserve(acc_rows.size());
-    for (Tuple& row : acc_rows) {
-      EvalContext ctx{&db, &acc_schema, &row, outer, nullptr, &cache};
-      bool keep = true;
-      for (const WherePred& w : where_preds) {
-        if (w.consumed) continue;
-        MAYBMS_ASSIGN_OR_RETURN(Trivalent t, EvalPredicate(*w.pred.expr, ctx));
-        if (t != Trivalent::kTrue) {
-          keep = false;
-          break;
-        }
-      }
-      if (keep) filtered.push_back(std::move(row));
-    }
-    acc_rows = std::move(filtered);
-  }
-
-  return Table(std::move(acc_schema), std::move(acc_rows));
-}
-
 // ---------------------------------------------------------------------------
 // Subquery decorrelation
 // ---------------------------------------------------------------------------
 
-/// One cached subquery plan. Two shapes exist:
+/// One schema-level subquery plan. Two shapes exist:
 ///  - constant: the subquery never references the probed row, so the
-///    original evaluation runs once and the result is reused per probe;
+///    original evaluation runs once per scope and the result is reused
+///    per probe;
 ///  - decorrelated: correlation is confined to WHERE conjuncts, the
 ///    equi-conjuncts become a hash key over the one-shot materialized
 ///    FROM/WHERE rows, and the remaining correlated conjuncts are
 ///    evaluated per bucket candidate (preserving trivalent semantics).
-struct SubqueryCache::Entry {
+/// Plans hold borrowed AST pointers and a pre-built materialization shell
+/// only — never rows or per-world values (see planner.h).
+struct SubqueryPlanCache::Plan {
   enum class Kind { kExists, kIn, kScalar };
 
   bool usable = false;
@@ -540,23 +115,48 @@ struct SubqueryCache::Entry {
   const sql::Expr* item = nullptr;     // single select item (IN / scalar)
   bool grouped = false;                // global-aggregate select list
 
+  // Decorrelated shape.
+  std::vector<const sql::Expr*> inner_keys;  // over the subquery's rows
+  std::vector<const sql::Expr*> outer_keys;  // over the probed row
+  std::vector<const sql::Expr*> residuals;   // correlated, per candidate
+  // The subquery with only its local (non-correlated) WHERE conjuncts,
+  // cloned once at analysis; each scope materializes its FROM/WHERE from
+  // this shell through `shell_plan`, prepared lazily on the first
+  // materialization and reused by every scope (schema-only, like the
+  // plan itself).
+  std::unique_ptr<sql::SelectStatement> shell;
+  std::optional<PreparedFromWhere> shell_plan;
+
+  // Constant shape: the subquery prepared once, executed once per scope.
+  std::optional<PreparedSelect> const_plan;
+};
+
+/// Per-scope results for one subquery plan: the constant value / IN list
+/// (constant shape) or the one-shot materialized rows plus their hash
+/// semi-join index (decorrelated shape). All of this is world data and
+/// dies with its SubqueryCache.
+struct SubqueryCache::Entry {
   // Constant shape.
   bool const_ready = false;
   Value const_value;
   std::vector<Value> in_values;
 
   // Decorrelated shape.
-  std::vector<const sql::Expr*> local;       // applied at materialization
-  std::vector<const sql::Expr*> inner_keys;  // over the subquery's rows
-  std::vector<const sql::Expr*> outer_keys;  // over the probed row
-  std::vector<const sql::Expr*> residuals;   // correlated, per candidate
   bool materialized = false;
   Schema inner_schema;
   std::vector<Tuple> inner_rows;
   JoinIndex index;
 };
 
-SubqueryCache::SubqueryCache() = default;
+SubqueryPlanCache::SubqueryPlanCache() = default;
+SubqueryPlanCache::~SubqueryPlanCache() = default;
+SubqueryPlanCache::SubqueryPlanCache(SubqueryPlanCache&&) noexcept = default;
+SubqueryPlanCache& SubqueryPlanCache::operator=(SubqueryPlanCache&&) noexcept =
+    default;
+
+SubqueryCache::SubqueryCache() : plans_(&owned_plans_) {}
+SubqueryCache::SubqueryCache(SubqueryPlanCache* shared_plans)
+    : plans_(shared_plans != nullptr ? shared_plans : &owned_plans_) {}
 SubqueryCache::~SubqueryCache() = default;
 
 namespace {
@@ -659,20 +259,21 @@ void ScanStatementCorrelation(const SelectStatement& stmt,
   }
 }
 
+using Plan = SubqueryPlanCache::Plan;
 using Entry = SubqueryCache::Entry;
 
-void AnalyzeEntry(Entry& e, const Expr& node, const EvalContext& ctx) {
+void AnalyzePlan(Plan& e, const Expr& node, const EvalContext& ctx) {
   switch (node.kind) {
     case ExprKind::kExists: {
       const auto& ex = static_cast<const sql::ExistsExpr&>(node);
-      e.kind = Entry::Kind::kExists;
+      e.kind = Plan::Kind::kExists;
       e.sub = ex.subquery.get();
       e.negated = ex.negated;
       break;
     }
     case ExprKind::kInSubquery: {
       const auto& in = static_cast<const sql::InSubqueryExpr&>(node);
-      e.kind = Entry::Kind::kIn;
+      e.kind = Plan::Kind::kIn;
       e.sub = in.subquery.get();
       e.negated = in.negated;
       e.operand = in.operand.get();
@@ -680,7 +281,7 @@ void AnalyzeEntry(Entry& e, const Expr& node, const EvalContext& ctx) {
     }
     case ExprKind::kScalarSubquery: {
       const auto& sub = static_cast<const sql::ScalarSubqueryExpr&>(node);
-      e.kind = Entry::Kind::kScalar;
+      e.kind = Plan::Kind::kScalar;
       e.sub = sub.subquery.get();
       break;
     }
@@ -695,7 +296,8 @@ void AnalyzeEntry(Entry& e, const Expr& node, const EvalContext& ctx) {
   ScanStatementCorrelation(*e.sub, chain, probe, *ctx.db, &whole);
   if (!whole.ok) return;  // unanalyzable: keep the per-row fallback
   if (!whole.correlated) {
-    // Independent of the probed row: evaluate once, reuse per probe.
+    // Independent of the probed row: evaluate once per scope, reuse per
+    // probe.
     e.constant = true;
     e.usable = true;
     return;
@@ -710,15 +312,15 @@ void AnalyzeEntry(Entry& e, const Expr& node, const EvalContext& ctx) {
   e.grouped = StatementHasAggregates(sub);
   // A correlated global aggregate always yields exactly one row, so a
   // decorrelated EXISTS would skip evaluating it; keep the fallback.
-  if (e.kind == Entry::Kind::kExists && e.grouped) return;
-  if (e.kind != Entry::Kind::kExists) {
+  if (e.kind == Plan::Kind::kExists && e.grouped) return;
+  if (e.kind != Plan::Kind::kExists) {
     if (sub.items.size() != 1 || sub.items[0].star ||
         sub.items[0].expr == nullptr) {
       return;
     }
     e.item = sub.items[0].expr.get();
   }
-  if (e.kind == Entry::Kind::kScalar && sub.distinct) return;
+  if (e.kind == Plan::Kind::kScalar && sub.distinct) return;
 
   std::optional<Schema> inner = DeriveSourceSchema(sub, *ctx.db);
   if (!inner.has_value()) return;
@@ -733,6 +335,7 @@ void AnalyzeEntry(Entry& e, const Expr& node, const EvalContext& ctx) {
     if (!on_scan.ok || on_scan.correlated) return;
   }
 
+  std::vector<const Expr*> local;  // applied at materialization
   if (sub.where != nullptr) {
     for (const Expr* conjunct : SplitConjuncts(*sub.where)) {
       CorrelationScan cs;
@@ -740,7 +343,7 @@ void AnalyzeEntry(Entry& e, const Expr& node, const EvalContext& ctx) {
       ScanCorrelation(*conjunct, c_chain, probe, *ctx.db, &cs);
       if (!cs.ok) return;
       if (!cs.correlated) {
-        e.local.push_back(conjunct);
+        local.push_back(conjunct);
         continue;
       }
       bool extracted = false;
@@ -788,31 +391,43 @@ void AnalyzeEntry(Entry& e, const Expr& node, const EvalContext& ctx) {
       if (!extracted) e.residuals.push_back(conjunct);
     }
   }
-  e.usable = true;
-}
 
-/// One-shot materialization of the subquery's FROM/WHERE under the local
-/// (non-correlated) conjuncts, plus the hash index over the equi keys.
-Status MaterializeEntry(Entry& e, const EvalContext& ctx) {
+  // Pre-build the materialization shell: the subquery with only its local
+  // conjuncts. Built once here so per-scope materialization never clones
+  // the AST again.
   std::unique_ptr<SelectStatement> shell = e.sub->Clone();
   sql::ExprPtr where;
-  for (const Expr* conjunct : e.local) {
+  for (const Expr* conjunct : local) {
     sql::ExprPtr clone = conjunct->Clone();
     where = where ? std::make_unique<sql::BinaryExpr>(
                         sql::BinaryOp::kAnd, std::move(where), std::move(clone))
                   : std::move(clone);
   }
   shell->where = std::move(where);
-  MAYBMS_ASSIGN_OR_RETURN(Table t,
-                          ExecuteFromWhere(*shell, *ctx.db, ctx.outer));
+  e.shell = std::move(shell);
+  e.usable = true;
+}
+
+/// One-shot materialization of the subquery's FROM/WHERE under the local
+/// (non-correlated) conjuncts, plus the hash index over the equi keys.
+/// The shell's pipeline plan is prepared on the first scope and reused by
+/// every later one (the plan cache is only ever shared across scopes with
+/// identical schemas).
+Status MaterializeEntry(Plan& p, Entry& e, const EvalContext& ctx) {
+  if (!p.shell_plan.has_value()) {
+    MAYBMS_ASSIGN_OR_RETURN(
+        p.shell_plan,
+        PreparedFromWhere::Prepare(*p.shell, *ctx.db, ctx.outer));
+  }
+  MAYBMS_ASSIGN_OR_RETURN(Table t, p.shell_plan->Execute(*ctx.db, ctx.outer));
   e.inner_schema = t.schema();
   e.inner_rows = std::move(*t.mutable_rows());
-  if (!e.inner_keys.empty()) {
+  if (!p.inner_keys.empty()) {
     for (size_t r = 0; r < e.inner_rows.size(); ++r) {
       EvalContext ictx{ctx.db, &e.inner_schema, &e.inner_rows[r], ctx.outer,
                        nullptr, nullptr};
       MAYBMS_ASSIGN_OR_RETURN(std::optional<Tuple> key,
-                              EvalJoinKey(e.inner_keys, ictx));
+                              EvalJoinKey(p.inner_keys, ictx));
       if (key.has_value()) e.index[std::move(*key)].push_back(r);
     }
   }
@@ -820,26 +435,26 @@ Status MaterializeEntry(Entry& e, const EvalContext& ctx) {
   return Status::OK();
 }
 
-Result<Value> ProbeEntry(Entry& e, const EvalContext& ctx) {
-  if (!e.materialized) MAYBMS_RETURN_NOT_OK(MaterializeEntry(e, ctx));
+Result<Value> ProbeEntry(Plan& p, Entry& e, const EvalContext& ctx) {
+  if (!e.materialized) MAYBMS_RETURN_NOT_OK(MaterializeEntry(p, e, ctx));
 
   // For IN, the operand evaluates before the subquery (EvalExpr's order).
   std::optional<Value> operand;
-  if (e.kind == Entry::Kind::kIn) {
-    MAYBMS_ASSIGN_OR_RETURN(Value v, EvalExpr(*e.operand, ctx));
+  if (p.kind == Plan::Kind::kIn) {
+    MAYBMS_ASSIGN_OR_RETURN(Value v, EvalExpr(*p.operand, ctx));
     operand = std::move(v);
   }
 
   static const std::vector<size_t> kNoCandidates;
   const std::vector<size_t>* candidates = &kNoCandidates;
   std::vector<size_t> all;
-  if (e.inner_keys.empty()) {
+  if (p.inner_keys.empty()) {
     all.resize(e.inner_rows.size());
     std::iota(all.begin(), all.end(), size_t{0});
     candidates = &all;
   } else {
     MAYBMS_ASSIGN_OR_RETURN(std::optional<Tuple> key,
-                            EvalJoinKey(e.outer_keys, ctx));
+                            EvalJoinKey(p.outer_keys, ctx));
     if (key.has_value()) {
       auto it = e.index.find(*key);
       if (it != e.index.end()) candidates = &it->second;
@@ -850,53 +465,53 @@ Result<Value> ProbeEntry(Entry& e, const EvalContext& ctx) {
     return EvalContext{ctx.db, &e.inner_schema, &row, &ctx, nullptr, nullptr};
   };
 
-  if (e.grouped) {
+  if (p.grouped) {
     // Global aggregate: the surviving candidates form the one group.
     std::vector<Tuple> rows;
     for (size_t r : *candidates) {
       EvalContext ictx = inner_ctx(e.inner_rows[r]);
-      MAYBMS_ASSIGN_OR_RETURN(bool pass, PassesAll(e.residuals, ictx));
+      MAYBMS_ASSIGN_OR_RETURN(bool pass, PassesAll(p.residuals, ictx));
       if (pass) rows.push_back(e.inner_rows[r]);
     }
     EvalContext gctx{ctx.db, rows.empty() ? nullptr : &e.inner_schema,
                      rows.empty() ? nullptr : &rows[0], &ctx, &rows, nullptr};
-    MAYBMS_ASSIGN_OR_RETURN(Value v, EvalExpr(*e.item, gctx));
-    if (e.kind == Entry::Kind::kScalar) return v;
+    MAYBMS_ASSIGN_OR_RETURN(Value v, EvalExpr(*p.item, gctx));
+    if (p.kind == Plan::Kind::kScalar) return v;
     MAYBMS_ASSIGN_OR_RETURN(Trivalent eq, operand->SqlEquals(v));
-    return TrivalentToValue(e.negated ? TrivalentNot(eq) : eq);
+    return TrivalentToValue(p.negated ? TrivalentNot(eq) : eq);
   }
 
-  switch (e.kind) {
-    case Entry::Kind::kExists: {
+  switch (p.kind) {
+    case Plan::Kind::kExists: {
       bool exists = false;
       for (size_t r : *candidates) {
         EvalContext ictx = inner_ctx(e.inner_rows[r]);
-        MAYBMS_ASSIGN_OR_RETURN(bool pass, PassesAll(e.residuals, ictx));
+        MAYBMS_ASSIGN_OR_RETURN(bool pass, PassesAll(p.residuals, ictx));
         if (pass) {
           exists = true;
           break;
         }
       }
-      return Value::Boolean(e.negated ? !exists : exists);
+      return Value::Boolean(p.negated ? !exists : exists);
     }
-    case Entry::Kind::kIn: {
+    case Plan::Kind::kIn: {
       Trivalent found = Trivalent::kFalse;
       for (size_t r : *candidates) {
         EvalContext ictx = inner_ctx(e.inner_rows[r]);
-        MAYBMS_ASSIGN_OR_RETURN(bool pass, PassesAll(e.residuals, ictx));
+        MAYBMS_ASSIGN_OR_RETURN(bool pass, PassesAll(p.residuals, ictx));
         if (!pass) continue;
-        MAYBMS_ASSIGN_OR_RETURN(Value item, EvalExpr(*e.item, ictx));
+        MAYBMS_ASSIGN_OR_RETURN(Value item, EvalExpr(*p.item, ictx));
         MAYBMS_ASSIGN_OR_RETURN(Trivalent eq, operand->SqlEquals(item));
         found = TrivalentOr(found, eq);
         if (found == Trivalent::kTrue) break;
       }
-      return TrivalentToValue(e.negated ? TrivalentNot(found) : found);
+      return TrivalentToValue(p.negated ? TrivalentNot(found) : found);
     }
-    case Entry::Kind::kScalar: {
+    case Plan::Kind::kScalar: {
       std::optional<size_t> match;
       for (size_t r : *candidates) {
         EvalContext ictx = inner_ctx(e.inner_rows[r]);
-        MAYBMS_ASSIGN_OR_RETURN(bool pass, PassesAll(e.residuals, ictx));
+        MAYBMS_ASSIGN_OR_RETURN(bool pass, PassesAll(p.residuals, ictx));
         if (!pass) continue;
         if (match.has_value()) {
           return Status::RuntimeError(
@@ -906,33 +521,42 @@ Result<Value> ProbeEntry(Entry& e, const EvalContext& ctx) {
       }
       if (!match.has_value()) return Value::Null();
       EvalContext ictx = inner_ctx(e.inner_rows[*match]);
-      return EvalExpr(*e.item, ictx);
+      return EvalExpr(*p.item, ictx);
     }
   }
   return Status::RuntimeError("unhandled cached subquery kind");
 }
 
+/// Executes the constant subquery for one scope through the plan-level
+/// PreparedSelect (prepared on the first scope, schema-only, reused by
+/// every later one).
+Result<Table> ExecuteConstantSub(Plan& p, const EvalContext& ctx) {
+  if (!p.const_plan.has_value()) {
+    MAYBMS_ASSIGN_OR_RETURN(p.const_plan,
+                            PreparedSelect::Prepare(*p.sub, *ctx.db, &ctx));
+  }
+  return p.const_plan->Execute(*ctx.db, &ctx);
+}
+
 /// Evaluates a subquery that never references the probed row: the
-/// original evaluation runs once (against the first probing context,
-/// whose enclosing chain is fixed for the cache's lifetime) and the
-/// result is reused for every subsequent probe.
-Result<Value> EvalConstantEntry(Entry& e, const EvalContext& ctx) {
-  switch (e.kind) {
-    case Entry::Kind::kExists: {
+/// original evaluation runs once per scope (against the first probing
+/// context, whose enclosing chain is fixed for the scope's lifetime) and
+/// the result is reused for every subsequent probe.
+Result<Value> EvalConstantEntry(Plan& p, Entry& e, const EvalContext& ctx) {
+  switch (p.kind) {
+    case Plan::Kind::kExists: {
       if (!e.const_ready) {
-        MAYBMS_ASSIGN_OR_RETURN(Table result,
-                                ExecuteSelect(*e.sub, *ctx.db, &ctx));
+        MAYBMS_ASSIGN_OR_RETURN(Table result, ExecuteConstantSub(p, ctx));
         e.const_value = Value::Boolean(!result.empty());
         e.const_ready = true;
       }
       bool exists = e.const_value.AsBoolean();
-      return Value::Boolean(e.negated ? !exists : exists);
+      return Value::Boolean(p.negated ? !exists : exists);
     }
-    case Entry::Kind::kIn: {
-      MAYBMS_ASSIGN_OR_RETURN(Value operand, EvalExpr(*e.operand, ctx));
+    case Plan::Kind::kIn: {
+      MAYBMS_ASSIGN_OR_RETURN(Value operand, EvalExpr(*p.operand, ctx));
       if (!e.const_ready) {
-        MAYBMS_ASSIGN_OR_RETURN(Table result,
-                                ExecuteSelect(*e.sub, *ctx.db, &ctx));
+        MAYBMS_ASSIGN_OR_RETURN(Table result, ExecuteConstantSub(p, ctx));
         if (result.schema().num_columns() != 1) {
           return Status::InvalidArgument(
               "IN subquery must return exactly one column");
@@ -949,12 +573,11 @@ Result<Value> EvalConstantEntry(Entry& e, const EvalContext& ctx) {
         found = TrivalentOr(found, eq);
         if (found == Trivalent::kTrue) break;
       }
-      return TrivalentToValue(e.negated ? TrivalentNot(found) : found);
+      return TrivalentToValue(p.negated ? TrivalentNot(found) : found);
     }
-    case Entry::Kind::kScalar: {
+    case Plan::Kind::kScalar: {
       if (!e.const_ready) {
-        MAYBMS_ASSIGN_OR_RETURN(Table result,
-                                ExecuteSelect(*e.sub, *ctx.db, &ctx));
+        MAYBMS_ASSIGN_OR_RETURN(Table result, ExecuteConstantSub(p, ctx));
         if (result.schema().num_columns() != 1) {
           return Status::InvalidArgument(
               "scalar subquery must return exactly one column");
@@ -977,14 +600,18 @@ Result<Value> EvalConstantEntry(Entry& e, const EvalContext& ctx) {
 
 Result<std::optional<Value>> EvalSubqueryViaCache(const sql::Expr& expr,
                                                   const EvalContext& ctx) {
-  std::unique_ptr<Entry>& slot = ctx.cache->entries_[&expr];
-  if (slot == nullptr) {
-    slot = std::make_unique<Entry>();
-    AnalyzeEntry(*slot, expr, ctx);
+  std::unique_ptr<Plan>& plan_slot = ctx.cache->plans_->plans_[&expr];
+  if (plan_slot == nullptr) {
+    plan_slot = std::make_unique<Plan>();
+    AnalyzePlan(*plan_slot, expr, ctx);
   }
-  Entry& e = *slot;
-  if (!e.usable) return std::optional<Value>();
-  Result<Value> v = e.constant ? EvalConstantEntry(e, ctx) : ProbeEntry(e, ctx);
+  Plan& plan = *plan_slot;
+  if (!plan.usable) return std::optional<Value>();
+  std::unique_ptr<Entry>& entry_slot = ctx.cache->entries_[&expr];
+  if (entry_slot == nullptr) entry_slot = std::make_unique<Entry>();
+  Result<Value> v = plan.constant
+                        ? EvalConstantEntry(plan, *entry_slot, ctx)
+                        : ProbeEntry(plan, *entry_slot, ctx);
   MAYBMS_RETURN_NOT_OK(v.status());
   return std::optional<Value>(std::move(*v));
 }

@@ -1,6 +1,33 @@
 #ifndef MAYBMS_ENGINE_PLANNER_H_
 #define MAYBMS_ENGINE_PLANNER_H_
 
+// Planning primitives shared by the prepared-statement layer
+// (engine/prepared.h) and the subquery decorrelator (this file's
+// implementation): conjunct splitting, hash-join key helpers, and the
+// two-level subquery cache.
+//
+// Ownership and invariants:
+//  * A SubqueryPlanCache holds *schema-only* analysis per subquery AST
+//    node — constant-vs-decorrelated classification, extracted equi-key
+//    expressions, residual conjuncts, and a pre-built materialization
+//    shell. Plans never capture world data, so one plan cache may be
+//    shared across every world of a world-set (all worlds share one
+//    schema catalog). It must NOT be shared across statements, across
+//    scopes whose probe-row schema differs, or across databases with
+//    different relation schemas.
+//  * A SubqueryCache holds the *results* of one evaluation scope — one
+//    world's materialized subquery rows, hash semi-join index, and
+//    constant values. It references a plan cache (a shared one, or a
+//    private one it owns) and must never outlive its scope: within a
+//    scope the database and every enclosing (`outer`) row are fixed.
+//
+// Trivalent-logic / NULL-key rules: decorrelated evaluation preserves the
+// per-row definition exactly. Hash keys are only extracted for statically
+// type-compatible equality conjuncts; NULL and NaN key values never enter
+// or match a hash index (SqlEquals can never return kTrue for them), and
+// every remaining correlated conjunct is re-evaluated per candidate with
+// full three-valued semantics.
+
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -11,6 +38,7 @@
 #include "sql/ast.h"
 #include "storage/catalog.h"
 #include "storage/table.h"
+#include "types/tuple.h"
 
 namespace maybms::engine {
 
@@ -18,20 +46,61 @@ namespace maybms::engine {
 /// (borrowed pointers into the statement's AST).
 std::vector<const sql::Expr*> SplitConjuncts(const sql::Expr& pred);
 
-/// Per-query cache of subquery evaluation plans, keyed by AST node
+/// Hash index from join-key tuple to row positions; shared between the
+/// prepared FROM/WHERE pipeline and subquery decorrelation.
+using JoinIndex = std::unordered_map<Tuple, std::vector<size_t>, TupleHash>;
+
+/// True if the two derived key types can be matched by Value's total-order
+/// hash/equality exactly where SqlEquals would return kTrue. Mismatched
+/// categories (where SqlEquals errors) disqualify a conjunct from hashing
+/// so the error still surfaces from residual evaluation.
+bool HashCompatible(std::optional<DataType> a, std::optional<DataType> b);
+
+/// Evaluates join-key expressions over one row. Returns nullopt when any
+/// key value is NULL or NaN: neither can ever compare kTrue under
+/// SqlEquals, but both would unify under hash equality.
+Result<std::optional<Tuple>> EvalJoinKey(
+    const std::vector<const sql::Expr*>& keys, const EvalContext& ctx);
+
+/// True when every predicate evaluates to kTrue (kFalse/kUnknown reject).
+Result<bool> PassesAll(const std::vector<const sql::Expr*>& preds,
+                       const EvalContext& ctx);
+
+/// Schema-level subquery plans, keyed by AST node identity. Built lazily
+/// on the first evaluation of each subquery node; shareable across all
+/// worlds of a world-set (see the file comment for the exact rules).
+class SubqueryPlanCache {
+ public:
+  SubqueryPlanCache();
+  ~SubqueryPlanCache();
+  SubqueryPlanCache(const SubqueryPlanCache&) = delete;
+  SubqueryPlanCache& operator=(const SubqueryPlanCache&) = delete;
+  SubqueryPlanCache(SubqueryPlanCache&&) noexcept;
+  SubqueryPlanCache& operator=(SubqueryPlanCache&&) noexcept;
+
+  struct Plan;
+
+ private:
+  friend Result<std::optional<Value>> EvalSubqueryViaCache(
+      const sql::Expr& expr, const EvalContext& ctx);
+
+  std::unordered_map<const sql::Expr*, std::unique_ptr<Plan>> plans_;
+};
+
+/// Per-scope cache of subquery evaluation *results*, keyed by AST node
 /// identity. One cache covers one evaluation scope (a FROM/WHERE pipeline,
-/// a select list, one DML statement): within a scope the database and
-/// every enclosing (`outer`) row are fixed, so a subquery can be analyzed
-/// once and either evaluated a single time (no correlation with the
-/// scope's varying row) or decorrelated into a hash semi-join probed per
-/// row. A cache must never outlive its scope.
+/// a select list, one DML statement — all against one fixed database):
+/// within a scope a subquery's plan either evaluates a single time (no
+/// correlation with the scope's varying row) or decorrelates into a hash
+/// semi-join probed per row. A cache must never outlive its scope.
 ///
-/// Entries are built lazily by EvalSubqueryViaCache on the first
-/// evaluation of each subquery node, so a query whose predicate never
-/// reaches a subquery pays nothing.
+/// The default constructor owns a private plan cache (single-shot scopes);
+/// the pointer constructor borrows a shared one so the per-statement
+/// analysis is amortized across worlds while results stay per world.
 class SubqueryCache {
  public:
   SubqueryCache();
+  explicit SubqueryCache(SubqueryPlanCache* shared_plans);
   ~SubqueryCache();
   SubqueryCache(const SubqueryCache&) = delete;
   SubqueryCache& operator=(const SubqueryCache&) = delete;
@@ -42,6 +111,8 @@ class SubqueryCache {
   friend Result<std::optional<Value>> EvalSubqueryViaCache(
       const sql::Expr& expr, const EvalContext& ctx);
 
+  SubqueryPlanCache owned_plans_;   // used when no shared cache is given
+  SubqueryPlanCache* plans_;        // &owned_plans_ or the shared cache
   std::unordered_map<const sql::Expr*, std::unique_ptr<Entry>> entries_;
 };
 

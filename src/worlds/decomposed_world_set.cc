@@ -11,6 +11,7 @@
 #include "engine/executor.h"
 #include "engine/expr_eval.h"
 #include "engine/planner.h"
+#include "engine/prepared.h"
 #include "worlds/explicit_world_set.h"
 #include "worlds/partition.h"
 
@@ -94,16 +95,18 @@ Result<Table> CombineByQuantifier(
       "group worlds by requires possible, certain, or conf");
 }
 
-/// Filters `rows` (over qualified schema `schema`) by the statement's
-/// WHERE clause and projects them through its select list. The fast path
-/// guarantees there are no subqueries, so `db` is only a formality for the
-/// evaluation context.
+/// Filters `rows` (over the projection's qualified source schema) by the
+/// statement's WHERE clause and projects them through the prepared select
+/// list. The fast path guarantees there are no subqueries, so `db` is only
+/// a formality for the evaluation context; `where_plans` shares what
+/// little subquery analysis there is across the per-alternative calls.
 Result<std::vector<Tuple>> FilterProjectRows(
     const sql::SelectStatement& core, const Database& db, const Schema& schema,
-    const std::vector<Tuple>& rows, Schema* out_schema) {
+    const std::vector<Tuple>& rows, engine::PreparedProjection& projection,
+    engine::SubqueryPlanCache* where_plans) {
   std::vector<Tuple> kept;
   kept.reserve(rows.size());
-  engine::SubqueryCache subquery_cache;  // one fixed db across the row loop
+  engine::SubqueryCache subquery_cache(where_plans);
   for (const Tuple& row : rows) {
     if (core.where) {
       engine::EvalContext ctx{&db,     &schema, &row,
@@ -114,10 +117,8 @@ Result<std::vector<Tuple>> FilterProjectRows(
     }
     kept.push_back(row);
   }
-  MAYBMS_ASSIGN_OR_RETURN(Table projected,
-                          engine::ProjectTuples(core, db, schema, kept));
-  if (out_schema != nullptr) *out_schema = projected.schema();
-  return projected.rows();
+  MAYBMS_ASSIGN_OR_RETURN(Table projected, projection.Execute(db, kept));
+  return std::move(*projected.mutable_rows());
 }
 
 }  // namespace
@@ -363,26 +364,16 @@ Status DecomposedWorldSet::ApplyDml(const sql::Statement& stmt,
   }
   referenced.insert(AsciiToLower(target));
 
-  auto apply = [&](Database* db) -> Status {
-    switch (stmt.kind) {
-      case sql::StatementKind::kInsert:
-        return engine::ExecuteInsert(
-            static_cast<const sql::InsertStatement&>(stmt), db, catalog);
-      case sql::StatementKind::kUpdate:
-        return engine::ExecuteUpdate(
-            static_cast<const sql::UpdateStatement&>(stmt), db, catalog);
-      case sql::StatementKind::kDelete:
-        return engine::ExecuteDelete(
-            static_cast<const sql::DeleteStatement&>(stmt), db);
-      default:
-        return Status::InvalidArgument("not a DML statement");
-    }
-  };
+  // The statement is planned once against the certain schemas (local
+  // worlds share them) and executed per world.
+  MAYBMS_ASSIGN_OR_RETURN(engine::PreparedDml plan,
+                          engine::PreparedDml::Prepare(stmt, certain_,
+                                                       &catalog));
 
   std::vector<size_t> relevant = RelevantComponents(referenced);
   if (relevant.empty()) {
     // All referenced relations are certain: apply once to the core.
-    return apply(&certain_);
+    return plan.Execute(&certain_);
   }
 
   // General path: the update's effect may differ per world. Merge the
@@ -394,7 +385,7 @@ Status DecomposedWorldSet::ApplyDml(const sql::Statement& stmt,
   new_contents.reserve(merged.size());
   for (const Alternative& alt : merged.alternatives) {
     Database local = BuildLocalDatabase({&alt});
-    MAYBMS_RETURN_NOT_OK(apply(&local));  // all-or-nothing across worlds
+    MAYBMS_RETURN_NOT_OK(plan.Execute(&local));  // all-or-nothing per world
     MAYBMS_ASSIGN_OR_RETURN(const Table* updated, local.GetRelation(target));
     new_contents.push_back(*updated);
   }
@@ -471,12 +462,19 @@ Result<DecomposedWorldSet::PipelineOutput> DecomposedWorldSet::RunPipeline(
 
   // ---- Step 1: compute the result representation. ----
   if (stmt.repair.has_value() || stmt.choice.has_value()) {
+    // Plan the repair/choice source pipeline and the projection once: the
+    // certain core and every local world share one schema catalog.
+    MAYBMS_ASSIGN_OR_RETURN(engine::PreparedFromWhere source_plan,
+                            engine::PreparedFromWhere::Prepare(stmt, certain_));
+    MAYBMS_ASSIGN_OR_RETURN(
+        engine::PreparedProjection projection,
+        engine::PreparedProjection::Prepare(*core, certain_,
+                                            source_plan.output_schema()));
     if (relevant.empty()) {
       // The clean product construction: repair creates one component per
       // key group, choice a single component. This is the O(n·g)
       // representation of g^n worlds.
-      MAYBMS_ASSIGN_OR_RETURN(Table source,
-                              engine::ExecuteFromWhere(stmt, certain_));
+      MAYBMS_ASSIGN_OR_RETURN(Table source, source_plan.Execute(certain_));
       std::vector<PartitionBlock> blocks;
       if (stmt.repair.has_value()) {
         MAYBMS_ASSIGN_OR_RETURN(blocks, RepairPartition(source, *stmt.repair));
@@ -484,23 +482,15 @@ Result<DecomposedWorldSet::PipelineOutput> DecomposedWorldSet::RunPipeline(
         MAYBMS_ASSIGN_OR_RETURN(blocks, ChoicePartition(source, *stmt.choice));
       }
       DecomposedResult result;
-      {
-        // Result schema from projecting the full source.
-        MAYBMS_ASSIGN_OR_RETURN(
-            Table projected,
-            engine::ProjectTuples(*core, certain_, source.schema(),
-                                  source.rows()));
-        result.schema = projected.schema();
-      }
+      result.schema = projection.output_schema();
       for (const PartitionBlock& block : blocks) {
         Component comp;
         for (const WeightedChoice& choice : block.choices) {
           std::vector<Tuple> chosen;
           chosen.reserve(choice.row_indices.size());
           for (size_t r : choice.row_indices) chosen.push_back(source.row(r));
-          MAYBMS_ASSIGN_OR_RETURN(
-              Table projected,
-              engine::ProjectTuples(*core, certain_, source.schema(), chosen));
+          MAYBMS_ASSIGN_OR_RETURN(Table projected,
+                                  projection.Execute(certain_, chosen));
           Alternative alt;
           alt.probability = choice.probability;
           alt.tuples[kResultKey] = projected.rows();
@@ -517,8 +507,7 @@ Result<DecomposedWorldSet::PipelineOutput> DecomposedWorldSet::RunPipeline(
       merged.replaced = relevant;
       for (const Alternative& alt : merged_src.alternatives) {
         Database local = BuildLocalDatabase({&alt});
-        MAYBMS_ASSIGN_OR_RETURN(Table source,
-                                engine::ExecuteFromWhere(stmt, local));
+        MAYBMS_ASSIGN_OR_RETURN(Table source, source_plan.Execute(local));
         std::vector<PartitionBlock> blocks;
         if (stmt.repair.has_value()) {
           MAYBMS_ASSIGN_OR_RETURN(blocks,
@@ -540,9 +529,8 @@ Result<DecomposedWorldSet::PipelineOutput> DecomposedWorldSet::RunPipeline(
           std::vector<Tuple> chosen;
           chosen.reserve(rows.size());
           for (size_t r : rows) chosen.push_back(source.row(r));
-          MAYBMS_ASSIGN_OR_RETURN(
-              Table result,
-              engine::ProjectTuples(*core, local, source.schema(), chosen));
+          MAYBMS_ASSIGN_OR_RETURN(Table result,
+                                  projection.Execute(local, chosen));
           Alternative flat = alt;
           flat.probability = prob;
           merged.component.alternatives.push_back(std::move(flat));
@@ -577,11 +565,19 @@ Result<DecomposedWorldSet::PipelineOutput> DecomposedWorldSet::RunPipeline(
     Schema qualified =
         base->schema().WithQualifier(stmt.from[0].effective_alias());
 
+    // One prepared projection + shared WHERE subquery plans serve the
+    // certain rows and every alternative's contribution.
+    MAYBMS_ASSIGN_OR_RETURN(
+        engine::PreparedProjection projection,
+        engine::PreparedProjection::Prepare(*core, certain_, qualified));
+    engine::SubqueryPlanCache where_plans;
+
     DecomposedResult result;
+    result.schema = projection.output_schema();
     MAYBMS_ASSIGN_OR_RETURN(
         result.certain_rows,
-        FilterProjectRows(*core, certain_, qualified, base->rows(),
-                          &result.schema));
+        FilterProjectRows(*core, certain_, qualified, base->rows(), projection,
+                          &where_plans));
     result.component_indices = relevant;
     for (size_t idx : relevant) {
       std::vector<std::vector<Tuple>> per_alt;
@@ -592,7 +588,7 @@ Result<DecomposedWorldSet::PipelineOutput> DecomposedWorldSet::RunPipeline(
         if (rows != nullptr) {
           MAYBMS_ASSIGN_OR_RETURN(
               projected, FilterProjectRows(*core, certain_, qualified, *rows,
-                                           nullptr));
+                                           projection, &where_plans));
         }
         per_alt.push_back(std::move(projected));
       }
@@ -601,15 +597,19 @@ Result<DecomposedWorldSet::PipelineOutput> DecomposedWorldSet::RunPipeline(
     out.decomposed = std::move(result);
   } else {
     // General path: enumerate the relevant sub-product, evaluate the SQL
-    // core in each local world.
+    // core in each local world. The core is planned once against the
+    // certain schemas (local worlds only append rows, never change
+    // schemas) and executed per alternative.
     MAYBMS_ASSIGN_OR_RETURN(Component merged_src, MergeRelevant(relevant));
+    MAYBMS_ASSIGN_OR_RETURN(engine::PreparedSelect core_plan,
+                            engine::PreparedSelect::Prepare(*core, certain_));
     MergedResult merged;
     merged.replaced = relevant;
     merged.component = std::move(merged_src);
     merged.results.reserve(merged.component.size());
     for (const Alternative& alt : merged.component.alternatives) {
       Database local = BuildLocalDatabase({&alt});
-      MAYBMS_ASSIGN_OR_RETURN(Table result, engine::ExecuteSelect(*core, local));
+      MAYBMS_ASSIGN_OR_RETURN(Table result, core_plan.Execute(local));
       merged.results.push_back(std::move(result));
     }
     out.merged = std::move(merged);
@@ -655,12 +655,16 @@ Result<DecomposedWorldSet::PipelineOutput> DecomposedWorldSet::RunPipeline(
       MergedResult& merged = *out.merged;
       Component surviving;
       std::vector<Table> surviving_results;
+      // Assert-condition subquery analysis is shared across the local
+      // worlds; results stay per world.
+      engine::SubqueryPlanCache assert_plans;
       for (size_t i = 0; i < merged.component.alternatives.size(); ++i) {
         Database local =
             BuildLocalDatabase({&merged.component.alternatives[i]});
         local.PutRelation(result_name, merged.results[i]);
+        engine::SubqueryCache assert_cache(&assert_plans);
         engine::EvalContext ctx{&local, nullptr, nullptr, nullptr, nullptr,
-                                nullptr};
+                                &assert_cache};
         MAYBMS_ASSIGN_OR_RETURN(
             Trivalent keep,
             engine::EvalPredicate(*stmt.assert_condition, ctx));
@@ -691,13 +695,15 @@ Result<DecomposedWorldSet::PipelineOutput> DecomposedWorldSet::RunPipeline(
         MAYBMS_ASSIGN_OR_RETURN(Component flat, MergeRelevant(replaced));
         // Rebuild per-alternative result tables from the contributions.
         // For simplicity fall back to the general merged evaluation.
+        MAYBMS_ASSIGN_OR_RETURN(
+            engine::PreparedSelect core_plan,
+            engine::PreparedSelect::Prepare(*core, certain_));
         MergedResult merged;
         merged.replaced = replaced;
         merged.component = std::move(flat);
         for (const Alternative& alt : merged.component.alternatives) {
           Database local = BuildLocalDatabase({&alt});
-          MAYBMS_ASSIGN_OR_RETURN(Table result,
-                                  engine::ExecuteSelect(*core, local));
+          MAYBMS_ASSIGN_OR_RETURN(Table result, core_plan.Execute(local));
           merged.results.push_back(std::move(result));
         }
         out.merged = std::move(merged);
@@ -737,13 +743,19 @@ Result<DecomposedWorldSet::PipelineOutput> DecomposedWorldSet::RunPipeline(
       MergedResult& merged = *out.merged;
       std::map<std::vector<Tuple>, std::vector<size_t>> groups;
       std::map<std::vector<Tuple>, Table> key_tables;
+      // The grouping query is planned once against the first local world
+      // (it may reference the result relation, which only exists there).
+      std::optional<engine::PreparedSelect> group_plan;
       for (size_t i = 0; i < merged.component.alternatives.size(); ++i) {
         Database local =
             BuildLocalDatabase({&merged.component.alternatives[i]});
         local.PutRelation(result_name, merged.results[i]);
-        MAYBMS_ASSIGN_OR_RETURN(
-            Table answer,
-            engine::ExecuteSelect(*stmt.group_worlds_by, local));
+        if (!group_plan.has_value()) {
+          MAYBMS_ASSIGN_OR_RETURN(group_plan,
+                                  engine::PreparedSelect::Prepare(
+                                      *stmt.group_worlds_by, local));
+        }
+        MAYBMS_ASSIGN_OR_RETURN(Table answer, group_plan->Execute(local));
         Table canonical = CanonicalizeGroupKey(answer);
         std::vector<Tuple> key = canonical.rows();
         key_tables.emplace(key, std::move(canonical));

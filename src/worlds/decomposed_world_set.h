@@ -1,6 +1,33 @@
 #ifndef MAYBMS_WORLDS_DECOMPOSED_WORLD_SET_H_
 #define MAYBMS_WORLDS_DECOMPOSED_WORLD_SET_H_
 
+// World-set decompositions (the paper's core data structure): the
+// world-set is a product of independent components over a certain core
+// database.
+//
+// Ownership and invariants:
+//  * `certain_` owns every relation's schema and its certain tuples;
+//    components only ever hold per-alternative *extra* tuples keyed by
+//    (lower-cased) relation name. The schema catalog therefore lives in
+//    exactly one place, identical for every world — the invariant the
+//    prepared-statement layer (engine/prepared.h) relies on when it
+//    plans against `certain_` and executes against local worlds.
+//  * Components are independent by construction: each alternative's
+//    probabilities sum to 1 within its component, and world probability
+//    is the product over components. Operations that would correlate
+//    components (joins of uncertain relations, aggregates over them,
+//    assert, group worlds by, DML touching them) first merge the
+//    RELEVANT components only — never the full product.
+//  * Query plans are schema-only and never capture alternative contents;
+//    per-world state (subquery materializations, hash indexes) lives in
+//    per-execution caches (engine/planner.h).
+//
+// Trivalent logic / NULL keys follow the per-world executor everywhere:
+// a local world is an ordinary database (certain core + chosen
+// alternatives' tuples), so NULL semantics cannot diverge between the
+// fast per-alternative path and full enumeration — the differential
+// conformance suite enforces this against the explicit engine.
+
 #include <cstddef>
 #include <cstdint>
 #include <memory>

@@ -8,6 +8,8 @@
 #include "engine/dml.h"
 #include "engine/executor.h"
 #include "engine/expr_eval.h"
+#include "engine/planner.h"
+#include "engine/prepared.h"
 #include "worlds/partition.h"
 
 namespace maybms::worlds {
@@ -127,27 +129,19 @@ Status ExplicitWorldSet::DropRelation(const std::string& name) {
 Status ExplicitWorldSet::ApplyDml(const sql::Statement& stmt,
                                   const Catalog& catalog) {
   // Possible-worlds update semantics (paper §2): run the update in every
-  // world on a copy; commit only if it succeeds everywhere.
+  // world on a copy; commit only if it succeeds everywhere. The statement
+  // is planned once (column resolution, INSERT ... SELECT preparation,
+  // subquery analysis) against the first world's schemas — identical in
+  // every world — and only executed per world.
   std::vector<World> updated = worlds_;
+  std::optional<engine::PreparedDml> plan;
   for (World& world : updated) {
-    switch (stmt.kind) {
-      case sql::StatementKind::kInsert:
-        MAYBMS_RETURN_NOT_OK(engine::ExecuteInsert(
-            static_cast<const sql::InsertStatement&>(stmt), &world.db,
-            catalog));
-        break;
-      case sql::StatementKind::kUpdate:
-        MAYBMS_RETURN_NOT_OK(engine::ExecuteUpdate(
-            static_cast<const sql::UpdateStatement&>(stmt), &world.db,
-            catalog));
-        break;
-      case sql::StatementKind::kDelete:
-        MAYBMS_RETURN_NOT_OK(engine::ExecuteDelete(
-            static_cast<const sql::DeleteStatement&>(stmt), &world.db));
-        break;
-      default:
-        return Status::InvalidArgument("not a DML statement");
+    if (!plan.has_value()) {
+      MAYBMS_ASSIGN_OR_RETURN(plan,
+                              engine::PreparedDml::Prepare(stmt, world.db,
+                                                           &catalog));
     }
+    MAYBMS_RETURN_NOT_OK(plan->Execute(&world.db));
   }
   worlds_ = std::move(updated);
   return Status::OK();
@@ -184,10 +178,22 @@ Result<ExplicitWorldSet::PipelineOutput> ExplicitWorldSet::RunPipeline(
   PipelineOutput out;
 
   // --- Step 1: per-world SQL core, with repair/choice world creation. ---
+  // Statements are planned once against the first world's schemas (all
+  // worlds share one schema catalog; see engine/prepared.h) and executed
+  // per world; only scans, joins, and predicate evaluation repeat.
   if (stmt.repair.has_value() || stmt.choice.has_value()) {
+    std::optional<engine::PreparedFromWhere> source_plan;
+    std::optional<engine::PreparedProjection> projection;
     for (World& world : input) {
-      MAYBMS_ASSIGN_OR_RETURN(Table source,
-                              engine::ExecuteFromWhere(stmt, world.db));
+      if (!source_plan.has_value()) {
+        MAYBMS_ASSIGN_OR_RETURN(
+            source_plan, engine::PreparedFromWhere::Prepare(stmt, world.db));
+        MAYBMS_ASSIGN_OR_RETURN(
+            projection,
+            engine::PreparedProjection::Prepare(
+                *core, world.db, source_plan->output_schema()));
+      }
+      MAYBMS_ASSIGN_OR_RETURN(Table source, source_plan->Execute(world.db));
       std::vector<PartitionBlock> blocks;
       if (stmt.repair.has_value()) {
         MAYBMS_ASSIGN_OR_RETURN(blocks,
@@ -226,9 +232,8 @@ Result<ExplicitWorldSet::PipelineOutput> ExplicitWorldSet::RunPipeline(
         std::vector<Tuple> chosen;
         chosen.reserve(rows.size());
         for (size_t r : rows) chosen.push_back(source.row(r));
-        MAYBMS_ASSIGN_OR_RETURN(
-            Table result,
-            engine::ProjectTuples(*core, world.db, source.schema(), chosen));
+        MAYBMS_ASSIGN_OR_RETURN(Table result,
+                                projection->Execute(world.db, chosen));
         World derived(world.db, prob);
         derived.db.PutRelation(result_name, std::move(result));
         out.worlds.push_back(std::move(derived));
@@ -244,9 +249,14 @@ Result<ExplicitWorldSet::PipelineOutput> ExplicitWorldSet::RunPipeline(
       }
     }
   } else {
+    std::optional<engine::PreparedSelect> select_plan;
     for (World& world : input) {
-      MAYBMS_ASSIGN_OR_RETURN(Table result,
-                              engine::ExecuteSelect(*core, world.db));
+      if (!select_plan.has_value()) {
+        MAYBMS_ASSIGN_OR_RETURN(select_plan,
+                                engine::PreparedSelect::Prepare(*core,
+                                                                world.db));
+      }
+      MAYBMS_ASSIGN_OR_RETURN(Table result, select_plan->Execute(world.db));
       World derived(std::move(world.db), world.probability);
       derived.db.PutRelation(result_name, std::move(result));
       out.worlds.push_back(std::move(derived));
@@ -257,10 +267,14 @@ Result<ExplicitWorldSet::PipelineOutput> ExplicitWorldSet::RunPipeline(
   if (stmt.assert_condition) {
     std::vector<World> surviving;
     double total = 0;
+    // Subquery *analysis* of the assert condition is shared across worlds
+    // (schema-level); subquery *results* are per world via a fresh
+    // SubqueryCache per evaluation.
+    engine::SubqueryPlanCache assert_plans;
     for (World& world : out.worlds) {
-      // Per-world database: subquery plans cannot be cached across worlds.
+      engine::SubqueryCache cache(&assert_plans);
       engine::EvalContext ctx{&world.db, nullptr, nullptr, nullptr, nullptr,
-                              nullptr};
+                              &cache};
       MAYBMS_ASSIGN_OR_RETURN(
           Trivalent keep,
           engine::EvalPredicate(*stmt.assert_condition, ctx));
@@ -284,10 +298,15 @@ Result<ExplicitWorldSet::PipelineOutput> ExplicitWorldSet::RunPipeline(
     }
     std::map<std::vector<Tuple>, std::vector<size_t>> groups;
     std::map<std::vector<Tuple>, Table> key_tables;
+    std::optional<engine::PreparedSelect> group_plan;
     for (size_t i = 0; i < out.worlds.size(); ++i) {
-      MAYBMS_ASSIGN_OR_RETURN(
-          Table answer,
-          engine::ExecuteSelect(*stmt.group_worlds_by, out.worlds[i].db));
+      if (!group_plan.has_value()) {
+        MAYBMS_ASSIGN_OR_RETURN(group_plan,
+                                engine::PreparedSelect::Prepare(
+                                    *stmt.group_worlds_by, out.worlds[i].db));
+      }
+      MAYBMS_ASSIGN_OR_RETURN(Table answer,
+                              group_plan->Execute(out.worlds[i].db));
       std::vector<Tuple> key = GroupKeyRows(answer);
       key_tables.emplace(key, answer.SortedDistinct());
       groups[std::move(key)].push_back(i);

@@ -1,10 +1,12 @@
 #include "worlds/sampling.h"
 
 #include <map>
+#include <optional>
 #include <random>
 
 #include "engine/executor.h"
 #include "engine/expr_eval.h"
+#include "engine/prepared.h"
 #include "worlds/explicit_world_set.h"
 
 namespace maybms::worlds {
@@ -25,10 +27,16 @@ Result<Table> EstimateConfidence(const WorldSet& world_set,
   std::mt19937 rng(seed);
   std::map<Tuple, size_t> hits;
   Schema value_schema;
+  // Sampled worlds share one schema catalog: plan the core once against
+  // the first draw, execute per sample.
+  std::optional<engine::PreparedSelect> plan;
   for (size_t s = 0; s < samples; ++s) {
     MAYBMS_ASSIGN_OR_RETURN(World world, world_set.SampleWorld(&rng));
-    MAYBMS_ASSIGN_OR_RETURN(Table answer,
-                            engine::ExecuteSelect(*core, world.db));
+    if (!plan.has_value()) {
+      MAYBMS_ASSIGN_OR_RETURN(plan,
+                              engine::PreparedSelect::Prepare(*core, world.db));
+    }
+    MAYBMS_ASSIGN_OR_RETURN(Table answer, plan->Execute(world.db));
     if (value_schema.num_columns() == 0) value_schema = answer.schema();
     Table distinct = answer.SortedDistinct();
     for (const Tuple& row : distinct.rows()) ++hits[row];

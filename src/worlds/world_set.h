@@ -1,6 +1,31 @@
 #ifndef MAYBMS_WORLDS_WORLD_SET_H_
 #define MAYBMS_WORLDS_WORLD_SET_H_
 
+// The world-set abstraction: a set of possible worlds over one shared
+// relation catalog, with the I-SQL evaluation pipeline (per-world SQL
+// core → assert → group worlds by / possible / certain / conf).
+//
+// Ownership and invariants:
+//  * Every world of a WorldSet shares ONE schema catalog: relation names
+//    and column schemas are identical across worlds; only relation
+//    contents differ. CreateBaseTable/DropRelation/DML keep this true.
+//    The prepared-statement layer (engine/prepared.h) depends on it —
+//    statements are planned once against any single world's schemas and
+//    executed in all of them; plans never capture world data.
+//  * World probabilities are kept normalized (they sum to 1); `assert`
+//    renormalizes after dropping worlds and eliminating every world is
+//    an error that leaves the set untouched.
+//  * SELECT evaluation is const: plain queries never modify the set
+//    (per the paper); only MaterializeSelect/ApplyDml/CreateBaseTable/
+//    DropRelation mutate, and each is all-or-nothing across worlds.
+//
+// Trivalent logic / NULL keys: per-world evaluation uses standard SQL
+// three-valued logic (engine/expr_eval.h); the cross-world combinators
+// (CombinePossible/CombineCertain/CombineConf) compare answer *tuples*
+// under the total order of Value, where NULL is a plain value — two NULL
+// answer fields compare equal for world-combination purposes even though
+// NULL = NULL is UNKNOWN inside a query.
+
 #include <cstddef>
 #include <cstdint>
 #include <memory>

@@ -19,9 +19,13 @@
 #include <string>
 #include <vector>
 
+#include "engine/executor.h"
+#include "engine/prepared.h"
 #include "isql/session.h"
+#include "sql/parser.h"
 #include "tests/pipeline_gen.h"
 #include "tests/test_util.h"
+#include "worlds/explicit_world_set.h"
 
 namespace maybms {
 namespace {
@@ -237,6 +241,90 @@ TEST(PipelineGeneratorTest, RespectsWorldBudget) {
         << "seed " << seed;
   }
 }
+
+// ---------------------------------------------------------------------------
+// Prepared-statement reuse across worlds and world-sets
+// ---------------------------------------------------------------------------
+
+// A prepared plan is schema-only (engine/prepared.h): executing ONE
+// prepared statement, in sequence, against every world of a world-set —
+// and then against a second, schema-compatible world-set whose contents
+// were mutated by extra DML — must reproduce exactly what a freshly
+// prepared execution computes in each world. This catches stale bindings
+// (a plan capturing a table pointer or rows from the world it was planned
+// against) and leaked world state (subquery results or join indexes
+// bleeding from one execution into the next).
+class PreparedReuseTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(PreparedReuseTest, OnePlanManyWorldSets) {
+  const uint32_t seed = GetParam();
+  GeneratedPipeline pipeline = PipelineGenerator(seed).Generate();
+  const std::string ctx =
+      "seed " + std::to_string(seed) + "\npipeline:\n" + pipeline.DebugString();
+
+  // World-set A: the generated pipeline as-is. World-set B: same schemas,
+  // different contents (extra DML against the root base table).
+  Session session_a(OptionsFor(EngineMode::kExplicit));
+  Session session_b(OptionsFor(EngineMode::kExplicit));
+  for (const std::string& sql : pipeline.setup) {
+    auto a = session_a.Execute(sql);
+    auto b = session_b.Execute(sql);
+    ASSERT_EQ(a.ok(), b.ok()) << ctx;
+  }
+  for (const char* mutation :
+       {"insert into B0 values (0, 5, 4, 'x'), (1, 2, 8, 'y');",
+        "delete from B0 where V = 3;"}) {
+    ASSERT_TRUE(session_b.Execute(mutation).ok()) << ctx;
+  }
+
+  constexpr size_t kMaxWorlds = 32;
+  auto worlds_a = session_a.world_set().MaterializeWorlds(kMaxWorlds);
+  auto worlds_b = session_b.world_set().MaterializeWorlds(kMaxWorlds);
+  ASSERT_TRUE(worlds_a.ok() && worlds_b.ok()) << ctx;
+  ASSERT_FALSE(worlds_a->empty()) << ctx;
+
+  std::vector<const Database*> databases;
+  for (const auto& w : *worlds_a) databases.push_back(&w.db);
+  for (const auto& w : *worlds_b) databases.push_back(&w.db);
+
+  for (const std::string& probe : pipeline.probes) {
+    auto parsed = sql::Parser::ParseStatement(probe);
+    ASSERT_TRUE(parsed.ok()) << ctx << "\nprobe: " << probe;
+    if ((*parsed)->kind != sql::StatementKind::kSelect) continue;
+    const auto& select = static_cast<const sql::SelectStatement&>(**parsed);
+    std::unique_ptr<sql::SelectStatement> core = worlds::StripWorldOps(select);
+
+    auto plan = engine::PreparedSelect::Prepare(*core, (*worlds_a)[0].db);
+    if (!plan.ok()) {
+      // A statement that cannot be prepared must also fail unprepared.
+      EXPECT_FALSE(engine::ExecuteSelect(*core, (*worlds_a)[0].db).ok())
+          << ctx << "\nprobe core: " << probe;
+      continue;
+    }
+    for (size_t i = 0; i < databases.size(); ++i) {
+      const std::string wctx = ctx + "\nprobe core of: " + probe +
+                               "\nworld " + std::to_string(i) +
+                               (i < worlds_a->size() ? " (set A)" : " (set B)");
+      auto reused = plan->Execute(*databases[i]);
+      auto fresh = engine::ExecuteSelect(*core, *databases[i]);
+      ASSERT_EQ(reused.ok(), fresh.ok())
+          << wctx << "\n reused: " << reused.status().ToString()
+          << "\n fresh:  " << fresh.status().ToString();
+      if (!reused.ok()) continue;
+      ASSERT_EQ(reused->schema().num_columns(), fresh->schema().num_columns())
+          << wctx;
+      for (size_t c = 0; c < reused->schema().num_columns(); ++c) {
+        EXPECT_EQ(reused->schema().column(c).type, fresh->schema().column(c).type)
+            << wctx << " (column " << c << ")";
+      }
+      ExpectTablesAgree(*fresh, *reused, wctx);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PreparedReuseTest,
+                         ::testing::Range(uint32_t{0}, uint32_t{40}));
 
 // The 200-seed corpus must collectively exercise the whole I-SQL surface
 // the harness claims to cover; a generator regression that silently stops
