@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_assert.dir/bench/bench_assert.cc.o"
+  "CMakeFiles/bench_assert.dir/bench/bench_assert.cc.o.d"
+  "bench_assert"
+  "bench_assert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_assert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

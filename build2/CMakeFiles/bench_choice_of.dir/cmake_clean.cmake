@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_choice_of.dir/bench/bench_choice_of.cc.o"
+  "CMakeFiles/bench_choice_of.dir/bench/bench_choice_of.cc.o.d"
+  "bench_choice_of"
+  "bench_choice_of.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_choice_of.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_conf.dir/bench/bench_conf.cc.o"
+  "CMakeFiles/bench_conf.dir/bench/bench_conf.cc.o.d"
+  "bench_conf"
+  "bench_conf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_conf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_repair_by_key.dir/bench/bench_fig2_repair_by_key.cc.o"
+  "CMakeFiles/bench_fig2_repair_by_key.dir/bench/bench_fig2_repair_by_key.cc.o.d"
+  "bench_fig2_repair_by_key"
+  "bench_fig2_repair_by_key.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_repair_by_key.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

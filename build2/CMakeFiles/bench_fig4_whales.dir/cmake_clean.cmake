@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_whales.dir/bench/bench_fig4_whales.cc.o"
+  "CMakeFiles/bench_fig4_whales.dir/bench/bench_fig4_whales.cc.o.d"
+  "bench_fig4_whales"
+  "bench_fig4_whales.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_whales.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

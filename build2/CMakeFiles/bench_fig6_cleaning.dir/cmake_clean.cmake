@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_cleaning.dir/bench/bench_fig6_cleaning.cc.o"
+  "CMakeFiles/bench_fig6_cleaning.dir/bench/bench_fig6_cleaning.cc.o.d"
+  "bench_fig6_cleaning"
+  "bench_fig6_cleaning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_cleaning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

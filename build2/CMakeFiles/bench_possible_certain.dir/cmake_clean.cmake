@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_possible_certain.dir/bench/bench_possible_certain.cc.o"
+  "CMakeFiles/bench_possible_certain.dir/bench/bench_possible_certain.cc.o.d"
+  "bench_possible_certain"
+  "bench_possible_certain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_possible_certain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

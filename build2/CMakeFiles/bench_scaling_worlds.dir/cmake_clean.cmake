@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scaling_worlds.dir/bench/bench_scaling_worlds.cc.o"
+  "CMakeFiles/bench_scaling_worlds.dir/bench/bench_scaling_worlds.cc.o.d"
+  "bench_scaling_worlds"
+  "bench_scaling_worlds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaling_worlds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

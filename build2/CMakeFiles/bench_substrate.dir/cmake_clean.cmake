@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_substrate.dir/bench/bench_substrate.cc.o"
+  "CMakeFiles/bench_substrate.dir/bench/bench_substrate.cc.o.d"
+  "bench_substrate"
+  "bench_substrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_substrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

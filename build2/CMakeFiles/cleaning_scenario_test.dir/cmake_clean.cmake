@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cleaning_scenario_test.dir/tests/cleaning_scenario_test.cc.o"
+  "CMakeFiles/cleaning_scenario_test.dir/tests/cleaning_scenario_test.cc.o.d"
+  "cleaning_scenario_test"
+  "cleaning_scenario_test.pdb"
+  "cleaning_scenario_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cleaning_scenario_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decomposed_world_set_test.dir/tests/decomposed_world_set_test.cc.o"
+  "CMakeFiles/decomposed_world_set_test.dir/tests/decomposed_world_set_test.cc.o.d"
+  "decomposed_world_set_test"
+  "decomposed_world_set_test.pdb"
+  "decomposed_world_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decomposed_world_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/differential_conformance_test.dir/tests/differential_conformance_test.cc.o"
+  "CMakeFiles/differential_conformance_test.dir/tests/differential_conformance_test.cc.o.d"
+  "differential_conformance_test"
+  "differential_conformance_test.pdb"
+  "differential_conformance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/differential_conformance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

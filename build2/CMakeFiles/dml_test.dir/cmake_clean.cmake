@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dml_test.dir/tests/dml_test.cc.o"
+  "CMakeFiles/dml_test.dir/tests/dml_test.cc.o.d"
+  "dml_test"
+  "dml_test.pdb"
+  "dml_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

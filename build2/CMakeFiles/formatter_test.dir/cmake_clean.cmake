@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/formatter_test.dir/tests/formatter_test.cc.o"
+  "CMakeFiles/formatter_test.dir/tests/formatter_test.cc.o.d"
+  "formatter_test"
+  "formatter_test.pdb"
+  "formatter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/formatter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

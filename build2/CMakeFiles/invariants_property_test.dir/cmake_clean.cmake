@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/invariants_property_test.dir/tests/invariants_property_test.cc.o"
+  "CMakeFiles/invariants_property_test.dir/tests/invariants_property_test.cc.o.d"
+  "invariants_property_test"
+  "invariants_property_test.pdb"
+  "invariants_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/invariants_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isql_shell.dir/examples/isql_shell.cpp.o"
+  "CMakeFiles/isql_shell.dir/examples/isql_shell.cpp.o.d"
+  "isql_shell"
+  "isql_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isql_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_differential_test.dir/tests/join_differential_test.cc.o"
+  "CMakeFiles/join_differential_test.dir/tests/join_differential_test.cc.o.d"
+  "join_differential_test"
+  "join_differential_test.pdb"
+  "join_differential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

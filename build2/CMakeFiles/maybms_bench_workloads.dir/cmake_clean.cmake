@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maybms_bench_workloads.dir/bench/workloads.cc.o"
+  "CMakeFiles/maybms_bench_workloads.dir/bench/workloads.cc.o.d"
+  "libmaybms_bench_workloads.a"
+  "libmaybms_bench_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maybms_bench_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

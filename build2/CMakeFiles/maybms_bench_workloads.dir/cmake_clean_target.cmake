@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmaybms_bench_workloads.a"
+)

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/status.cc" "CMakeFiles/maybms_core.dir/src/base/status.cc.o" "gcc" "CMakeFiles/maybms_core.dir/src/base/status.cc.o.d"
+  "/root/repo/src/base/string_util.cc" "CMakeFiles/maybms_core.dir/src/base/string_util.cc.o" "gcc" "CMakeFiles/maybms_core.dir/src/base/string_util.cc.o.d"
+  "/root/repo/src/engine/dml.cc" "CMakeFiles/maybms_core.dir/src/engine/dml.cc.o" "gcc" "CMakeFiles/maybms_core.dir/src/engine/dml.cc.o.d"
+  "/root/repo/src/engine/executor.cc" "CMakeFiles/maybms_core.dir/src/engine/executor.cc.o" "gcc" "CMakeFiles/maybms_core.dir/src/engine/executor.cc.o.d"
+  "/root/repo/src/engine/expr_eval.cc" "CMakeFiles/maybms_core.dir/src/engine/expr_eval.cc.o" "gcc" "CMakeFiles/maybms_core.dir/src/engine/expr_eval.cc.o.d"
+  "/root/repo/src/engine/planner.cc" "CMakeFiles/maybms_core.dir/src/engine/planner.cc.o" "gcc" "CMakeFiles/maybms_core.dir/src/engine/planner.cc.o.d"
+  "/root/repo/src/engine/prepared.cc" "CMakeFiles/maybms_core.dir/src/engine/prepared.cc.o" "gcc" "CMakeFiles/maybms_core.dir/src/engine/prepared.cc.o.d"
+  "/root/repo/src/engine/type_deriver.cc" "CMakeFiles/maybms_core.dir/src/engine/type_deriver.cc.o" "gcc" "CMakeFiles/maybms_core.dir/src/engine/type_deriver.cc.o.d"
+  "/root/repo/src/isql/formatter.cc" "CMakeFiles/maybms_core.dir/src/isql/formatter.cc.o" "gcc" "CMakeFiles/maybms_core.dir/src/isql/formatter.cc.o.d"
+  "/root/repo/src/isql/query_result.cc" "CMakeFiles/maybms_core.dir/src/isql/query_result.cc.o" "gcc" "CMakeFiles/maybms_core.dir/src/isql/query_result.cc.o.d"
+  "/root/repo/src/isql/session.cc" "CMakeFiles/maybms_core.dir/src/isql/session.cc.o" "gcc" "CMakeFiles/maybms_core.dir/src/isql/session.cc.o.d"
+  "/root/repo/src/sql/ast.cc" "CMakeFiles/maybms_core.dir/src/sql/ast.cc.o" "gcc" "CMakeFiles/maybms_core.dir/src/sql/ast.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "CMakeFiles/maybms_core.dir/src/sql/lexer.cc.o" "gcc" "CMakeFiles/maybms_core.dir/src/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "CMakeFiles/maybms_core.dir/src/sql/parser.cc.o" "gcc" "CMakeFiles/maybms_core.dir/src/sql/parser.cc.o.d"
+  "/root/repo/src/storage/catalog.cc" "CMakeFiles/maybms_core.dir/src/storage/catalog.cc.o" "gcc" "CMakeFiles/maybms_core.dir/src/storage/catalog.cc.o.d"
+  "/root/repo/src/storage/table.cc" "CMakeFiles/maybms_core.dir/src/storage/table.cc.o" "gcc" "CMakeFiles/maybms_core.dir/src/storage/table.cc.o.d"
+  "/root/repo/src/types/schema.cc" "CMakeFiles/maybms_core.dir/src/types/schema.cc.o" "gcc" "CMakeFiles/maybms_core.dir/src/types/schema.cc.o.d"
+  "/root/repo/src/types/tuple.cc" "CMakeFiles/maybms_core.dir/src/types/tuple.cc.o" "gcc" "CMakeFiles/maybms_core.dir/src/types/tuple.cc.o.d"
+  "/root/repo/src/types/value.cc" "CMakeFiles/maybms_core.dir/src/types/value.cc.o" "gcc" "CMakeFiles/maybms_core.dir/src/types/value.cc.o.d"
+  "/root/repo/src/worlds/component.cc" "CMakeFiles/maybms_core.dir/src/worlds/component.cc.o" "gcc" "CMakeFiles/maybms_core.dir/src/worlds/component.cc.o.d"
+  "/root/repo/src/worlds/decomposed_world_set.cc" "CMakeFiles/maybms_core.dir/src/worlds/decomposed_world_set.cc.o" "gcc" "CMakeFiles/maybms_core.dir/src/worlds/decomposed_world_set.cc.o.d"
+  "/root/repo/src/worlds/explicit_world_set.cc" "CMakeFiles/maybms_core.dir/src/worlds/explicit_world_set.cc.o" "gcc" "CMakeFiles/maybms_core.dir/src/worlds/explicit_world_set.cc.o.d"
+  "/root/repo/src/worlds/partition.cc" "CMakeFiles/maybms_core.dir/src/worlds/partition.cc.o" "gcc" "CMakeFiles/maybms_core.dir/src/worlds/partition.cc.o.d"
+  "/root/repo/src/worlds/sampling.cc" "CMakeFiles/maybms_core.dir/src/worlds/sampling.cc.o" "gcc" "CMakeFiles/maybms_core.dir/src/worlds/sampling.cc.o.d"
+  "/root/repo/src/worlds/world.cc" "CMakeFiles/maybms_core.dir/src/worlds/world.cc.o" "gcc" "CMakeFiles/maybms_core.dir/src/worlds/world.cc.o.d"
+  "/root/repo/src/worlds/world_set.cc" "CMakeFiles/maybms_core.dir/src/worlds/world_set.cc.o" "gcc" "CMakeFiles/maybms_core.dir/src/worlds/world_set.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maybms_test_support.dir/tests/pipeline_gen.cc.o"
+  "CMakeFiles/maybms_test_support.dir/tests/pipeline_gen.cc.o.d"
+  "libmaybms_test_support.a"
+  "libmaybms_test_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maybms_test_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_component_test.dir/tests/partition_component_test.cc.o"
+  "CMakeFiles/partition_component_test.dir/tests/partition_component_test.cc.o.d"
+  "partition_component_test"
+  "partition_component_test.pdb"
+  "partition_component_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_component_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topk_sampling_test.dir/tests/topk_sampling_test.cc.o"
+  "CMakeFiles/topk_sampling_test.dir/tests/topk_sampling_test.cc.o.d"
+  "topk_sampling_test"
+  "topk_sampling_test.pdb"
+  "topk_sampling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topk_sampling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

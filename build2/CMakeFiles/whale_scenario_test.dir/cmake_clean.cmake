@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whale_scenario_test.dir/tests/whale_scenario_test.cc.o"
+  "CMakeFiles/whale_scenario_test.dir/tests/whale_scenario_test.cc.o.d"
+  "whale_scenario_test"
+  "whale_scenario_test.pdb"
+  "whale_scenario_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whale_scenario_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

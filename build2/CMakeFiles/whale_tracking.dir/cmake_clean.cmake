@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whale_tracking.dir/examples/whale_tracking.cpp.o"
+  "CMakeFiles/whale_tracking.dir/examples/whale_tracking.cpp.o.d"
+  "whale_tracking"
+  "whale_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whale_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for whale_tracking.
+# This may be replaced when dependencies are built.

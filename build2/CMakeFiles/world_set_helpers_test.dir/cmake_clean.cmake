@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/world_set_helpers_test.dir/tests/world_set_helpers_test.cc.o"
+  "CMakeFiles/world_set_helpers_test.dir/tests/world_set_helpers_test.cc.o.d"
+  "world_set_helpers_test"
+  "world_set_helpers_test.pdb"
+  "world_set_helpers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/world_set_helpers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

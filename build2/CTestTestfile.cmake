@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build2
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build2/cleaning_scenario_test[1]_include.cmake")
+include("/root/repo/build2/decomposed_world_set_test[1]_include.cmake")
+include("/root/repo/build2/differential_conformance_test[1]_include.cmake")
+include("/root/repo/build2/dml_test[1]_include.cmake")
+include("/root/repo/build2/equivalence_property_test[1]_include.cmake")
+include("/root/repo/build2/executor_test[1]_include.cmake")
+include("/root/repo/build2/formatter_test[1]_include.cmake")
+include("/root/repo/build2/integration_test[1]_include.cmake")
+include("/root/repo/build2/invariants_property_test[1]_include.cmake")
+include("/root/repo/build2/join_differential_test[1]_include.cmake")
+include("/root/repo/build2/lexer_test[1]_include.cmake")
+include("/root/repo/build2/paper_examples_test[1]_include.cmake")
+include("/root/repo/build2/parser_test[1]_include.cmake")
+include("/root/repo/build2/partition_component_test[1]_include.cmake")
+include("/root/repo/build2/schema_tuple_table_test[1]_include.cmake")
+include("/root/repo/build2/session_test[1]_include.cmake")
+include("/root/repo/build2/sql_extensions_test[1]_include.cmake")
+include("/root/repo/build2/status_test[1]_include.cmake")
+include("/root/repo/build2/string_util_test[1]_include.cmake")
+include("/root/repo/build2/topk_sampling_test[1]_include.cmake")
+include("/root/repo/build2/value_test[1]_include.cmake")
+include("/root/repo/build2/whale_scenario_test[1]_include.cmake")
+include("/root/repo/build2/world_set_helpers_test[1]_include.cmake")
