@@ -60,11 +60,13 @@ void RegisterBenchmarks() {
     std::string engine =
         mode == EngineMode::kExplicit ? "explicit" : "decomposed";
     // Tuple-level: decomposed never enumerates; push sizes far beyond the
-    // explicit engine's reach only for decomposed.
+    // explicit engine's reach only for decomposed. The explicit sizes
+    // were raised once the streaming combiner (worlds/combiner.h) made
+    // per-world combination linear in answer tuples.
     for (const auto& v : kTupleLevel) {
-      std::vector<int> sizes = {4, 8, 16};
+      std::vector<int> sizes = {4, 8, 16, 18};
       if (mode == EngineMode::kDecomposed) {
-        sizes = {4, 8, 16, 100, 1000, 10000};
+        sizes = {4, 8, 16, 100, 1000, 10000, 20000, 40000};
       }
       for (int n : sizes) {
         benchmark::RegisterBenchmark(
@@ -80,8 +82,10 @@ void RegisterBenchmarks() {
       }
     }
     // Aggregates correlate all key groups; both engines enumerate.
+    // keys:18 (262144 worlds) became reachable with the streaming
+    // combiner.
     for (const auto& v : kAggregate) {
-      for (int n : {4, 8, 12, 16}) {
+      for (int n : {4, 8, 12, 16, 18}) {
         benchmark::RegisterBenchmark(
             (std::string(v.name) + "/" + engine + "/keys:" +
              std::to_string(n))

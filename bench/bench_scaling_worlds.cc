@@ -162,6 +162,47 @@ void RegisterPerWorldConstantBenchmarks() {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Per-world combine cost (PR 4): like per_world_constant, the world count
+// scales while every world's answer stays a fixed 10-row relation — but
+// the measured statements carry a quantifier, so each iteration runs the
+// full streaming combine (worlds/combiner.h) over all worlds. With the
+// hashed accumulator the slope of time vs. worlds is the per-world
+// execute+feed cost: sec_per_world should stay flat as worlds grow
+// (near-linear total cost), where the set-based combinators were
+// super-linear and allocation-bound. The decomposed engine answers these
+// once over the certain core — its flat line is the contrast.
+// ---------------------------------------------------------------------------
+
+void RegisterPerWorldCombineBenchmarks() {
+  struct Variant {
+    const char* name;
+    const char* query;
+  };
+  const Variant kVariants[] = {
+      {"possible", "select possible K, V from T;"},
+      {"certain", "select certain K, V from T;"},
+      {"conf", "select conf, K, V from T;"},
+  };
+  for (EngineMode mode : {EngineMode::kExplicit, EngineMode::kDecomposed}) {
+    std::string engine =
+        mode == EngineMode::kExplicit ? "explicit" : "decomposed";
+    for (const auto& v : kVariants) {
+      for (int n_keys : {10, 12, 14}) {  // 1024 / 4096 / 16384 worlds
+        benchmark::RegisterBenchmark(
+            ("per_world_combine/" + std::string(v.name) + "/" + engine +
+             "/worlds:" + std::to_string(1 << n_keys))
+                .c_str(),
+            [mode, v](benchmark::State& s) {
+              BM_PerWorldConstant(s, mode, v.query);
+            })
+            ->Args({n_keys})
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+}
+
 void RegisterBenchmarks() {
   // Explicit engine: up to 2^16 worlds.
   for (int n : {4, 8, 12, 16}) {
@@ -208,6 +249,7 @@ int main(int argc, char** argv) {
   maybms::bench::PrintHeadline();
   maybms::bench::RegisterBenchmarks();
   maybms::bench::RegisterPerWorldConstantBenchmarks();
+  maybms::bench::RegisterPerWorldCombineBenchmarks();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -13,13 +13,19 @@
 #                        one file are ignored)
 #   --threshold F        regression tolerance as a fraction (default 0.25:
 #                        fail when a case is >25% slower than the base)
-#   --warn-only          print regressions but exit 0 (CI mode: timings on
-#                        shared runners are noisy)
+#   --warn-only          print regressions but exit 0 (timings on shared
+#                        runners can be noisy)
 #
 # Environment:
 #   BUILD_DIR       build directory holding the bench binaries (default: build)
 #   BENCH_MIN_TIME  per-benchmark min time (default: 0.05s — a smoke
 #                   baseline; raise for stable numbers, e.g. 0.5s)
+#   MAYBMS_BENCH_WARN_ONLY=1
+#                   escape hatch: behave as if --warn-only was passed.
+#                   The CI perf gate hard-fails by default; set this (e.g.
+#                   as a repository variable) to temporarily demote a
+#                   known-noisy regression to a warning without editing
+#                   the workflow.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,6 +36,9 @@ OUT=""
 COMPARE=""
 THRESHOLD="0.25"
 WARN_ONLY=0
+if [[ "${MAYBMS_BENCH_WARN_ONLY:-0}" == "1" ]]; then
+  WARN_ONLY=1
+fi
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --compare)   COMPARE="$2"; shift 2 ;;

@@ -721,7 +721,13 @@ Result<Table> PreparedSelect::ExecuteBranch(Branch& branch, const Database& db,
     std::vector<size_t> order(out_rows.size());
     std::iota(order.begin(), order.end(), size_t{0});
     std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-      return out_rows[a] < out_rows[b];
+      int c = out_rows[a].Compare(out_rows[b]);
+      if (c != 0) return c < 0;
+      // Among duplicate output rows, keep the smallest representative
+      // source row: an ORDER BY expression key evaluated against the
+      // survivor is then a function of the answer bag, not of scan
+      // order (part of the docs/isql.md determinism guarantee).
+      return needs_repr && representative[a] < representative[b];
     });
     std::vector<Tuple> kept_rows;
     std::vector<Tuple> kept_repr;
@@ -768,7 +774,11 @@ Result<Table> PreparedSelect::ExecuteBranch(Branch& branch, const Database& db,
         int c = keys[a][k].TotalOrderCompare(keys[b][k]);
         if (c != 0) return branch.order_keys[k].descending ? c > 0 : c < 0;
       }
-      return false;
+      // Deterministic tie-break (docs/isql.md): rows with equal ORDER BY
+      // keys are ordered by the full output row under the value total
+      // order, so the sorted sequence — and any LIMIT prefix — depends
+      // only on the answer bag, never on scan or engine order.
+      return out_rows[a].Compare(out_rows[b]) < 0;
     });
     std::vector<Tuple> sorted;
     sorted.reserve(out_rows.size());

@@ -1,0 +1,132 @@
+#include "worlds/combiner.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "types/value.h"
+#include "worlds/world_set.h"
+
+namespace maybms::worlds {
+
+bool QuantifierCombiner::UsingSetBasedOracle() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("MAYBMS_COMBINER_ORACLE");
+    return env != nullptr && env[0] == '1';
+  }();
+  return enabled;
+}
+
+QuantifierCombiner::QuantifierCombiner(sql::WorldQuantifier quantifier)
+    : quantifier_(quantifier), use_oracle_(UsingSetBasedOracle()) {}
+
+Result<QuantifierCombiner> QuantifierCombiner::Create(
+    sql::WorldQuantifier quantifier) {
+  switch (quantifier) {
+    case sql::WorldQuantifier::kPossible:
+    case sql::WorldQuantifier::kCertain:
+    case sql::WorldQuantifier::kConf:
+      return QuantifierCombiner(quantifier);
+    case sql::WorldQuantifier::kNone:
+      break;
+  }
+  return Status::InvalidArgument(
+      "group worlds by requires possible, certain, or conf");
+}
+
+void QuantifierCombiner::Feed(double probability, const Table& table) {
+  ++worlds_fed_;
+  if (use_oracle_) {
+    retained_.emplace_back(probability, table);
+    return;
+  }
+  if (!saw_schema_) {
+    first_schema_ = table.schema();
+    saw_schema_ = true;
+  }
+  if (value_schema_.num_columns() == 0 && table.schema().num_columns() > 0) {
+    value_schema_ = table.schema();
+  }
+  if (quantifier_ == sql::WorldQuantifier::kConf && !table.empty()) {
+    nonempty_prob_ += probability;
+  }
+  for (const Tuple& row : table.rows()) {
+    auto [it, inserted] = acc_.try_emplace(row);
+    Accum& entry = it->second;
+    if (!inserted && entry.last_world == worlds_fed_) continue;  // in-world dup
+    entry.last_world = worlds_fed_;
+    ++entry.worlds_seen;
+    entry.conf += probability;
+  }
+}
+
+Result<Table> QuantifierCombiner::Finish(double normalizer) {
+  if (use_oracle_) {
+    // Differential mode: normalize the retained weights and delegate to
+    // the set-based combinators kept in world_set.cc.
+    if (normalizer != 1.0) {
+      for (auto& [prob, table] : retained_) prob /= normalizer;
+    }
+    switch (quantifier_) {
+      case sql::WorldQuantifier::kPossible:
+        return CombinePossible(retained_);
+      case sql::WorldQuantifier::kCertain:
+        return CombineCertain(retained_);
+      case sql::WorldQuantifier::kConf:
+        return CombineConf(retained_);
+      case sql::WorldQuantifier::kNone:
+        break;
+    }
+    return Status::InvalidArgument(
+        "group worlds by requires possible, certain, or conf");
+  }
+
+  // Deterministic emission order: the same tuple total order the
+  // set-based combinators produce (std::map / SortedDistinct).
+  std::vector<std::pair<const Tuple*, const Accum*>> ordered;
+  ordered.reserve(acc_.size());
+  for (const auto& [row, entry] : acc_) {
+    if (quantifier_ == sql::WorldQuantifier::kCertain &&
+        entry.worlds_seen != worlds_fed_) {
+      continue;  // missed at least one world
+    }
+    ordered.emplace_back(&row, &entry);
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) { return *a.first < *b.first; });
+
+  switch (quantifier_) {
+    case sql::WorldQuantifier::kPossible:
+    case sql::WorldQuantifier::kCertain: {
+      if (!saw_schema_) return Table();  // no worlds fed
+      Table out(first_schema_);
+      for (const auto& e : ordered) out.AppendUnchecked(*e.first);
+      return out;
+    }
+    case sql::WorldQuantifier::kConf: {
+      // 0-column answers: confidence that the answer is non-empty.
+      if (value_schema_.num_columns() == 0) {
+        Schema schema;
+        schema.AddColumn(Column("conf", DataType::kReal));
+        Table out(std::move(schema));
+        out.AppendUnchecked(Tuple({Value::Real(nonempty_prob_ / normalizer)}));
+        return out;
+      }
+      Schema schema = value_schema_;
+      schema.AddColumn(Column("conf", DataType::kReal));
+      Table out(std::move(schema));
+      for (const auto& e : ordered) {
+        Tuple extended = *e.first;
+        extended.Append(Value::Real(e.second->conf / normalizer));
+        out.AppendUnchecked(std::move(extended));
+      }
+      return out;
+    }
+    case sql::WorldQuantifier::kNone:
+      break;
+  }
+  return Status::InvalidArgument(
+      "group worlds by requires possible, certain, or conf");
+}
+
+}  // namespace maybms::worlds

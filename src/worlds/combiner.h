@@ -1,0 +1,108 @@
+#ifndef MAYBMS_WORLDS_COMBINER_H_
+#define MAYBMS_WORLDS_COMBINER_H_
+
+// Streaming world-combination for possible / certain / conf.
+//
+// The set-based combinators in world_set.h (CombinePossible/CombineCertain/
+// CombineConf) take the full vector of (probability, answer table) pairs —
+// which forces every per-world answer to stay materialized until the last
+// world has been evaluated, and costs O(W log W) comparisons plus one
+// Table allocation per world. The paper's world-set algebra only ever
+// needs tuple-level accumulation: a tuple's confidence is the sum of the
+// probabilities of the worlds whose answer contains it, a tuple is certain
+// iff every world's answer contains it, possible iff some world's does.
+//
+// QuantifierCombiner exploits that: it is fed one world at a time and
+// maintains a single hash map from answer tuple to accumulated state, so
+// each per-world answer can be discarded the moment it has been fed.
+// Total cost is O(total answer tuples) expected plus one O(D log D) sort
+// of the D distinct output tuples at the end.
+//
+// Tuple identity follows the rules documented in world_set.h: tuples hash
+// and compare under Value's total order (Tuple::Hash / Tuple::Compare),
+// where NULL is a plain value (two NULL answer fields are identical for
+// world-combination purposes) and numerics are type-tagged consistently
+// (Integer(1) and Real(1.0) coincide, exactly as in the set-based
+// combinators). Output order is deterministic: rows are emitted sorted by
+// the same total order the set-based combinators produce.
+//
+// Oracle hook: setting MAYBMS_COMBINER_ORACLE=1 in the environment makes
+// every combiner retain its fed entries and delegate to the set-based
+// functions at Finish() — the retained implementations stay alive as a
+// differential oracle (tests/combiner_property_test.cc compares the two
+// on randomized inputs, and the hook lets the whole engine run on the
+// oracle path end to end).
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "base/result.h"
+#include "sql/ast.h"
+#include "storage/table.h"
+#include "types/tuple.h"
+
+namespace maybms::worlds {
+
+/// Streaming accumulator for one possible/certain/conf combination.
+///
+/// Usage:
+///   MAYBMS_ASSIGN_OR_RETURN(QuantifierCombiner c,
+///                           QuantifierCombiner::Create(quantifier));
+///   for (world : worlds) c.Feed(world.probability, result_of(world));
+///   MAYBMS_ASSIGN_OR_RETURN(Table combined, c.Finish(total_probability));
+///
+/// Feed weights may be unnormalized (e.g. pre-assert probabilities or
+/// Monte-Carlo sample counts); Finish(normalizer) divides accumulated
+/// confidences by `normalizer`. Pass 1.0 when the fed weights already sum
+/// to one. possible/certain ignore the weights entirely.
+class QuantifierCombiner {
+ public:
+  /// Rejects WorldQuantifier::kNone with the same error the set-based
+  /// dispatch produced.
+  static Result<QuantifierCombiner> Create(sql::WorldQuantifier quantifier);
+
+  QuantifierCombiner(QuantifierCombiner&&) = default;
+  QuantifierCombiner& operator=(QuantifierCombiner&&) = default;
+
+  /// Folds one world's answer into the accumulator. `table` may be
+  /// destroyed immediately after the call. Duplicate rows within one
+  /// world's answer count once (set semantics across worlds).
+  void Feed(double probability, const Table& table);
+
+  /// Number of worlds fed so far.
+  size_t worlds_fed() const { return worlds_fed_; }
+
+  /// Emits the combined relation, sorted by tuple total order (identical
+  /// to the set-based combinators' output). Consumes the combiner.
+  Result<Table> Finish(double normalizer = 1.0);
+
+  /// True when MAYBMS_COMBINER_ORACLE=1: combiners retain their input and
+  /// delegate to the set-based functions (differential/test mode).
+  static bool UsingSetBasedOracle();
+
+ private:
+  explicit QuantifierCombiner(sql::WorldQuantifier quantifier);
+
+  struct Accum {
+    double conf = 0;          // conf: accumulated probability mass
+    size_t worlds_seen = 0;   // certain: worlds whose answer contains it
+    size_t last_world = 0;    // 1-based ordinal of the last feeding world
+  };
+
+  sql::WorldQuantifier quantifier_;
+  size_t worlds_fed_ = 0;
+  std::unordered_map<Tuple, Accum, TupleHash> acc_;
+  Schema value_schema_;        // first fed schema with > 0 columns
+  bool saw_schema_ = false;    // any table fed (possible/certain schema)
+  Schema first_schema_;        // schema of the very first fed table
+  double nonempty_prob_ = 0;   // conf, 0-column answers: P(non-empty)
+
+  // Oracle mode: retained input, combined via world_set.h functions.
+  bool use_oracle_ = false;
+  std::vector<std::pair<double, Table>> retained_;
+};
+
+}  // namespace maybms::worlds
+
+#endif  // MAYBMS_WORLDS_COMBINER_H_

@@ -12,6 +12,7 @@
 #include "engine/expr_eval.h"
 #include "engine/planner.h"
 #include "engine/prepared.h"
+#include "worlds/combiner.h"
 #include "worlds/explicit_world_set.h"
 #include "worlds/partition.h"
 
@@ -78,21 +79,18 @@ bool ContainsSubquery(const sql::Expr& expr) {
   return false;
 }
 
+/// One-shot combination of already-materialized per-world answers through
+/// the streaming combiner (weights must be normalized). Used where the
+/// pipeline genuinely needs every answer at hand anyway (assert tails,
+/// group-worlds-by members); the hot quantifier paths feed the combiner
+/// incrementally instead.
 Result<Table> CombineByQuantifier(
     sql::WorldQuantifier quantifier,
-    const std::vector<std::pair<double, Table>>& entries) {
-  switch (quantifier) {
-    case sql::WorldQuantifier::kPossible:
-      return CombinePossible(entries);
-    case sql::WorldQuantifier::kCertain:
-      return CombineCertain(entries);
-    case sql::WorldQuantifier::kConf:
-      return CombineConf(entries);
-    case sql::WorldQuantifier::kNone:
-      break;
-  }
-  return Status::InvalidArgument(
-      "group worlds by requires possible, certain, or conf");
+    const std::vector<std::pair<double, const Table*>>& entries) {
+  MAYBMS_ASSIGN_OR_RETURN(QuantifierCombiner combiner,
+                          QuantifierCombiner::Create(quantifier));
+  for (const auto& [prob, table] : entries) combiner.Feed(prob, *table);
+  return combiner.Finish();
 }
 
 /// Filters `rows` (over the projection's qualified source schema) by the
@@ -432,19 +430,7 @@ bool DecomposedWorldSet::QualifiesForFastPath(
 
 Result<DecomposedWorldSet::PipelineOutput> DecomposedWorldSet::RunPipeline(
     const sql::SelectStatement& stmt, const std::string& result_name) const {
-  if ((stmt.repair.has_value() || stmt.choice.has_value()) &&
-      stmt.union_next) {
-    return Status::Unsupported(
-        "repair by key / choice of cannot be combined with UNION");
-  }
-  if (stmt.repair.has_value() && stmt.choice.has_value()) {
-    return Status::Unsupported(
-        "repair by key and choice of cannot be combined in one statement");
-  }
-  if (stmt.union_next && engine::HasWorldOps(*stmt.union_next)) {
-    return Status::Unsupported(
-        "world-set operations are not allowed in UNION branches");
-  }
+  MAYBMS_RETURN_NOT_OK(ValidateWorldOps(stmt));
   if (stmt.group_worlds_by && engine::HasWorldOps(*stmt.group_worlds_by)) {
     return Status::Unsupported(
         "the GROUP WORLDS BY query must be a plain SQL query");
@@ -459,6 +445,20 @@ Result<DecomposedWorldSet::PipelineOutput> DecomposedWorldSet::RunPipeline(
       stmt.assert_condition != nullptr || stmt.group_worlds_by != nullptr;
 
   PipelineOutput out;
+
+  // When a quantifier collapses the answer and nothing downstream needs
+  // per-alternative results (no assert, no grouping), the merged paths
+  // stream each local world's answer into the combiner as it is produced
+  // and discard it immediately instead of materializing `merged.results`.
+  const bool stream_feed = stmt.quantifier != sql::WorldQuantifier::kNone &&
+                           !needs_merge_tail;
+  std::optional<QuantifierCombiner> stream_combiner;
+  bool streamed = false;
+  if (stream_feed) {
+    MAYBMS_ASSIGN_OR_RETURN(QuantifierCombiner c,
+                            QuantifierCombiner::Create(stmt.quantifier));
+    stream_combiner.emplace(std::move(c));
+  }
 
   // ---- Step 1: compute the result representation. ----
   if (stmt.repair.has_value() || stmt.choice.has_value()) {
@@ -505,6 +505,7 @@ Result<DecomposedWorldSet::PipelineOutput> DecomposedWorldSet::RunPipeline(
       MAYBMS_ASSIGN_OR_RETURN(Component merged_src, MergeRelevant(relevant));
       MergedResult merged;
       merged.replaced = relevant;
+      size_t flat_count = 0;
       for (const Alternative& alt : merged_src.alternatives) {
         Database local = BuildLocalDatabase({&alt});
         MAYBMS_ASSIGN_OR_RETURN(Table source, source_plan.Execute(local));
@@ -531,12 +532,16 @@ Result<DecomposedWorldSet::PipelineOutput> DecomposedWorldSet::RunPipeline(
           for (size_t r : rows) chosen.push_back(source.row(r));
           MAYBMS_ASSIGN_OR_RETURN(Table result,
                                   projection.Execute(local, chosen));
-          Alternative flat = alt;
-          flat.probability = prob;
-          merged.component.alternatives.push_back(std::move(flat));
-          merged.results.push_back(std::move(result));
-          if (max_merge_ != 0 &&
-              merged.component.alternatives.size() > max_merge_) {
+          if (stream_feed) {
+            stream_combiner->Feed(prob, result);
+          } else {
+            Alternative flat = alt;
+            flat.probability = prob;
+            merged.component.alternatives.push_back(std::move(flat));
+            merged.results.push_back(std::move(result));
+          }
+          ++flat_count;
+          if (max_merge_ != 0 && flat_count > max_merge_) {
             return Status::Unsupported(
                 "repair/choice over an uncertain source exceeds the merge "
                 "cap of " +
@@ -550,7 +555,11 @@ Result<DecomposedWorldSet::PipelineOutput> DecomposedWorldSet::RunPipeline(
           if (b == blocks.size()) break;
         }
       }
-      out.merged = std::move(merged);
+      if (stream_feed) {
+        streamed = true;
+      } else {
+        out.merged = std::move(merged);
+      }
     }
   } else if (relevant.empty()) {
     // Entirely certain input: one evaluation suffices.
@@ -603,16 +612,29 @@ Result<DecomposedWorldSet::PipelineOutput> DecomposedWorldSet::RunPipeline(
     MAYBMS_ASSIGN_OR_RETURN(Component merged_src, MergeRelevant(relevant));
     MAYBMS_ASSIGN_OR_RETURN(engine::PreparedSelect core_plan,
                             engine::PreparedSelect::Prepare(*core, certain_));
+    // One execution loop, two sinks: streaming mode combines and drops
+    // each local world's answer on the spot (neither the answers nor the
+    // merged component reach the pipeline output — the quantifier
+    // collapses everything to one certain relation); otherwise the
+    // answers are retained for the assert/grouping/materialize tails.
     MergedResult merged;
     merged.replaced = relevant;
-    merged.component = std::move(merged_src);
-    merged.results.reserve(merged.component.size());
-    for (const Alternative& alt : merged.component.alternatives) {
+    if (!stream_feed) merged.results.reserve(merged_src.size());
+    for (const Alternative& alt : merged_src.alternatives) {
       Database local = BuildLocalDatabase({&alt});
       MAYBMS_ASSIGN_OR_RETURN(Table result, core_plan.Execute(local));
-      merged.results.push_back(std::move(result));
+      if (stream_feed) {
+        stream_combiner->Feed(alt.probability, result);
+      } else {
+        merged.results.push_back(std::move(result));
+      }
     }
-    out.merged = std::move(merged);
+    if (stream_feed) {
+      streamed = true;
+    } else {
+      merged.component = std::move(merged_src);
+      out.merged = std::move(merged);
+    }
   }
 
   // ---- Step 2: assert. ----
@@ -732,8 +754,8 @@ Result<DecomposedWorldSet::PipelineOutput> DecomposedWorldSet::RunPipeline(
       extended.PutRelation(result_name, *out.certain_result);
       MAYBMS_ASSIGN_OR_RETURN(
           Table key, engine::ExecuteSelect(*stmt.group_worlds_by, extended));
-      std::vector<std::pair<double, Table>> entries = {
-          {1.0, *out.certain_result}};
+      std::vector<std::pair<double, const Table*>> entries = {
+          {1.0, &*out.certain_result}};
       MAYBMS_ASSIGN_OR_RETURN(Table combined,
                               CombineByQuantifier(stmt.quantifier, entries));
       out.groups.push_back(SelectEvaluation::GroupResult{
@@ -766,13 +788,13 @@ Result<DecomposedWorldSet::PipelineOutput> DecomposedWorldSet::RunPipeline(
         for (size_t i : members) {
           group_prob += merged.component.alternatives[i].probability;
         }
-        std::vector<std::pair<double, Table>> entries;
+        std::vector<std::pair<double, const Table*>> entries;
         for (size_t i : members) {
           entries.emplace_back(
               group_prob > 0
                   ? merged.component.alternatives[i].probability / group_prob
                   : 0,
-              merged.results[i]);
+              &merged.results[i]);
         }
         MAYBMS_ASSIGN_OR_RETURN(Table combined,
                                 CombineByQuantifier(stmt.quantifier, entries));
@@ -782,17 +804,22 @@ Result<DecomposedWorldSet::PipelineOutput> DecomposedWorldSet::RunPipeline(
       }
     }
   } else if (stmt.quantifier != sql::WorldQuantifier::kNone) {
-    if (out.certain_result.has_value()) {
-      std::vector<std::pair<double, Table>> entries = {
-          {1.0, *out.certain_result}};
+    if (streamed) {
+      // The merged paths above already folded every local world's answer
+      // into the combiner.
+      MAYBMS_ASSIGN_OR_RETURN(Table combined, stream_combiner->Finish());
+      out.combined = std::move(combined);
+    } else if (out.certain_result.has_value()) {
+      std::vector<std::pair<double, const Table*>> entries = {
+          {1.0, &*out.certain_result}};
       MAYBMS_ASSIGN_OR_RETURN(out.combined,
                               CombineByQuantifier(stmt.quantifier, entries));
     } else if (out.merged.has_value()) {
-      std::vector<std::pair<double, Table>> entries;
+      std::vector<std::pair<double, const Table*>> entries;
       const MergedResult& merged = *out.merged;
       for (size_t i = 0; i < merged.component.alternatives.size(); ++i) {
         entries.emplace_back(merged.component.alternatives[i].probability,
-                             merged.results[i]);
+                             &merged.results[i]);
       }
       MAYBMS_ASSIGN_OR_RETURN(out.combined,
                               CombineByQuantifier(stmt.quantifier, entries));

@@ -10,6 +10,7 @@
 #include "engine/expr_eval.h"
 #include "engine/planner.h"
 #include "engine/prepared.h"
+#include "worlds/combiner.h"
 #include "worlds/partition.h"
 
 namespace maybms::worlds {
@@ -22,21 +23,82 @@ std::vector<Tuple> GroupKeyRows(const Table& table) {
   return table.SortedDistinct().rows();
 }
 
-Result<Table> CombineByQuantifier(
-    sql::WorldQuantifier quantifier,
-    const std::vector<std::pair<double, Table>>& entries) {
-  switch (quantifier) {
-    case sql::WorldQuantifier::kPossible:
-      return CombinePossible(entries);
-    case sql::WorldQuantifier::kCertain:
-      return CombineCertain(entries);
-    case sql::WorldQuantifier::kConf:
-      return CombineConf(entries);
-    case sql::WorldQuantifier::kNone:
-      break;
+/// Enumerates every repair/choice combination of every input world:
+/// plans the source pipeline and the projection once, partitions each
+/// world's source relation, enforces the world cap (error text is part
+/// of the conformance surface), and walks the per-block odometer,
+/// invoking `emit(world, probability, projected answer)` per derived
+/// world. Shared by the materializing pipeline and the streaming
+/// quantifier path so cap semantics cannot drift between them.
+template <typename Emit>
+Status EnumerateRepairChoiceWorlds(const std::vector<World>& input,
+                                   const sql::SelectStatement& stmt,
+                                   const sql::SelectStatement& core,
+                                   size_t max_worlds, Emit&& emit) {
+  std::optional<engine::PreparedFromWhere> source_plan;
+  std::optional<engine::PreparedProjection> projection;
+  uint64_t produced = 0;
+  for (const World& world : input) {
+    if (!source_plan.has_value()) {
+      MAYBMS_ASSIGN_OR_RETURN(
+          source_plan, engine::PreparedFromWhere::Prepare(stmt, world.db));
+      MAYBMS_ASSIGN_OR_RETURN(projection,
+                              engine::PreparedProjection::Prepare(
+                                  core, world.db,
+                                  source_plan->output_schema()));
+    }
+    MAYBMS_ASSIGN_OR_RETURN(Table source, source_plan->Execute(world.db));
+    std::vector<PartitionBlock> blocks;
+    if (stmt.repair.has_value()) {
+      MAYBMS_ASSIGN_OR_RETURN(blocks, RepairPartition(source, *stmt.repair));
+    } else {
+      MAYBMS_ASSIGN_OR_RETURN(blocks, ChoicePartition(source, *stmt.choice));
+    }
+
+    uint64_t combos = 1;
+    for (const PartitionBlock& b : blocks) {
+      combos *= static_cast<uint64_t>(b.choices.size());
+      if (combos > max_worlds) {
+        return Status::Unsupported(
+            "explicit world-set would exceed the configured cap of " +
+            std::to_string(max_worlds) + " worlds; use the decomposed engine");
+      }
+    }
+    if (produced + combos > max_worlds) {
+      return Status::Unsupported(
+          "explicit world-set would exceed the configured cap of " +
+          std::to_string(max_worlds) + " worlds; use the decomposed engine");
+    }
+    produced += combos;
+
+    std::vector<size_t> pick(blocks.size(), 0);
+    while (true) {
+      double prob = world.probability;
+      std::vector<size_t> rows;
+      for (size_t b = 0; b < blocks.size(); ++b) {
+        const WeightedChoice& choice = blocks[b].choices[pick[b]];
+        prob *= choice.probability;
+        rows.insert(rows.end(), choice.row_indices.begin(),
+                    choice.row_indices.end());
+      }
+      std::vector<Tuple> chosen;
+      chosen.reserve(rows.size());
+      for (size_t r : rows) chosen.push_back(source.row(r));
+      MAYBMS_ASSIGN_OR_RETURN(Table result,
+                              projection->Execute(world.db, chosen));
+      MAYBMS_RETURN_NOT_OK(emit(world, prob, std::move(result)));
+
+      // Advance the odometer. An empty block list (repair of an empty
+      // relation) yields exactly the single empty choice above.
+      size_t b = 0;
+      for (; b < blocks.size(); ++b) {
+        if (++pick[b] < blocks[b].choices.size()) break;
+        pick[b] = 0;
+      }
+      if (b == blocks.size()) break;
+    }
   }
-  return Status::InvalidArgument(
-      "group worlds by requires possible, certain, or conf");
+  return Status::OK();
 }
 
 }  // namespace
@@ -158,96 +220,43 @@ void ExplicitWorldSet::SetWorlds(std::vector<World> worlds) {
 
 Result<ExplicitWorldSet::PipelineOutput> ExplicitWorldSet::RunPipeline(
     std::vector<World> input, const sql::SelectStatement& stmt,
-    const std::string& result_name) const {
-  if ((stmt.repair.has_value() || stmt.choice.has_value()) &&
-      stmt.union_next) {
-    return Status::Unsupported(
-        "repair by key / choice of cannot be combined with UNION");
-  }
-  if (stmt.repair.has_value() && stmt.choice.has_value()) {
-    return Status::Unsupported(
-        "repair by key and choice of cannot be combined in one statement");
-  }
-  if (stmt.union_next && engine::HasWorldOps(*stmt.union_next)) {
-    return Status::Unsupported(
-        "world-set operations are not allowed in UNION branches");
-  }
+    const std::string& result_name, bool want_per_world_results) const {
+  MAYBMS_RETURN_NOT_OK(ValidateWorldOps(stmt));
 
   std::unique_ptr<sql::SelectStatement> core = StripWorldOps(stmt);
 
   PipelineOutput out;
+
+  // When a quantifier collapses the answer and no assert/grouping needs
+  // per-world results later, stream each world's answer straight into the
+  // combiner instead of storing it in the world — no per-world result
+  // table outlives its own combination step.
+  const bool stream_feed = stmt.quantifier != sql::WorldQuantifier::kNone &&
+                           !stmt.group_worlds_by && !stmt.assert_condition;
+  std::optional<QuantifierCombiner> stream_combiner;
+  if (stream_feed) {
+    MAYBMS_ASSIGN_OR_RETURN(QuantifierCombiner c,
+                            QuantifierCombiner::Create(stmt.quantifier));
+    stream_combiner.emplace(std::move(c));
+  }
 
   // --- Step 1: per-world SQL core, with repair/choice world creation. ---
   // Statements are planned once against the first world's schemas (all
   // worlds share one schema catalog; see engine/prepared.h) and executed
   // per world; only scans, joins, and predicate evaluation repeat.
   if (stmt.repair.has_value() || stmt.choice.has_value()) {
-    std::optional<engine::PreparedFromWhere> source_plan;
-    std::optional<engine::PreparedProjection> projection;
-    for (World& world : input) {
-      if (!source_plan.has_value()) {
-        MAYBMS_ASSIGN_OR_RETURN(
-            source_plan, engine::PreparedFromWhere::Prepare(stmt, world.db));
-        MAYBMS_ASSIGN_OR_RETURN(
-            projection,
-            engine::PreparedProjection::Prepare(
-                *core, world.db, source_plan->output_schema()));
-      }
-      MAYBMS_ASSIGN_OR_RETURN(Table source, source_plan->Execute(world.db));
-      std::vector<PartitionBlock> blocks;
-      if (stmt.repair.has_value()) {
-        MAYBMS_ASSIGN_OR_RETURN(blocks,
-                                RepairPartition(source, *stmt.repair));
-      } else {
-        MAYBMS_ASSIGN_OR_RETURN(blocks, ChoicePartition(source, *stmt.choice));
-      }
-
-      // Enumerate the product of blocks; each combination is a new world.
-      uint64_t combos = 1;
-      for (const PartitionBlock& b : blocks) {
-        combos *= static_cast<uint64_t>(b.choices.size());
-        if (combos > max_worlds_) {
-          return Status::Unsupported(
-              "explicit world-set would exceed the configured cap of " +
-              std::to_string(max_worlds_) +
-              " worlds; use the decomposed engine");
-        }
-      }
-      if (out.worlds.size() + combos > max_worlds_) {
-        return Status::Unsupported(
-            "explicit world-set would exceed the configured cap of " +
-            std::to_string(max_worlds_) + " worlds; use the decomposed engine");
-      }
-
-      std::vector<size_t> pick(blocks.size(), 0);
-      while (true) {
-        double prob = world.probability;
-        std::vector<size_t> rows;
-        for (size_t b = 0; b < blocks.size(); ++b) {
-          const WeightedChoice& choice = blocks[b].choices[pick[b]];
-          prob *= choice.probability;
-          rows.insert(rows.end(), choice.row_indices.begin(),
-                      choice.row_indices.end());
-        }
-        std::vector<Tuple> chosen;
-        chosen.reserve(rows.size());
-        for (size_t r : rows) chosen.push_back(source.row(r));
-        MAYBMS_ASSIGN_OR_RETURN(Table result,
-                                projection->Execute(world.db, chosen));
-        World derived(world.db, prob);
-        derived.db.PutRelation(result_name, std::move(result));
-        out.worlds.push_back(std::move(derived));
-
-        // Advance the odometer. An empty block list (repair of an empty
-        // relation) yields exactly the single empty choice above.
-        size_t b = 0;
-        for (; b < blocks.size(); ++b) {
-          if (++pick[b] < blocks[b].choices.size()) break;
-          pick[b] = 0;
-        }
-        if (b == blocks.size()) break;
-      }
-    }
+    MAYBMS_RETURN_NOT_OK(EnumerateRepairChoiceWorlds(
+        input, stmt, *core, max_worlds_,
+        [&](const World& world, double prob, Table result) -> Status {
+          World derived(world.db, prob);
+          if (stream_feed) {
+            stream_combiner->Feed(prob, result);
+          } else {
+            derived.db.PutRelation(result_name, std::move(result));
+          }
+          out.worlds.push_back(std::move(derived));
+          return Status::OK();
+        }));
   } else {
     std::optional<engine::PreparedSelect> select_plan;
     for (World& world : input) {
@@ -258,7 +267,11 @@ Result<ExplicitWorldSet::PipelineOutput> ExplicitWorldSet::RunPipeline(
       }
       MAYBMS_ASSIGN_OR_RETURN(Table result, select_plan->Execute(world.db));
       World derived(std::move(world.db), world.probability);
-      derived.db.PutRelation(result_name, std::move(result));
+      if (stream_feed) {
+        stream_combiner->Feed(derived.probability, result);
+      } else {
+        derived.db.PutRelation(result_name, std::move(result));
+      }
       out.worlds.push_back(std::move(derived));
     }
   }
@@ -314,17 +327,16 @@ Result<ExplicitWorldSet::PipelineOutput> ExplicitWorldSet::RunPipeline(
     for (const auto& [key, members] : groups) {
       double group_prob = 0;
       for (size_t i : members) group_prob += out.worlds[i].probability;
-      std::vector<std::pair<double, Table>> entries;
-      entries.reserve(members.size());
+      MAYBMS_ASSIGN_OR_RETURN(QuantifierCombiner combiner,
+                              QuantifierCombiner::Create(stmt.quantifier));
       for (size_t i : members) {
         MAYBMS_ASSIGN_OR_RETURN(const Table* result,
                                 out.worlds[i].db.GetRelation(result_name));
-        entries.emplace_back(
+        combiner.Feed(
             group_prob > 0 ? out.worlds[i].probability / group_prob : 0,
             *result);
       }
-      MAYBMS_ASSIGN_OR_RETURN(Table combined,
-                              CombineByQuantifier(stmt.quantifier, entries));
+      MAYBMS_ASSIGN_OR_RETURN(Table combined, combiner.Finish());
       for (size_t i : members) {
         out.worlds[i].db.PutRelation(result_name, combined);
       }
@@ -332,33 +344,146 @@ Result<ExplicitWorldSet::PipelineOutput> ExplicitWorldSet::RunPipeline(
           group_prob, key_tables.at(key), std::move(combined)});
     }
   } else if (stmt.quantifier != sql::WorldQuantifier::kNone) {
-    std::vector<std::pair<double, Table>> entries;
-    entries.reserve(out.worlds.size());
-    for (const World& world : out.worlds) {
-      MAYBMS_ASSIGN_OR_RETURN(const Table* result,
-                              world.db.GetRelation(result_name));
-      entries.emplace_back(world.probability, *result);
+    Table combined;
+    if (stream_feed) {
+      // Step 1 already fed every world's answer; nothing was retained.
+      MAYBMS_ASSIGN_OR_RETURN(combined, stream_combiner->Finish());
+    } else {
+      // Post-assert: feed each surviving world's answer and drop it
+      // immediately so no per-world result outlives its combination.
+      MAYBMS_ASSIGN_OR_RETURN(QuantifierCombiner combiner,
+                              QuantifierCombiner::Create(stmt.quantifier));
+      for (World& world : out.worlds) {
+        MAYBMS_ASSIGN_OR_RETURN(const Table* result,
+                                world.db.GetRelation(result_name));
+        combiner.Feed(world.probability, *result);
+        MAYBMS_RETURN_NOT_OK(world.db.DropRelation(result_name));
+      }
+      MAYBMS_ASSIGN_OR_RETURN(combined, combiner.Finish());
     }
-    MAYBMS_ASSIGN_OR_RETURN(Table combined,
-                            CombineByQuantifier(stmt.quantifier, entries));
     for (World& world : out.worlds) {
       world.db.PutRelation(result_name, combined);
     }
     out.combined = std::move(combined);
   }
 
-  for (const World& world : out.worlds) {
-    MAYBMS_ASSIGN_OR_RETURN(const Table* result,
-                            world.db.GetRelation(result_name));
-    out.per_world_results.emplace_back(world.probability, *result);
+  // Per-world answers are only consumed by EvaluateSelect for plain
+  // (quantifier-free) statements; quantifier results collapse to
+  // `combined`/`groups` above and MaterializeSelect never reads them.
+  if (want_per_world_results &&
+      stmt.quantifier == sql::WorldQuantifier::kNone) {
+    for (const World& world : out.worlds) {
+      MAYBMS_ASSIGN_OR_RETURN(const Table* result,
+                              world.db.GetRelation(result_name));
+      out.per_world_results.emplace_back(world.probability, *result);
+    }
   }
   return out;
 }
 
+Result<Table> ExplicitWorldSet::EvaluateQuantifierStreaming(
+    const sql::SelectStatement& stmt) const {
+  MAYBMS_RETURN_NOT_OK(ValidateWorldOps(stmt));
+  std::unique_ptr<sql::SelectStatement> core = StripWorldOps(stmt);
+
+  MAYBMS_ASSIGN_OR_RETURN(QuantifierCombiner combiner,
+                          QuantifierCombiner::Create(stmt.quantifier));
+  double surviving_prob = 0;
+  size_t survivors = 0;
+  // Assert-condition subquery analysis is shared across worlds; results
+  // stay per world (fresh SubqueryCache per evaluation).
+  engine::SubqueryPlanCache assert_plans;
+
+  // The assert condition can only see the statement's own answer if it
+  // literally names the internal "__result" relation; copying the world
+  // database to expose it is reserved for that (pathological) case so
+  // the common assert stays copy-free.
+  bool assert_reads_result = false;
+  if (stmt.assert_condition) {
+    std::set<std::string> assert_refs;
+    CollectReferencedRelations(*stmt.assert_condition, &assert_refs);
+    assert_reads_result = assert_refs.count("__result") > 0;
+  }
+
+  // Folds one world's answer into the combiner, applying the assert
+  // filter first. `result` dies here — nothing per-world is retained.
+  auto feed = [&](double prob, Table result,
+                  const Database& db) -> Status {
+    if (stmt.assert_condition) {
+      engine::SubqueryCache cache(&assert_plans);
+      if (assert_reads_result) {
+        Database extended = db;
+        extended.PutRelation("__result", std::move(result));
+        engine::EvalContext ctx{&extended, nullptr, nullptr, nullptr, nullptr,
+                                &cache};
+        MAYBMS_ASSIGN_OR_RETURN(
+            Trivalent keep,
+            engine::EvalPredicate(*stmt.assert_condition, ctx));
+        if (keep != Trivalent::kTrue) return Status::OK();
+        MAYBMS_ASSIGN_OR_RETURN(const Table* kept,
+                                extended.GetRelation("__result"));
+        combiner.Feed(prob, *kept);
+      } else {
+        engine::EvalContext ctx{&db, nullptr, nullptr, nullptr, nullptr,
+                                &cache};
+        MAYBMS_ASSIGN_OR_RETURN(
+            Trivalent keep,
+            engine::EvalPredicate(*stmt.assert_condition, ctx));
+        if (keep != Trivalent::kTrue) return Status::OK();
+        combiner.Feed(prob, result);
+      }
+    } else {
+      combiner.Feed(prob, result);
+    }
+    surviving_prob += prob;
+    ++survivors;
+    return Status::OK();
+  };
+
+  if (stmt.repair.has_value() || stmt.choice.has_value()) {
+    MAYBMS_RETURN_NOT_OK(EnumerateRepairChoiceWorlds(
+        worlds_, stmt, *core, max_worlds_,
+        [&](const World& world, double prob, Table result) -> Status {
+          return feed(prob, std::move(result), world.db);
+        }));
+  } else {
+    std::optional<engine::PreparedSelect> select_plan;
+    for (const World& world : worlds_) {
+      if (!select_plan.has_value()) {
+        MAYBMS_ASSIGN_OR_RETURN(
+            select_plan, engine::PreparedSelect::Prepare(*core, world.db));
+      }
+      MAYBMS_ASSIGN_OR_RETURN(Table result, select_plan->Execute(world.db));
+      MAYBMS_RETURN_NOT_OK(feed(world.probability, std::move(result),
+                                world.db));
+    }
+  }
+
+  if (stmt.assert_condition) {
+    if (survivors == 0) {
+      return Status::EmptyWorldSet("assert eliminated every world");
+    }
+    // Fed weights were pre-assert probabilities; renormalize over the
+    // surviving mass, exactly as the materializing pipeline does.
+    return combiner.Finish(surviving_prob);
+  }
+  return combiner.Finish();
+}
+
 Result<SelectEvaluation> ExplicitWorldSet::EvaluateSelect(
     const sql::SelectStatement& stmt, size_t max_worlds) const {
-  MAYBMS_ASSIGN_OR_RETURN(PipelineOutput out,
-                          RunPipeline(worlds_, stmt, "__result"));
+  if (stmt.quantifier != sql::WorldQuantifier::kNone &&
+      !stmt.group_worlds_by) {
+    // possible/certain/conf collapse to one certain relation: stream
+    // per-world answers into the combiner without copying any database.
+    MAYBMS_ASSIGN_OR_RETURN(Table combined, EvaluateQuantifierStreaming(stmt));
+    SelectEvaluation eval;
+    eval.combined = std::move(combined);
+    return eval;
+  }
+  MAYBMS_ASSIGN_OR_RETURN(
+      PipelineOutput out,
+      RunPipeline(worlds_, stmt, "__result", /*want_per_world_results=*/true));
   SelectEvaluation eval;
   eval.combined = std::move(out.combined);
   eval.groups = std::move(out.groups);
@@ -376,7 +501,9 @@ Status ExplicitWorldSet::MaterializeSelect(const std::string& name,
   // Run on a copy so a mid-pipeline error (e.g. `choice of` over an empty
   // relation, or the world cap) leaves the world-set untouched, matching
   // the decomposed engine's compute-then-commit behavior.
-  MAYBMS_ASSIGN_OR_RETURN(PipelineOutput out, RunPipeline(worlds_, stmt, name));
+  MAYBMS_ASSIGN_OR_RETURN(
+      PipelineOutput out,
+      RunPipeline(worlds_, stmt, name, /*want_per_world_results=*/false));
   worlds_ = std::move(out.worlds);
   return Status::OK();
 }

@@ -66,9 +66,23 @@ class ExplicitWorldSet : public WorldSet {
   /// SQL core (+ repair/choice world creation) -> assert -> group worlds
   /// by / possible / certain / conf. The per-world result relation is
   /// stored under `result_name` in the returned worlds.
+  /// `want_per_world_results` controls whether the (probability, answer)
+  /// copies for quantifier-free statements are collected — EvaluateSelect
+  /// needs them, MaterializeSelect does not.
   Result<PipelineOutput> RunPipeline(std::vector<World> input,
                                      const sql::SelectStatement& stmt,
-                                     const std::string& result_name) const;
+                                     const std::string& result_name,
+                                     bool want_per_world_results) const;
+
+  /// Streaming evaluation of a possible/certain/conf statement without
+  /// `group worlds by`: per-world answers are folded into a
+  /// QuantifierCombiner (worlds/combiner.h) the moment they are produced
+  /// and discarded immediately — no retained per-world result tables and
+  /// no database copies (sole exception: an assert condition that
+  /// literally names the internal "__result" relation forces a per-world
+  /// copy to expose it). Read-only; used by EvaluateSelect.
+  Result<Table> EvaluateQuantifierStreaming(
+      const sql::SelectStatement& stmt) const;
 
   std::vector<World> worlds_;
   size_t max_worlds_;

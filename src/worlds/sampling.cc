@@ -1,12 +1,12 @@
 #include "worlds/sampling.h"
 
-#include <map>
 #include <optional>
 #include <random>
 
 #include "engine/executor.h"
 #include "engine/expr_eval.h"
 #include "engine/prepared.h"
+#include "worlds/combiner.h"
 #include "worlds/explicit_world_set.h"
 
 namespace maybms::worlds {
@@ -25,8 +25,13 @@ Result<Table> EstimateConfidence(const WorldSet& world_set,
   std::unique_ptr<sql::SelectStatement> core = StripWorldOps(stmt);
 
   std::mt19937 rng(seed);
-  std::map<Tuple, size_t> hits;
-  Schema value_schema;
+  // The weighted-sample variant of the streaming combiner: every draw is
+  // a world of weight 1; Finish(samples) turns accumulated hit counts
+  // into confidence estimates. Each sampled answer dies right after it is
+  // fed — only the accumulator's distinct tuples stay resident.
+  MAYBMS_ASSIGN_OR_RETURN(
+      QuantifierCombiner combiner,
+      QuantifierCombiner::Create(sql::WorldQuantifier::kConf));
   // Sampled worlds share one schema catalog: plan the core once against
   // the first draw, execute per sample.
   std::optional<engine::PreparedSelect> plan;
@@ -37,21 +42,9 @@ Result<Table> EstimateConfidence(const WorldSet& world_set,
                               engine::PreparedSelect::Prepare(*core, world.db));
     }
     MAYBMS_ASSIGN_OR_RETURN(Table answer, plan->Execute(world.db));
-    if (value_schema.num_columns() == 0) value_schema = answer.schema();
-    Table distinct = answer.SortedDistinct();
-    for (const Tuple& row : distinct.rows()) ++hits[row];
+    combiner.Feed(1.0, answer);
   }
-
-  Schema schema = value_schema;
-  schema.AddColumn(Column("conf", DataType::kReal));
-  Table out(std::move(schema));
-  for (const auto& [row, count] : hits) {
-    Tuple extended = row;
-    extended.Append(
-        Value::Real(static_cast<double>(count) / static_cast<double>(samples)));
-    out.AppendUnchecked(std::move(extended));
-  }
-  return out;
+  return combiner.Finish(static_cast<double>(samples));
 }
 
 Result<double> EstimateConditionProbability(const WorldSet& world_set,

@@ -4,8 +4,26 @@
 #include <map>
 
 #include "base/string_util.h"
+#include "engine/executor.h"
 
 namespace maybms::worlds {
+
+Status ValidateWorldOps(const sql::SelectStatement& stmt) {
+  if ((stmt.repair.has_value() || stmt.choice.has_value()) &&
+      stmt.union_next) {
+    return Status::Unsupported(
+        "repair by key / choice of cannot be combined with UNION");
+  }
+  if (stmt.repair.has_value() && stmt.choice.has_value()) {
+    return Status::Unsupported(
+        "repair by key and choice of cannot be combined in one statement");
+  }
+  if (stmt.union_next && engine::HasWorldOps(*stmt.union_next)) {
+    return Status::Unsupported(
+        "world-set operations are not allowed in UNION branches");
+  }
+  return Status::OK();
+}
 
 namespace {
 

@@ -144,6 +144,13 @@ class WorldSet {
 
 // ---- Shared helpers used by both implementations -------------------------
 
+/// Statement-shape checks every world-set implementation applies before
+/// running the I-SQL pipeline (repair/choice vs UNION combinations). The
+/// error messages are part of the differential-conformance surface: both
+/// engines — and every evaluation path within an engine — must fail
+/// identically, so there is exactly one copy of them.
+Status ValidateWorldOps(const sql::SelectStatement& stmt);
+
 /// Collects the (lower-cased) names of all relations referenced anywhere in
 /// a statement: FROM clauses, subqueries in any expression, assert
 /// conditions, group-worlds-by queries, and UNION branches.
@@ -151,6 +158,13 @@ void CollectReferencedRelations(const sql::SelectStatement& stmt,
                                 std::set<std::string>* out);
 void CollectReferencedRelations(const sql::Expr& expr,
                                 std::set<std::string>* out);
+
+// The set-based combinators below are the *retained oracle* for the
+// streaming QuantifierCombiner (worlds/combiner.h), which both engines
+// use on their hot paths. They stay exercised two ways: the combiner
+// property suite compares the two on randomized inputs, and setting
+// MAYBMS_COMBINER_ORACLE=1 routes every combination in the engine through
+// them end to end.
 
 /// Combines per-world results under `possible`: the distinct union.
 /// Entries' tables must share arity.

@@ -125,6 +125,15 @@ class DifferentialConformanceTest : public ::testing::TestWithParam<uint32_t> {
         ExpectSameDistribution(WorldDistribution(e->worlds()),
                                WorldDistribution(d->worlds()),
                                kConfTolerance);
+        // ORDER BY probes additionally agree on the *sequence* of every
+        // world's answer (and hence on any LIMIT prefix): deterministic
+        // tie-breaking makes row order a function of the answer bag.
+        if (sql.find(" order by ") != std::string::npos) {
+          ExpectSameDistribution(
+              maybms::testing::WorldDistributionOrdered(e->worlds()),
+              maybms::testing::WorldDistributionOrdered(d->worlds()),
+              kConfTolerance);
+        }
         break;
       case QueryResult::Kind::kTable:
         ExpectTablesAgree(e->table(), d->table(), ctx);
@@ -340,7 +349,11 @@ TEST(PipelineGeneratorTest, CorpusCoversISqlSurface) {
         "select conf", "insert into", "delete from", "update ", "where",
         "sum(V)", "count(*)", "union", "intersect", "except", "exists(",
         "between", " a, ", "left join ", " join ", " on a.K = b.K",
-        " in (select", "< (select"}) {
+        " in (select", "< (select",
+        // PR 4 surface: views, ordered prefixes, richer UPDATE shapes.
+        "create view", " from V0", " order by 1", " desc", " limit ",
+        "set V = V + W", "set W = V * 2", ", W = W + 1",
+        "K in (select K from"}) {
     EXPECT_NE(corpus.find(feature), std::string::npos)
         << "corpus never exercises: " << feature;
   }

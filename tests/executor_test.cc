@@ -278,6 +278,32 @@ TEST_F(ExecutorTest, UnknownTableAndColumnErrors) {
       << "alias replaces the table name";
 }
 
+// Deterministic ordering guarantee (docs/isql.md): the sorted sequence —
+// including the representative row a DISTINCT survivor exposes to ORDER
+// BY expressions — is a function of the answer bag, not of scan order.
+TEST_F(ExecutorTest, DistinctOrderByHiddenColumnIsScanOrderIndependent) {
+  Schema schema({Column("K", DataType::kInteger),
+                 Column("V", DataType::kInteger)});
+  // K=1 occurs with V=1 and V=9; K=2 with V=5. Whichever source row
+  // survives DISTINCT determines the ORDER BY V key for K=1.
+  std::vector<Tuple> rows = {Row({I(1), I(9)}), Row({I(2), I(5)}),
+                             Row({I(1), I(1)})};
+  std::vector<std::vector<size_t>> permutations = {
+      {0, 1, 2}, {2, 1, 0}, {1, 2, 0}, {2, 0, 1}};
+  std::vector<std::string> outputs;
+  for (const auto& perm : permutations) {
+    Table t(schema);
+    for (size_t i : perm) t.AppendUnchecked(rows[i]);
+    db_.PutRelation("P", std::move(t));
+    Table result = Run("select distinct K from P order by V limit 1;");
+    ASSERT_EQ(result.num_rows(), 1u);
+    outputs.push_back(result.row(0).ToString());
+  }
+  // The smallest representative (K=1, V=1) wins in every insertion
+  // order, so K=1 sorts first regardless of scan order.
+  for (const std::string& out : outputs) EXPECT_EQ(out, "(1)");
+}
+
 TEST_F(ExecutorTest, StarWithAggregateIsError) {
   EXPECT_EQ(RunError("select *, count(*) from R").code(),
             StatusCode::kInvalidArgument);

@@ -36,17 +36,23 @@ bool PipelineGenerator::Chance(double p) {
 }
 
 const PipelineGenerator::TableInfo& PipelineGenerator::Pick(
-    bool prefer_uncertain) {
+    bool prefer_uncertain, bool allow_views) {
+  std::vector<size_t> eligible;
+  eligible.reserve(tables_.size());
+  for (size_t i = 0; i < tables_.size(); ++i) {
+    if (!allow_views && tables_[i].is_view) continue;
+    eligible.push_back(i);
+  }
   if (prefer_uncertain && Chance(0.8)) {
     std::vector<size_t> uncertain;
-    for (size_t i = 0; i < tables_.size(); ++i) {
+    for (size_t i : eligible) {
       if (tables_[i].uncertain) uncertain.push_back(i);
     }
     if (!uncertain.empty()) {
       return tables_[uncertain[Int(0, static_cast<int>(uncertain.size()) - 1)]];
     }
   }
-  return tables_[Int(0, static_cast<int>(tables_.size()) - 1)];
+  return tables_[eligible[Int(0, static_cast<int>(eligible.size()) - 1)]];
 }
 
 uint64_t PipelineGenerator::RepairFactor(const std::vector<Row>& rows,
@@ -138,8 +144,35 @@ void PipelineGenerator::EmitDerivedTable(GeneratedPipeline* p) {
   tables_.push_back(std::move(info));
 }
 
+void PipelineGenerator::EmitView(GeneratedPipeline* p) {
+  // Views are named queries expanded at use; they may reference earlier
+  // views (the session materializes dependencies first) and may carry an
+  // `assert`, in which case probing them evaluates against the derived
+  // world-set the view denotes — on both engines.
+  const TableInfo& src = Pick(Chance(0.5), /*allow_views=*/true);
+  TableInfo info;
+  info.name = "V" + std::to_string(next_view_++);
+  info.uncertain = src.uncertain;
+  info.is_view = true;
+  info.ancestor_rows = src.ancestor_rows;
+
+  std::ostringstream sql;
+  sql << "create view " << info.name << " as select K, V, W, G from "
+      << src.name;
+  if (Chance(0.5)) sql << " where " << RandomPredicate("");
+  if (Chance(0.15)) {
+    sql << " assert exists(select * from " << src.name << " where V >= "
+        << Int(1, 2) << ")";
+  }
+  sql << ";";
+  p->setup.push_back(sql.str());
+  tables_.push_back(std::move(info));
+}
+
 void PipelineGenerator::EmitLateDml(GeneratedPipeline* p) {
   // Late DML runs in every world and never multiplies the world count.
+  // Views are never targets (and never appear in DML subqueries: the
+  // session does not expand views for DML).
   if (Chance(0.5)) {
     const TableInfo& t = Pick(/*prefer_uncertain=*/Chance(0.5));
     const char kGs[] = {'x', 'y', 'z'};
@@ -155,11 +188,36 @@ void PipelineGenerator::EmitLateDml(GeneratedPipeline* p) {
     sql << ";";
     p->setup.push_back(sql.str());
   }
-  if (Chance(0.2)) {
+  if (Chance(0.35)) {
     const TableInfo& t = Pick(/*prefer_uncertain=*/true);
     std::ostringstream sql;
-    sql << "update " << t.name << " set V = V + 1 where "
-        << RandomPredicate("");
+    sql << "update " << t.name << " set ";
+    switch (Int(0, 2)) {
+      case 0:  // constant-step right-hand side
+        sql << "V = V + 1";
+        break;
+      case 1:  // expression RHS over other columns of the row
+        sql << (Chance(0.5) ? "V = V + W" : "W = V * 2");
+        break;
+      default:  // multiple assignments, expression RHS
+        sql << "V = W + " << Int(0, 2) << ", W = W + 1";
+        break;
+    }
+    sql << " where ";
+    if (Chance(0.4)) {
+      // WHERE with a subquery: the referenced table pulls its component
+      // into the decomposed engine's DML merge.
+      const TableInfo& u = Pick(/*prefer_uncertain=*/true);
+      if (Chance(0.5)) {
+        sql << "K in (select K from " << u.name << " where "
+            << RandomPredicate("") << ")";
+      } else {
+        sql << "exists(select * from " << u.name << " where V >= "
+            << Int(1, 3) << ")";
+      }
+    } else {
+      sql << RandomPredicate("");
+    }
     sql << ";";
     p->setup.push_back(sql.str());
   }
@@ -219,9 +277,9 @@ std::string PipelineGenerator::RandomProbe() {
   int quant = Int(0, 3);
   const char* quant_prefix[] = {"", "possible ", "certain ", "conf, "};
   std::ostringstream out;
-  switch (Int(0, 10)) {
+  switch (Int(0, 11)) {
     case 0: {  // selection + projection scan
-      const TableInfo& t = Pick(true);
+      const TableInfo& t = Pick(true, /*allow_views=*/true);
       out << "select " << quant_prefix[quant] << RandomProjection("");
       out << " from " << t.name;
       if (Chance(0.6)) out << " where " << RandomPredicate("");
@@ -311,6 +369,19 @@ std::string PipelineGenerator::RandomProbe() {
       if (Chance(0.4)) out << " where " << RandomPredicate("a.");
       break;
     }
+    case 10: {  // ORDER BY [DESC] with optional LIMIT: ordered prefixes
+      // must agree across engines — guaranteed by the deterministic
+      // full-row tie-break (docs/isql.md). The harness compares these
+      // per-world answers as ordered sequences, not multisets.
+      const TableInfo& t = Pick(true, /*allow_views=*/true);
+      out << "select " << quant_prefix[quant] << RandomProjection("")
+          << " from " << t.name;
+      if (Chance(0.5)) out << " where " << RandomPredicate("");
+      out << " order by 1";
+      if (Chance(0.4)) out << " desc";
+      if (Chance(0.7)) out << " limit " << Int(1, 4);
+      break;
+    }
     default: {  // correlated IN / scalar-aggregate subquery
       const TableInfo& t = Pick(true);
       const TableInfo& u = Pick(true);
@@ -338,11 +409,14 @@ GeneratedPipeline PipelineGenerator::Generate() {
   world_bound_ = 1;
   next_base_ = 0;
   next_derived_ = 0;
+  next_view_ = 0;
 
   int bases = Int(1, options_.max_base_tables);
   for (int i = 0; i < bases; ++i) EmitBaseTable(&p);
   int derived = Int(1, options_.max_derived_tables);
   for (int i = 0; i < derived; ++i) EmitDerivedTable(&p);
+  int views = Int(0, 2);
+  for (int i = 0; i < views; ++i) EmitView(&p);
   EmitLateDml(&p);
 
   int probes = Int(options_.min_probes, options_.max_probes);

@@ -10,11 +10,15 @@ namespace maybms::testing {
 
 /// A randomly generated I-SQL pipeline: a setup script that builds a
 /// world-set (base tables, inserts, repair-by-key / choice-of / assert
-/// materializations, late DML) followed by read-only probe queries that
-/// exercise selections, projections, joins (comma-lists and explicit
-/// [LEFT] JOIN ... ON), aggregates, correlated EXISTS/IN/scalar
-/// subqueries, set operations, possible/certain/conf quantifiers, assert,
-/// and group-worlds-by.
+/// materializations, CREATE VIEW definitions, late DML — including
+/// UPDATE .. SET with expression right-hand sides and subquery WHERE
+/// clauses) followed by read-only probe queries that exercise selections,
+/// projections, joins (comma-lists and explicit [LEFT] JOIN ... ON),
+/// aggregates, correlated EXISTS/IN/scalar subqueries, set operations,
+/// ORDER BY [DESC] with LIMIT (compared as ordered sequences — the
+/// deterministic full-row tie-break documented in docs/isql.md makes the
+/// sorted order a function of the answer bag alone), queries over views,
+/// possible/certain/conf quantifiers, assert, and group-worlds-by.
 ///
 /// The differential conformance harness executes every statement on both
 /// engine backends (ExplicitWorldSet and DecomposedWorldSet) and asserts
@@ -66,6 +70,10 @@ class PipelineGenerator {
   struct TableInfo {
     std::string name;
     bool uncertain = false;
+    // Views are probe-only: they are never DML targets and never sources
+    // of derived tables (their world accounting would otherwise have to
+    // chase the view expansion).
+    bool is_view = false;
     // Rows of the root base table this table was derived from (derived
     // tables only ever project subsets of their ancestor's rows, so these
     // bound any repair/choice fan-out applied to this table).
@@ -74,10 +82,13 @@ class PipelineGenerator {
 
   int Int(int lo, int hi);  // uniform in [lo, hi]
   bool Chance(double p);    // true with probability ~p
-  const TableInfo& Pick(bool prefer_uncertain);
+  /// Picks a statement source. Views are only eligible when
+  /// `allow_views` (probe queries); setup statements stick to tables.
+  const TableInfo& Pick(bool prefer_uncertain, bool allow_views = false);
 
   void EmitBaseTable(GeneratedPipeline* p);
   void EmitDerivedTable(GeneratedPipeline* p);
+  void EmitView(GeneratedPipeline* p);
   void EmitLateDml(GeneratedPipeline* p);
 
   /// Worst-case world multiplication factor of `repair by key <cols>`
@@ -97,6 +108,7 @@ class PipelineGenerator {
   uint64_t world_bound_ = 1;
   int next_base_ = 0;
   int next_derived_ = 0;
+  int next_view_ = 0;
 };
 
 }  // namespace maybms::testing

@@ -83,6 +83,23 @@ inline std::map<std::string, double> WorldDistribution(
   return dist;
 }
 
+/// Ordered-sequence view of a per-world result: rows kept in answer
+/// order, duplicates kept. Comparable across engines only for queries
+/// whose output order is deterministic (ORDER BY with the full-row
+/// tie-break of docs/isql.md) — used by the differential harness for
+/// ORDER BY / LIMIT probes, where the *prefix*, not just the multiset,
+/// must agree.
+inline std::map<std::string, double> WorldDistributionOrdered(
+    const std::vector<std::pair<double, Table>>& worlds) {
+  std::map<std::string, double> dist;
+  for (const auto& [prob, table] : worlds) {
+    std::string key;
+    for (const Tuple& row : table.rows()) key += row.ToString() + ";";
+    dist[key] += prob;
+  }
+  return dist;
+}
+
 /// Asserts two world distributions are equal up to probability tolerance.
 inline void ExpectSameDistribution(const std::map<std::string, double>& a,
                                    const std::map<std::string, double>& b,
