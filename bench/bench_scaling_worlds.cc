@@ -14,13 +14,39 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <new>
 #include <sstream>
 #include <string>
 
 #include "bench/workloads.h"
 #include "isql/session.h"
 #include "worlds/decomposed_world_set.h"
+
+// ---------------------------------------------------------------------------
+// Allocation counting (whole binary): cumulative bytes through operator
+// new, so the world_derivation/* cases below can report bytes allocated
+// alongside time (same technique as tests/combiner_property_test.cc /
+// tests/world_storage_test.cc, minus the live/peak bookkeeping).
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<size_t> g_alloc_bytes{0};
+}  // namespace
+
+void* operator new(size_t n) {
+  g_alloc_bytes.fetch_add(n, std::memory_order_relaxed);
+  void* p = std::malloc(n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, size_t) noexcept { std::free(p); }
+void operator delete[](void* p, size_t) noexcept { std::free(p); }
 
 namespace maybms::bench {
 namespace {
@@ -203,6 +229,112 @@ void RegisterPerWorldCombineBenchmarks() {
   }
 }
 
+// ---------------------------------------------------------------------------
+// World-derivation cost under copy-on-write shared-table storage (PR 5):
+// repair fan-out and DML across a 4096-world set, with `untouched`
+// additional 1000-row relations the statement never reads or writes.
+// Reported alongside time: bytes allocated during the operation and
+// bytes per (derived) world. With structural sharing both stay
+// proportional to the CHANGED tables — flat as the untouched-relation
+// count (and their size) grows — where the pre-COW explicit engine
+// copied every relation into every derived world.
+// ---------------------------------------------------------------------------
+
+/// 2^11 worlds (11 repaired key groups; a 12th group is left for the
+/// measured fan-out), `untouched` 1000-row pad relations, and a tiny DML
+/// target T.
+std::string WorldDerivationScript(int untouched) {
+  std::ostringstream script;
+  script << KeyViolationScript(12, 2);
+  for (int r = 0; r < untouched; ++r) {
+    script << "create table Pad" << r << " (A integer, B integer);\n";
+    for (int chunk = 0; chunk < 2; ++chunk) {
+      script << "insert into Pad" << r << " values ";
+      for (int i = 0; i < 500; ++i) {
+        int row = chunk * 500 + i;
+        if (i > 0) script << ", ";
+        script << "(" << row << ", " << (row * 13 + r) % 101 << ")";
+      }
+      script << ";\n";
+    }
+  }
+  script << "create table T (K integer, V integer);\n";
+  script << "insert into T values (0, 0), (1, 10), (2, 20);\n";
+  script << "create table I as select K, V from R where K < 11 "
+            "repair by key K;\n";
+  return script.str();
+}
+
+void ReportDerivationCounters(benchmark::State& state, size_t bytes,
+                              double worlds) {
+  state.counters["worlds"] = worlds;
+  state.counters["bytes_allocated"] = benchmark::Counter(
+      static_cast<double>(bytes), benchmark::Counter::kAvgIterations);
+  state.counters["bytes_per_world"] =
+      benchmark::Counter(static_cast<double>(bytes) / worlds,
+                         benchmark::Counter::kAvgIterations);
+}
+
+void BM_WorldDerivationRepair(benchmark::State& state, EngineMode mode) {
+  const int untouched = static_cast<int>(state.range(0));
+  const std::string script = WorldDerivationScript(untouched);
+  size_t bytes = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto session = MakeSession(mode);
+    MustExecute(*session, script);
+    state.ResumeTiming();
+    const size_t before = g_alloc_bytes.load(std::memory_order_relaxed);
+    MustExecute(*session,
+                "create table I2 as select K, V from R where K = 11 "
+                "repair by key K;");
+    bytes += g_alloc_bytes.load(std::memory_order_relaxed) - before;
+    state.PauseTiming();
+    session.reset();  // teardown outside the timed region
+    state.ResumeTiming();
+  }
+  ReportDerivationCounters(state, bytes, 4096.0);
+}
+
+void BM_WorldDerivationDml(benchmark::State& state, EngineMode mode) {
+  const int untouched = static_cast<int>(state.range(0));
+  auto session = MakeSession(mode);
+  MustExecute(*session, WorldDerivationScript(untouched));
+  MustExecute(*session,
+              "create table I2 as select K, V from R where K = 11 "
+              "repair by key K;");
+  size_t bytes = 0;
+  for (auto _ : state) {
+    const size_t before = g_alloc_bytes.load(std::memory_order_relaxed);
+    MustExecute(*session, "update T set V = V + 1;");
+    bytes += g_alloc_bytes.load(std::memory_order_relaxed) - before;
+  }
+  ReportDerivationCounters(state, bytes, 4096.0);
+}
+
+void RegisterWorldDerivationBenchmarks() {
+  for (EngineMode mode : {EngineMode::kExplicit, EngineMode::kDecomposed}) {
+    std::string engine =
+        mode == EngineMode::kExplicit ? "explicit" : "decomposed";
+    for (int untouched : {1, 8, 32}) {
+      benchmark::RegisterBenchmark(
+          ("world_derivation/repair_fanout/" + engine +
+           "/untouched_rels:" + std::to_string(untouched))
+              .c_str(),
+          [mode](benchmark::State& s) { BM_WorldDerivationRepair(s, mode); })
+          ->Args({untouched})
+          ->Unit(benchmark::kMillisecond);
+      benchmark::RegisterBenchmark(
+          ("world_derivation/dml/" + engine +
+           "/untouched_rels:" + std::to_string(untouched))
+              .c_str(),
+          [mode](benchmark::State& s) { BM_WorldDerivationDml(s, mode); })
+          ->Args({untouched})
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
 void RegisterBenchmarks() {
   // Explicit engine: up to 2^16 worlds.
   for (int n : {4, 8, 12, 16}) {
@@ -250,6 +382,7 @@ int main(int argc, char** argv) {
   maybms::bench::RegisterBenchmarks();
   maybms::bench::RegisterPerWorldConstantBenchmarks();
   maybms::bench::RegisterPerWorldCombineBenchmarks();
+  maybms::bench::RegisterWorldDerivationBenchmarks();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

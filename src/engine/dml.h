@@ -33,7 +33,11 @@ class PreparedDml {
   ~PreparedDml();
 
   /// Applies the statement to one world. On any error the world is left
-  /// unmodified.
+  /// unmodified: the new contents of the target relation are computed on
+  /// the side and published with a single PutRelation handle swap
+  /// (storage/catalog.h) — the stored instance is never mutated in
+  /// place, so executing against a copy-on-write snapshot can never leak
+  /// partial results into worlds sharing the same table.
   Status Execute(Database* db);
 
  private:

@@ -76,8 +76,10 @@ class PreparedFromWhere {
   /// the rows either borrow the base table (single-table predicate-free
   /// statements — the per-world repair/choice and simple aggregate hot
   /// path) or live in `owned_rows`; the schema always points into the
-  /// plan. A View must not outlive the plan or the database it was
-  /// executed against.
+  /// plan. The borrow goes through Database::GetRelation's raw pointer,
+  /// i.e. straight through the copy-on-write shared-table handle with no
+  /// refcount churn in the per-world loop (storage/catalog.h). A View
+  /// must not outlive the plan or the database it was executed against.
   struct View {
     std::vector<Tuple> owned_rows;
     const Schema* schema = nullptr;

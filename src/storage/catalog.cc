@@ -1,5 +1,7 @@
 #include "storage/catalog.h"
 
+#include <utility>
+
 #include "base/string_util.h"
 
 namespace maybms {
@@ -13,18 +15,45 @@ Result<const Table*> Database::GetRelation(const std::string& name) const {
   if (it == relations_.end()) {
     return Status::NotFound("relation not found: " + name);
   }
-  return &it->second.table;
+  return it->second.table.get();
 }
 
-Result<Table*> Database::GetMutableRelation(const std::string& name) {
+Result<Database::TableHandle> Database::GetRelationHandle(
+    const std::string& name) const {
   auto it = relations_.find(AsciiToLower(name));
   if (it == relations_.end()) {
     return Status::NotFound("relation not found: " + name);
   }
-  return &it->second.table;
+  return it->second.table;
+}
+
+Result<Table*> Database::MutableRelation(const std::string& name) {
+  auto it = relations_.find(AsciiToLower(name));
+  if (it == relations_.end()) {
+    return Status::NotFound("relation not found: " + name);
+  }
+  // Clone-on-unshared-write: a use count of one means this Database is
+  // the sole owner and may mutate in place; otherwise the instance is
+  // visible to other worlds (or a borrowed handle) and must be cloned.
+  if (it->second.table.use_count() > 1) {
+    it->second.table = std::make_shared<Table>(*it->second.table);
+  }
+  // The instance is uniquely owned here, and every stored instance is
+  // created as a non-const Table (PutRelation / the clone above), so
+  // casting the const handle back for mutation is well-defined and
+  // cannot affect any other world.
+  return const_cast<Table*>(it->second.table.get());
 }
 
 void Database::PutRelation(const std::string& name, Table table) {
+  // make_shared<Table>, not <const Table>: the handle type is
+  // const-qualified, but the *object* must stay non-const so
+  // MutableRelation's sole-owner cast is defined behavior.
+  relations_[AsciiToLower(name)] =
+      Entry{name, std::make_shared<Table>(std::move(table))};
+}
+
+void Database::PutRelation(const std::string& name, TableHandle table) {
   relations_[AsciiToLower(name)] = Entry{name, std::move(table)};
 }
 
@@ -50,7 +79,9 @@ bool Database::ContentEquals(const Database& other) const {
   auto jt = other.relations_.begin();
   for (; it != relations_.end(); ++it, ++jt) {
     if (it->first != jt->first) return false;
-    if (!it->second.table.SetEquals(jt->second.table)) return false;
+    // Shared instance: trivially equal without comparing rows.
+    if (it->second.table == jt->second.table) continue;
+    if (!it->second.table->SetEquals(*jt->second.table)) return false;
   }
   return true;
 }

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -14,18 +15,51 @@ namespace maybms {
 /// The relation contents of one possible world: relation name -> instance.
 /// Names are case-insensitive (stored lower-cased, original case kept in
 /// the table's display name map).
+///
+/// Storage invariant — copy-on-write structural sharing:
+///  * Entries hold `std::shared_ptr<const Table>`. Copying a Database
+///    copies handles, never rows: a World/Database copy is O(#relations)
+///    pointer bumps, so the explicit engine's repair/choice fan-out and
+///    snapshot-style writers share every untouched relation between
+///    parent and derived worlds.
+///  * Tables are IMMUTABLE once shared; mutate only through
+///    MutableRelation(), which clones the instance first iff any other
+///    Database (or handle holder) still references it. Writers that
+///    rebuild a relation wholesale use PutRelation(), which swaps the
+///    handle without touching the old instance.
+///  * GetRelation() borrows a raw `const Table*` through the handle — no
+///    refcount churn in per-world read loops (the prepared-statement View
+///    fast path depends on this).
 class Database {
  public:
+  /// Shared, immutable relation instance. The same handle may be stored
+  /// in any number of Databases (worlds).
+  using TableHandle = std::shared_ptr<const Table>;
+
   Database() = default;
 
   bool HasRelation(const std::string& name) const;
 
-  /// Returns the relation or NotFound.
+  /// Returns the relation or NotFound. Borrows through the shared handle;
+  /// the pointer is invalidated by PutRelation/MutableRelation/
+  /// DropRelation on the same name.
   Result<const Table*> GetRelation(const std::string& name) const;
-  Result<Table*> GetMutableRelation(const std::string& name);
 
-  /// Adds or replaces a relation.
+  /// Returns the owning handle (shares the instance); used to store one
+  /// result relation into many worlds without copying rows.
+  Result<TableHandle> GetRelationHandle(const std::string& name) const;
+
+  /// Copy-on-unshared-write accessor: returns a mutable pointer to this
+  /// Database's private instance of the relation, cloning the rows first
+  /// iff the instance is shared with anyone else. The only sanctioned way
+  /// to mutate a stored table in place.
+  Result<Table*> MutableRelation(const std::string& name);
+
+  /// Adds or replaces a relation (wraps the value in a fresh handle).
   void PutRelation(const std::string& name, Table table);
+
+  /// Adds or replaces a relation, sharing an existing instance.
+  void PutRelation(const std::string& name, TableHandle table);
 
   Status DropRelation(const std::string& name);
 
@@ -41,7 +75,7 @@ class Database {
  private:
   struct Entry {
     std::string display_name;
-    Table table;
+    TableHandle table;
   };
   std::map<std::string, Entry> relations_;  // key: lower-cased name
 };

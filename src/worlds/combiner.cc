@@ -129,4 +129,46 @@ Result<Table> QuantifierCombiner::Finish(double normalizer) {
       "group worlds by requires possible, certain, or conf");
 }
 
+GroupedQuantifierCombiner::GroupedQuantifierCombiner(
+    sql::WorldQuantifier quantifier)
+    : quantifier_(quantifier) {}
+
+Status GroupedQuantifierCombiner::Feed(double probability, const Table& answer,
+                                       const Table& group_key_answer) {
+  Table canonical = CanonicalizeGroupKey(group_key_answer);
+  auto it = groups_.find(canonical.rows());
+  if (it == groups_.end()) {
+    // Create the combiner BEFORE inserting the group entry: a kNone
+    // quantifier must fail without leaving a combinerless GroupAccum
+    // behind for Finish() to trip over.
+    MAYBMS_ASSIGN_OR_RETURN(QuantifierCombiner combiner,
+                            QuantifierCombiner::Create(quantifier_));
+    GroupAccum fresh;
+    fresh.combiner.emplace(std::move(combiner));
+    it = groups_.emplace(canonical.rows(), std::move(fresh)).first;
+    it->second.key_table = std::move(canonical);
+  }
+  GroupAccum& group = it->second;
+  group.combiner->Feed(probability, answer);
+  group.mass += probability;
+  total_mass_ += probability;
+  ++worlds_fed_;
+  return Status::OK();
+}
+
+Result<std::vector<SelectEvaluation::GroupResult>>
+GroupedQuantifierCombiner::Finish() {
+  std::vector<SelectEvaluation::GroupResult> out;
+  out.reserve(groups_.size());
+  for (auto& [key, group] : groups_) {
+    MAYBMS_ASSIGN_OR_RETURN(
+        Table combined,
+        group.combiner->Finish(group.mass > 0 ? group.mass : 1.0));
+    out.push_back(SelectEvaluation::GroupResult{
+        total_mass_ > 0 ? group.mass / total_mass_ : 0,
+        std::move(group.key_table), std::move(combined)});
+  }
+  return out;
+}
+
 }  // namespace maybms::worlds

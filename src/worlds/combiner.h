@@ -34,6 +34,8 @@
 // oracle path end to end).
 
 #include <cstddef>
+#include <map>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -41,6 +43,7 @@
 #include "sql/ast.h"
 #include "storage/table.h"
 #include "types/tuple.h"
+#include "worlds/world_set.h"
 
 namespace maybms::worlds {
 
@@ -101,6 +104,48 @@ class QuantifierCombiner {
   // Oracle mode: retained input, combined via world_set.h functions.
   bool use_oracle_ = false;
   std::vector<std::pair<double, Table>> retained_;
+};
+
+/// Streaming accumulator for `group worlds by`: one QuantifierCombiner
+/// per distinct (canonicalized) group key, fed unnormalized world
+/// probabilities; Finish() normalizes within each group and emits groups
+/// in the deterministic total order of their canonical key rows. Shared
+/// by both engines' streaming grouped tails (ExplicitWorldSet /
+/// DecomposedWorldSet::EvaluateGroupedStreaming) so normalization and
+/// emission order cannot drift between them.
+class GroupedQuantifierCombiner {
+ public:
+  /// kNone is rejected at the first Feed, with the same error the
+  /// per-group QuantifierCombiner::Create produces.
+  explicit GroupedQuantifierCombiner(sql::WorldQuantifier quantifier);
+
+  /// Folds one world: `group_key_answer` is the raw grouping-query
+  /// answer (canonicalized here via CanonicalizeGroupKey), `answer` the
+  /// world's statement answer. Both may be destroyed after the call.
+  /// `probability` may be unnormalized (e.g. pre-assert mass).
+  Status Feed(double probability, const Table& answer,
+              const Table& group_key_answer);
+
+  /// Worlds fed so far. Callers apply assert filtering *before* Feed, so
+  /// this doubles as the survivor count.
+  size_t worlds_fed() const { return worlds_fed_; }
+
+  /// One GroupResult per distinct key: probability = group mass / total
+  /// fed mass, relation combined under the quantifier with weights
+  /// normalized within the group. Consumes the combiner.
+  Result<std::vector<SelectEvaluation::GroupResult>> Finish();
+
+ private:
+  struct GroupAccum {
+    double mass = 0;
+    Table key_table;
+    std::optional<QuantifierCombiner> combiner;
+  };
+
+  sql::WorldQuantifier quantifier_;
+  size_t worlds_fed_ = 0;
+  double total_mass_ = 0;
+  std::map<std::vector<Tuple>, GroupAccum> groups_;
 };
 
 }  // namespace maybms::worlds

@@ -159,10 +159,14 @@ bool DecomposedWorldSet::HasRelation(const std::string& name) const {
 
 Database DecomposedWorldSet::BuildLocalDatabase(
     const std::vector<const Alternative*>& chosen) const {
+  // Copying the certain core is O(#relations) handle bumps; only the
+  // relations this choice actually contributes to are cloned (by the
+  // copy-on-write MutableRelation) — every untouched relation stays
+  // shared with the core and every other local world.
   Database db = certain_;
   for (const Alternative* alt : chosen) {
     for (const auto& [rel, tuples] : alt->tuples) {
-      auto table = db.GetMutableRelation(rel);
+      auto table = db.MutableRelation(rel);
       if (!table.ok()) continue;  // relation dropped; stale contribution
       for (const Tuple& t : tuples) (*table)->AppendUnchecked(t);
     }
@@ -393,9 +397,12 @@ Status DecomposedWorldSet::ApplyDml(const sql::Statement& stmt,
   for (size_t i = 0; i < merged.alternatives.size(); ++i) {
     merged.alternatives[i].tuples[target_lower] = new_contents[i].rows();
   }
-  MAYBMS_ASSIGN_OR_RETURN(Table* core_table,
-                          certain_.GetMutableRelation(target));
-  core_table->Clear();
+  // The target's contents moved into the merged component: swap an empty
+  // instance into the core instead of cloning a (possibly shared) table
+  // just to clear it.
+  MAYBMS_ASSIGN_OR_RETURN(const Table* core_table,
+                          certain_.GetRelation(target));
+  certain_.PutRelation(target, Table(core_table->schema()));
 
   std::sort(relevant.rbegin(), relevant.rend());
   for (size_t i : relevant) {
@@ -934,8 +941,90 @@ Result<DecomposedWorldSet::PipelineOutput> DecomposedWorldSet::RunPipeline(
   return out;
 }
 
+Result<std::vector<SelectEvaluation::GroupResult>>
+DecomposedWorldSet::EvaluateGroupedStreaming(
+    const sql::SelectStatement& stmt) const {
+  MAYBMS_RETURN_NOT_OK(ValidateWorldOps(stmt));
+  if (engine::HasWorldOps(*stmt.group_worlds_by)) {
+    return Status::Unsupported(
+        "the GROUP WORLDS BY query must be a plain SQL query");
+  }
+  std::unique_ptr<sql::SelectStatement> core = StripWorldOps(stmt);
+  std::set<std::string> referenced;
+  CollectReferencedRelations(stmt, &referenced);
+  std::vector<size_t> relevant = RelevantComponents(referenced);
+
+  // The shared grouped accumulator (worlds/combiner.h): one combiner per
+  // distinct group key, fed unnormalized probabilities, normalized per
+  // group at Finish — identical semantics on both engines.
+  GroupedQuantifierCombiner grouped(stmt.quantifier);
+
+  if (relevant.empty()) {
+    // Entirely certain input: every world computes the same answer and
+    // the same group key — a single group of probability one.
+    MAYBMS_ASSIGN_OR_RETURN(Table result,
+                            engine::ExecuteSelect(*core, certain_));
+    if (stmt.assert_condition) {
+      engine::EvalContext ctx{&certain_, nullptr, nullptr, nullptr, nullptr,
+                              nullptr};
+      MAYBMS_ASSIGN_OR_RETURN(
+          Trivalent keep, engine::EvalPredicate(*stmt.assert_condition, ctx));
+      if (keep != Trivalent::kTrue) {
+        return Status::EmptyWorldSet("assert eliminated every world");
+      }
+    }
+    MAYBMS_ASSIGN_OR_RETURN(
+        Table key, engine::ExecuteSelect(*stmt.group_worlds_by, certain_));
+    MAYBMS_RETURN_NOT_OK(grouped.Feed(1.0, result, key));
+    return grouped.Finish();
+  }
+
+  // Merge the relevant sub-product (the group key needs every local
+  // world), then stream: each local world's answer is combined into its
+  // group's accumulator and dropped — `merged.results` never exists.
+  MAYBMS_ASSIGN_OR_RETURN(Component merged_src, MergeRelevant(relevant));
+  MAYBMS_ASSIGN_OR_RETURN(engine::PreparedSelect core_plan,
+                          engine::PreparedSelect::Prepare(*core, certain_));
+  std::optional<engine::PreparedSelect> group_plan;
+  engine::SubqueryPlanCache assert_plans;
+
+  for (const Alternative& alt : merged_src.alternatives) {
+    Database local = BuildLocalDatabase({&alt});
+    MAYBMS_ASSIGN_OR_RETURN(Table result, core_plan.Execute(local));
+    if (stmt.assert_condition) {
+      engine::SubqueryCache assert_cache(&assert_plans);
+      engine::EvalContext ctx{&local, nullptr, nullptr, nullptr, nullptr,
+                              &assert_cache};
+      MAYBMS_ASSIGN_OR_RETURN(
+          Trivalent keep, engine::EvalPredicate(*stmt.assert_condition, ctx));
+      if (keep != Trivalent::kTrue) continue;
+    }
+    if (!group_plan.has_value()) {
+      MAYBMS_ASSIGN_OR_RETURN(group_plan,
+                              engine::PreparedSelect::Prepare(
+                                  *stmt.group_worlds_by, certain_));
+    }
+    MAYBMS_ASSIGN_OR_RETURN(Table answer, group_plan->Execute(local));
+    MAYBMS_RETURN_NOT_OK(grouped.Feed(alt.probability, result, answer));
+  }
+
+  if (stmt.assert_condition && grouped.worlds_fed() == 0) {
+    return Status::EmptyWorldSet("assert eliminated every world");
+  }
+  return grouped.Finish();
+}
+
 Result<SelectEvaluation> DecomposedWorldSet::EvaluateSelect(
     const sql::SelectStatement& stmt, size_t max_worlds) const {
+  if (stmt.group_worlds_by && stmt.quantifier != sql::WorldQuantifier::kNone &&
+      !stmt.repair.has_value() && !stmt.choice.has_value() &&
+      !ReferencesInternalResult(stmt)) {
+    MAYBMS_ASSIGN_OR_RETURN(std::vector<SelectEvaluation::GroupResult> groups,
+                            EvaluateGroupedStreaming(stmt));
+    SelectEvaluation eval;
+    eval.groups = std::move(groups);
+    return eval;
+  }
   MAYBMS_ASSIGN_OR_RETURN(PipelineOutput out, RunPipeline(stmt, "__result"));
   SelectEvaluation eval;
   eval.combined = std::move(out.combined);
@@ -1063,9 +1152,9 @@ Status DecomposedWorldSet::MaterializeSelect(const std::string& name,
     // Quantifier collapsed the answer to a certain relation.
     if (structure_dirty && out.merged.has_value()) {
       commit_merged(*out.merged, /*store_results=*/false);
-      MAYBMS_ASSIGN_OR_RETURN(Table* stored,
-                              certain_.GetMutableRelation(name));
-      *stored = std::move(*out.combined);
+      // Overwrite the placeholder commit_merged stored: a handle swap,
+      // not a clone-and-assign.
+      certain_.PutRelation(name, std::move(*out.combined));
     } else {
       certain_.PutRelation(name, std::move(*out.combined));
     }

@@ -131,6 +131,17 @@ class DecomposedWorldSet : public WorldSet {
   Result<PipelineOutput> RunPipeline(const sql::SelectStatement& stmt,
                                      const std::string& result_name) const;
 
+  /// Streaming grouped-quantifier evaluation: one pass over the local
+  /// worlds of the relevant sub-product keeping a per-group-key
+  /// QuantifierCombiner (fed unnormalized alternative probabilities,
+  /// normalized per group at Finish) — per-alternative answers are never
+  /// materialized as a batch. Used by EvaluateSelect for grouped
+  /// statements without repair/choice whose assert/grouping queries do
+  /// not reference the internal "__result" relation; everything else
+  /// falls back to the materializing pipeline.
+  Result<std::vector<SelectEvaluation::GroupResult>> EvaluateGroupedStreaming(
+      const sql::SelectStatement& stmt) const;
+
   /// Indices of components contributing to any of `relations` (lower-case).
   std::vector<size_t> RelevantComponents(
       const std::set<std::string>& relations) const;

@@ -174,7 +174,11 @@ Status ExplicitWorldSet::CreateBaseTable(const std::string& name,
   if (HasRelation(name)) {
     return Status::AlreadyExists("relation already exists: " + name);
   }
-  for (World& world : worlds_) world.db.PutRelation(name, prototype);
+  // One shared instance for every world: the relation starts out
+  // identical everywhere, so storing it is W handle bumps, not W copies.
+  // The first world that mutates it clones its own copy (COW).
+  auto shared = std::make_shared<Table>(prototype);
+  for (World& world : worlds_) world.db.PutRelation(name, shared);
   return Status::OK();
 }
 
@@ -190,22 +194,35 @@ Status ExplicitWorldSet::DropRelation(const std::string& name) {
 
 Status ExplicitWorldSet::ApplyDml(const sql::Statement& stmt,
                                   const Catalog& catalog) {
-  // Possible-worlds update semantics (paper §2): run the update in every
-  // world on a copy; commit only if it succeeds everywhere. The statement
-  // is planned once (column resolution, INSERT ... SELECT preparation,
-  // subquery analysis) against the first world's schemas — identical in
-  // every world — and only executed per world.
-  std::vector<World> updated = worlds_;
+  // Possible-worlds update semantics (paper §2): the update must commit
+  // in every world or in none. Snapshot/rollback commit protocol: each
+  // world's post-statement database is computed against a copy-on-write
+  // snapshot (O(#relations) handle bumps; only the statement's target
+  // relation is rewritten, every untouched relation stays shared with the
+  // live world) and recorded in a commit log. The log is swapped into
+  // `worlds_` only after every world succeeded; any per-world failure
+  // (e.g. a constraint violation) simply drops the log, leaving the set
+  // untouched — the PR 1 atomicity guarantee without copying unchanged
+  // relations. The statement is planned once (column resolution,
+  // INSERT ... SELECT preparation, subquery analysis) against the first
+  // world's schemas — identical in every world — and only executed per
+  // world.
   std::optional<engine::PreparedDml> plan;
-  for (World& world : updated) {
+  std::vector<Database> commit_log;
+  commit_log.reserve(worlds_.size());
+  for (const World& world : worlds_) {
     if (!plan.has_value()) {
       MAYBMS_ASSIGN_OR_RETURN(plan,
                               engine::PreparedDml::Prepare(stmt, world.db,
                                                            &catalog));
     }
-    MAYBMS_RETURN_NOT_OK(plan->Execute(&world.db));
+    Database snapshot = world.db;  // shares every table handle
+    MAYBMS_RETURN_NOT_OK(plan->Execute(&snapshot));
+    commit_log.push_back(std::move(snapshot));
   }
-  worlds_ = std::move(updated);
+  for (size_t i = 0; i < worlds_.size(); ++i) {
+    worlds_[i].db = std::move(commit_log[i]);
+  }
   return Status::OK();
 }
 
@@ -337,8 +354,11 @@ Result<ExplicitWorldSet::PipelineOutput> ExplicitWorldSet::RunPipeline(
             *result);
       }
       MAYBMS_ASSIGN_OR_RETURN(Table combined, combiner.Finish());
+      // All member worlds hold the identical group result: store one
+      // shared instance instead of one copy per world.
+      auto shared = std::make_shared<Table>(combined);
       for (size_t i : members) {
-        out.worlds[i].db.PutRelation(result_name, combined);
+        out.worlds[i].db.PutRelation(result_name, shared);
       }
       out.groups.push_back(SelectEvaluation::GroupResult{
           group_prob, key_tables.at(key), std::move(combined)});
@@ -361,8 +381,12 @@ Result<ExplicitWorldSet::PipelineOutput> ExplicitWorldSet::RunPipeline(
       }
       MAYBMS_ASSIGN_OR_RETURN(combined, combiner.Finish());
     }
+    // The quantifier collapsed the answer to one certain relation that is
+    // identical in every world: share a single instance across all of
+    // them (W handle bumps, not W row copies).
+    auto shared = std::make_shared<Table>(combined);
     for (World& world : out.worlds) {
-      world.db.PutRelation(result_name, combined);
+      world.db.PutRelation(result_name, shared);
     }
     out.combined = std::move(combined);
   }
@@ -470,6 +494,68 @@ Result<Table> ExplicitWorldSet::EvaluateQuantifierStreaming(
   return combiner.Finish();
 }
 
+Result<std::vector<SelectEvaluation::GroupResult>>
+ExplicitWorldSet::EvaluateGroupedStreaming(
+    const sql::SelectStatement& stmt) const {
+  MAYBMS_RETURN_NOT_OK(ValidateWorldOps(stmt));
+  if (engine::HasWorldOps(*stmt.group_worlds_by)) {
+    return Status::Unsupported(
+        "the GROUP WORLDS BY query must be a plain SQL query");
+  }
+  std::unique_ptr<sql::SelectStatement> core = StripWorldOps(stmt);
+
+  // The shared grouped accumulator (worlds/combiner.h): one combiner per
+  // distinct group key, fed unnormalized (pre-assert) probabilities and
+  // normalized per group at Finish — identical semantics on both engines.
+  GroupedQuantifierCombiner grouped(stmt.quantifier);
+  engine::SubqueryPlanCache assert_plans;
+  std::optional<engine::PreparedSelect> group_plan;
+
+  // Folds one world: assert filter, group key, feed — the per-world
+  // answer dies here; nothing larger than the accumulators is retained.
+  auto feed = [&](double prob, Table result, const Database& db) -> Status {
+    if (stmt.assert_condition) {
+      engine::SubqueryCache cache(&assert_plans);
+      engine::EvalContext ctx{&db, nullptr, nullptr, nullptr, nullptr,
+                              &cache};
+      MAYBMS_ASSIGN_OR_RETURN(
+          Trivalent keep, engine::EvalPredicate(*stmt.assert_condition, ctx));
+      if (keep != Trivalent::kTrue) return Status::OK();
+    }
+    if (!group_plan.has_value()) {
+      MAYBMS_ASSIGN_OR_RETURN(group_plan,
+                              engine::PreparedSelect::Prepare(
+                                  *stmt.group_worlds_by, db));
+    }
+    MAYBMS_ASSIGN_OR_RETURN(Table answer, group_plan->Execute(db));
+    return grouped.Feed(prob, result, answer);
+  };
+
+  if (stmt.repair.has_value() || stmt.choice.has_value()) {
+    MAYBMS_RETURN_NOT_OK(EnumerateRepairChoiceWorlds(
+        worlds_, stmt, *core, max_worlds_,
+        [&](const World& world, double prob, Table result) -> Status {
+          return feed(prob, std::move(result), world.db);
+        }));
+  } else {
+    std::optional<engine::PreparedSelect> select_plan;
+    for (const World& world : worlds_) {
+      if (!select_plan.has_value()) {
+        MAYBMS_ASSIGN_OR_RETURN(
+            select_plan, engine::PreparedSelect::Prepare(*core, world.db));
+      }
+      MAYBMS_ASSIGN_OR_RETURN(Table result, select_plan->Execute(world.db));
+      MAYBMS_RETURN_NOT_OK(feed(world.probability, std::move(result),
+                                world.db));
+    }
+  }
+
+  if (stmt.assert_condition && grouped.worlds_fed() == 0) {
+    return Status::EmptyWorldSet("assert eliminated every world");
+  }
+  return grouped.Finish();
+}
+
 Result<SelectEvaluation> ExplicitWorldSet::EvaluateSelect(
     const sql::SelectStatement& stmt, size_t max_worlds) const {
   if (stmt.quantifier != sql::WorldQuantifier::kNone &&
@@ -479,6 +565,16 @@ Result<SelectEvaluation> ExplicitWorldSet::EvaluateSelect(
     MAYBMS_ASSIGN_OR_RETURN(Table combined, EvaluateQuantifierStreaming(stmt));
     SelectEvaluation eval;
     eval.combined = std::move(combined);
+    return eval;
+  }
+  if (stmt.quantifier != sql::WorldQuantifier::kNone && stmt.group_worlds_by &&
+      !ReferencesInternalResult(stmt)) {
+    // Grouped quantifier: per-group-key streaming combination; no
+    // per-world answer outlives its own feed.
+    MAYBMS_ASSIGN_OR_RETURN(std::vector<SelectEvaluation::GroupResult> groups,
+                            EvaluateGroupedStreaming(stmt));
+    SelectEvaluation eval;
+    eval.groups = std::move(groups);
     return eval;
   }
   MAYBMS_ASSIGN_OR_RETURN(
@@ -498,9 +594,13 @@ Status ExplicitWorldSet::MaterializeSelect(const std::string& name,
   if (HasRelation(name)) {
     return Status::AlreadyExists("relation already exists: " + name);
   }
-  // Run on a copy so a mid-pipeline error (e.g. `choice of` over an empty
+  // Snapshot/rollback: the pipeline runs against copy-on-write snapshots
+  // of the worlds (the by-value `input` copy is O(worlds × relations)
+  // handle bumps; every untouched relation stays shared with the live
+  // set), so a mid-pipeline error (e.g. `choice of` over an empty
   // relation, or the world cap) leaves the world-set untouched, matching
-  // the decomposed engine's compute-then-commit behavior.
+  // the decomposed engine's compute-then-commit behavior. Committing
+  // swaps the snapshot vector in wholesale.
   MAYBMS_ASSIGN_OR_RETURN(
       PipelineOutput out,
       RunPipeline(worlds_, stmt, name, /*want_per_world_results=*/false));

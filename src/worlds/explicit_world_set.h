@@ -84,6 +84,18 @@ class ExplicitWorldSet : public WorldSet {
   Result<Table> EvaluateQuantifierStreaming(
       const sql::SelectStatement& stmt) const;
 
+  /// Streaming evaluation of a grouped quantifier statement
+  /// (`select possible/certain/conf ... group worlds by (q)`): one pass
+  /// over the (derived) worlds keeping a per-group-key QuantifierCombiner
+  /// fed with unnormalized world probabilities — Finish(group mass)
+  /// normalizes within each group — instead of materializing every
+  /// per-world answer before grouping. Read-only; used by EvaluateSelect.
+  /// Callers fall back to the materializing pipeline when the assert or
+  /// grouping query references the internal "__result" relation (only
+  /// there can they observe the per-world answer).
+  Result<std::vector<SelectEvaluation::GroupResult>> EvaluateGroupedStreaming(
+      const sql::SelectStatement& stmt) const;
+
   std::vector<World> worlds_;
   size_t max_worlds_;
 };

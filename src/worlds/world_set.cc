@@ -126,6 +126,12 @@ void CollectReferencedRelations(const sql::SelectStatement& stmt,
   if (stmt.union_next) CollectReferencedRelations(*stmt.union_next, out);
 }
 
+bool ReferencesInternalResult(const sql::SelectStatement& stmt) {
+  std::set<std::string> refs;
+  CollectReferencedRelations(stmt, &refs);
+  return refs.count("__result") > 0;
+}
+
 Table CombinePossible(const std::vector<std::pair<double, Table>>& entries) {
   Table out;
   bool first = true;

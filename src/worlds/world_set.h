@@ -18,6 +18,15 @@
 //  * SELECT evaluation is const: plain queries never modify the set
 //    (per the paper); only MaterializeSelect/ApplyDml/CreateBaseTable/
 //    DropRelation mutate, and each is all-or-nothing across worlds.
+//  * Relation instances are copy-on-write shared across worlds
+//    (storage/catalog.h): a Table is IMMUTABLE once shared — worlds,
+//    snapshots, and derived worlds hold handles to the same instance, and
+//    every writer either swaps in a new instance (Database::PutRelation)
+//    or mutates through Database::MutableRelation, which clones first iff
+//    the instance is shared. All-or-nothing mutation is implemented as a
+//    snapshot/rollback commit: compute each world's post-statement tables
+//    against copy-on-write snapshots, swap handles into the live set only
+//    after every world succeeded.
 //
 // Trivalent logic / NULL keys: per-world evaluation uses standard SQL
 // three-valued logic (engine/expr_eval.h); the cross-world combinators
@@ -158,6 +167,15 @@ void CollectReferencedRelations(const sql::SelectStatement& stmt,
                                 std::set<std::string>* out);
 void CollectReferencedRelations(const sql::Expr& expr,
                                 std::set<std::string>* out);
+
+/// True if the statement references the internal "__result" relation —
+/// the name under which a statement's own per-world answer is exposed to
+/// `assert` / `group worlds by` in the materializing pipelines. Both
+/// engines use this as the gate for the streaming evaluation paths
+/// (which never materialize that relation, and so must fall back when it
+/// is observable); keeping the rule here prevents the engines from
+/// diverging on which statements stream.
+bool ReferencesInternalResult(const sql::SelectStatement& stmt);
 
 // The set-based combinators below are the *retained oracle* for the
 // streaming QuantifierCombiner (worlds/combiner.h), which both engines

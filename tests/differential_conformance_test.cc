@@ -353,10 +353,42 @@ TEST(PipelineGeneratorTest, CorpusCoversISqlSurface) {
         // PR 4 surface: views, ordered prefixes, richer UPDATE shapes.
         "create view", " from V0", " order by 1", " desc", " limit ",
         "set V = V + W", "set W = V * 2", ", W = W + 1",
-        "K in (select K from"}) {
+        "K in (select K from",
+        // PR 5 surface: REAL repair/choice weights (W retyped via
+        // `W + 0.5 as W`), the invalid TEXT weight column, repair
+        // chains (C2 exists only as the third link of a chain), and the
+        // streaming grouped tails (grouped quantifiers over probe-level
+        // repair, and assert before group worlds by).
+        "W + 0.5 as W", "weight G", "create table C2",
+        "repair by key K group worlds by", ") group worlds by"}) {
     EXPECT_NE(corpus.find(feature), std::string::npos)
         << "corpus never exercises: " << feature;
   }
+}
+
+// At least one pipeline in the corpus must carry a FULL depth-3 repair
+// chain — every link with an actual `repair by key` clause (links degrade
+// to plain copies when over the world budget, so this guards against a
+// budget/ordering regression that silently stops exercising deep chains).
+TEST(PipelineGeneratorTest, CorpusContainsFullDepth3RepairChain) {
+  auto link_repairs = [](const GeneratedPipeline& p, const std::string& name) {
+    for (const std::string& s : p.setup) {
+      if (s.find("create table " + name + " ") == 0) {
+        return s.find(" repair by key") != std::string::npos;
+      }
+    }
+    return false;
+  };
+  int full_chains = 0;
+  for (uint32_t seed = 0; seed < 200; ++seed) {
+    GeneratedPipeline p = PipelineGenerator(seed).Generate();
+    if (link_repairs(p, "C0") && link_repairs(p, "C1") &&
+        link_repairs(p, "C2")) {
+      ++full_chains;
+    }
+  }
+  EXPECT_GE(full_chains, 1) << "no seed in 0..199 produces a repair chain "
+                               "of depth 3 with all links repairing";
 }
 
 }  // namespace

@@ -56,9 +56,9 @@ const PipelineGenerator::TableInfo& PipelineGenerator::Pick(
 }
 
 uint64_t PipelineGenerator::RepairFactor(const std::vector<Row>& rows,
-                                         bool key_includes_g) {
+                                         bool use_k, bool use_g) {
   std::map<std::pair<int, char>, uint64_t> groups;
-  for (const Row& r : rows) ++groups[{r.k, key_includes_g ? r.g : ' '}];
+  for (const Row& r : rows) ++groups[{use_k ? r.k : 0, use_g ? r.g : ' '}];
   uint64_t factor = 1;
   for (const auto& [key, n] : groups) factor *= n;
   return factor;
@@ -107,20 +107,35 @@ void PipelineGenerator::EmitDerivedTable(GeneratedPipeline* p) {
   info.ancestor_rows = src.ancestor_rows;
 
   std::ostringstream sql;
-  sql << "create table " << info.name << " as select K, V, W, G from "
-      << src.name;
+  sql << "create table " << info.name << " as select K, V, ";
+  // Occasionally retype W to REAL (`W + 0.5 as W`): any later repair or
+  // choice sourcing this table with `weight W` then runs on non-integer
+  // weights. The row identity structure (K, G) is untouched, so the
+  // world-bound math below stays valid.
+  sql << (Chance(0.25) ? "W + 0.5 as W" : "W") << ", G from " << src.name;
   // A WHERE filter only ever shrinks repair/choice fan-out, so the world
   // bound computed from the unfiltered ancestor rows stays valid.
   if (Chance(0.35)) sql << " where " << RandomPredicate("");
+
+  // Weight clause for repair/choice: usually the numeric W (integer or
+  // real depending on the source), rarely the TEXT column G — a negative
+  // case that must fail identically on both engines ("weight column must
+  // hold numeric non-NULL values").
+  auto weight_clause = [&]() -> const char* {
+    int roll = Int(0, 9);
+    if (roll < 5) return " weight W";
+    if (roll == 5) return " weight G";
+    return "";
+  };
 
   int form = Int(0, 3);
   uint64_t factor = 1;
   if (form == 0) {  // repair by key
     bool key_includes_g = Chance(0.3);
-    factor = RepairFactor(src.ancestor_rows, key_includes_g);
+    factor = RepairFactor(src.ancestor_rows, /*use_k=*/true, key_includes_g);
     if (world_bound_ * factor <= options_.world_budget) {
       sql << " repair by key K" << (key_includes_g ? ", G" : "")
-          << (Chance(0.5) ? " weight W" : "");
+          << weight_clause();
     } else {
       factor = 1;  // over budget: plain filtered copy
     }
@@ -128,7 +143,7 @@ void PipelineGenerator::EmitDerivedTable(GeneratedPipeline* p) {
     char col = Chance(0.5) ? 'K' : 'G';
     factor = ChoiceFactor(src.ancestor_rows, col);
     if (world_bound_ * factor <= options_.world_budget) {
-      sql << " choice of " << col << (Chance(0.5) ? " weight W" : "");
+      sql << " choice of " << col << weight_clause();
     } else {
       factor = 1;
     }
@@ -142,6 +157,42 @@ void PipelineGenerator::EmitDerivedTable(GeneratedPipeline* p) {
   info.uncertain = src.uncertain || factor > 1;
   p->setup.push_back(sql.str());
   tables_.push_back(std::move(info));
+}
+
+void PipelineGenerator::EmitRepairChain(GeneratedPipeline* p) {
+  // A repair chain of depth >= 3: C0 repairs an existing table, C1
+  // repairs C0, C2 repairs C1. Links that would blow the world budget
+  // degrade to plain copies so the chain always reaches its depth; key
+  // columns vary per link so repairs of an already-key-unique relation
+  // can still multiply worlds (e.g. repair by key K, then by key G).
+  const TableInfo* prev = &Pick(/*prefer_uncertain=*/Chance(0.5));
+  const int depth = 3;
+  for (int link = 0; link < depth; ++link) {
+    TableInfo info;
+    info.name = "C" + std::to_string(next_chain_++);
+    info.ancestor_rows = prev->ancestor_rows;
+
+    std::ostringstream sql;
+    sql << "create table " << info.name << " as select K, V, W, G from "
+        << prev->name;
+    int key_form = Int(0, 2);
+    bool use_k = key_form != 1;
+    bool use_g = key_form != 0;
+    uint64_t factor = RepairFactor(info.ancestor_rows, use_k, use_g);
+    bool repaired = false;
+    if (world_bound_ * factor <= options_.world_budget) {
+      sql << " repair by key" << (use_k ? " K" : "")
+          << (use_k && use_g ? "," : "") << (use_g ? " G" : "")
+          << (Chance(0.5) ? " weight W" : "");
+      world_bound_ *= factor;
+      repaired = true;
+    }
+    sql << ";";
+    info.uncertain = prev->uncertain || (repaired && factor > 1);
+    p->setup.push_back(sql.str());
+    tables_.push_back(std::move(info));
+    prev = &tables_.back();
+  }
 }
 
 void PipelineGenerator::EmitView(GeneratedPipeline* p) {
@@ -323,14 +374,25 @@ std::string PipelineGenerator::RandomProbe() {
       }
       break;
     }
-    case 5: {  // group worlds by
+    case 5: {  // group worlds by (plain, with assert, or over repair)
       const TableInfo& t = Pick(true);
       const TableInfo& u = Pick(true);
       const char* kQuant[] = {"possible", "certain"};
       const char* kKey[] = {"min(V)", "count(*)", "max(V)"};
       out << "select " << kQuant[Int(0, 1)] << " " << RandomProjection("")
-          << " from " << t.name << " group worlds by (select "
-          << kKey[Int(0, 2)] << " from " << u.name;
+          << " from " << t.name;
+      // Probe-level repair: SELECT never materializes, so this only
+      // multiplies worlds during evaluation (bounded by budget x ~27),
+      // pitting the explicit engine's streaming grouped repair
+      // enumeration against the decomposed engine's materializing path.
+      bool probe_repair = Chance(0.2);
+      if (probe_repair) out << " repair by key K";
+      if (!probe_repair && Chance(0.3)) {
+        out << " assert exists(select * from " << u.name << " where "
+            << RandomPredicate("") << ")";
+      }
+      out << " group worlds by (select " << kKey[Int(0, 2)] << " from "
+          << u.name;
       if (Chance(0.5)) out << " where " << RandomPredicate("");
       out << ")";
       break;
@@ -415,6 +477,7 @@ GeneratedPipeline PipelineGenerator::Generate() {
   for (int i = 0; i < bases; ++i) EmitBaseTable(&p);
   int derived = Int(1, options_.max_derived_tables);
   for (int i = 0; i < derived; ++i) EmitDerivedTable(&p);
+  if (Chance(0.35)) EmitRepairChain(&p);
   int views = Int(0, 2);
   for (int i = 0; i < views; ++i) EmitView(&p);
   EmitLateDml(&p);

@@ -10,9 +10,10 @@ namespace maybms::testing {
 
 /// A randomly generated I-SQL pipeline: a setup script that builds a
 /// world-set (base tables, inserts, repair-by-key / choice-of / assert
-/// materializations, CREATE VIEW definitions, late DML — including
-/// UPDATE .. SET with expression right-hand sides and subquery WHERE
-/// clauses) followed by read-only probe queries that exercise selections,
+/// materializations — with integer, REAL, and invalid TEXT weight
+/// columns, and repair chains of depth >= 3 — CREATE VIEW definitions,
+/// late DML — including UPDATE .. SET with expression right-hand sides
+/// and subquery WHERE clauses) followed by read-only probe queries that exercise selections,
 /// projections, joins (comma-lists and explicit [LEFT] JOIN ... ON),
 /// aggregates, correlated EXISTS/IN/scalar subqueries, set operations,
 /// ORDER BY [DESC] with LIMIT (compared as ordered sequences — the
@@ -88,14 +89,20 @@ class PipelineGenerator {
 
   void EmitBaseTable(GeneratedPipeline* p);
   void EmitDerivedTable(GeneratedPipeline* p);
+  /// A chain of >= 3 derived tables C0 <- C1 <- C2, each repairing its
+  /// predecessor (budget permitting; over-budget links degrade to plain
+  /// copies so the chain keeps its depth). Deep chains drive the
+  /// decomposed engine's repair-over-uncertain flattening repeatedly and
+  /// the explicit engine's per-world re-partitioning.
+  void EmitRepairChain(GeneratedPipeline* p);
   void EmitView(GeneratedPipeline* p);
   void EmitLateDml(GeneratedPipeline* p);
 
   /// Worst-case world multiplication factor of `repair by key <cols>`
-  /// (product of key-group sizes) or `choice of <col>` (distinct count)
-  /// over `rows`.
-  static uint64_t RepairFactor(const std::vector<Row>& rows,
-                               bool key_includes_g);
+  /// (product of key-group sizes, over any key subset of {K, G}) or
+  /// `choice of <col>` (distinct count) over `rows`.
+  static uint64_t RepairFactor(const std::vector<Row>& rows, bool use_k,
+                               bool use_g);
   static uint64_t ChoiceFactor(const std::vector<Row>& rows, char col);
 
   std::string RandomPredicate(const std::string& qualifier);
@@ -108,6 +115,7 @@ class PipelineGenerator {
   uint64_t world_bound_ = 1;
   int next_base_ = 0;
   int next_derived_ = 0;
+  int next_chain_ = 0;
   int next_view_ = 0;
 };
 
