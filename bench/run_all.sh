@@ -5,7 +5,7 @@
 #
 # Usage:
 #   bench/run_all.sh [output.json] [--compare BASE.json] [--threshold 0.25]
-#                    [--warn-only]
+#                    [--warn-only] [--threads N]
 #
 #   --compare BASE.json  after writing the output, compare each case's
 #                        real_time against BASE.json (cases matched by
@@ -15,6 +15,12 @@
 #                        fail when a case is >25% slower than the base)
 #   --warn-only          print regressions but exit 0 (timings on shared
 #                        runners can be noisy)
+#   --threads N          export MAYBMS_THREADS=N for the run: every bench
+#                        case WITHOUT an explicit threads:X axis executes
+#                        its per-world loops with N workers. Results are
+#                        byte-identical at any N (base/thread_pool.h);
+#                        only timings change. Baselines compared across
+#                        machines should pin --threads 1.
 #
 # Environment:
 #   BUILD_DIR       build directory holding the bench binaries (default: build)
@@ -44,6 +50,7 @@ while [[ $# -gt 0 ]]; do
     --compare)   COMPARE="$2"; shift 2 ;;
     --threshold) THRESHOLD="$2"; shift 2 ;;
     --warn-only) WARN_ONLY=1; shift ;;
+    --threads)   export MAYBMS_THREADS="$2"; shift 2 ;;
     *)           OUT="$1"; shift ;;
   esac
 done

@@ -82,12 +82,14 @@ std::string KeyViolationScript(int n_keys, int group_size, uint32_t seed) {
   return script.str();
 }
 
-std::unique_ptr<isql::Session> MakeSession(isql::EngineMode mode) {
+std::unique_ptr<isql::Session> MakeSession(isql::EngineMode mode,
+                                           size_t threads) {
   isql::SessionOptions options;
   options.engine = mode;
   options.max_display_worlds = 1 << 22;
   options.max_explicit_worlds = 1 << 22;
   options.max_merge = 1 << 22;
+  options.threads = threads;
   return std::make_unique<isql::Session>(options);
 }
 

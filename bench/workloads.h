@@ -27,7 +27,12 @@ std::string KeyViolationScript(int n_keys, int group_size,
                                uint32_t seed = 42);
 
 /// Fresh session with the given engine, generous display/merge caps.
-std::unique_ptr<isql::Session> MakeSession(isql::EngineMode mode);
+/// `threads` caps the per-world execution parallelism (0 = the
+/// MAYBMS_THREADS environment variable, else hardware concurrency) — the
+/// threads:{1,2,4,8} bench axes pass it explicitly so a sweep is
+/// self-contained regardless of the environment.
+std::unique_ptr<isql::Session> MakeSession(isql::EngineMode mode,
+                                           size_t threads = 0);
 
 /// Runs a script, aborting the process on error (benchmark setup).
 void MustExecute(isql::Session& session, const std::string& sql);

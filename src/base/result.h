@@ -51,15 +51,20 @@ class Result {
 
 }  // namespace maybms
 
-// Propagates a non-OK Status from an expression returning Status.
-#define MAYBMS_RETURN_NOT_OK(expr)                  \
-  do {                                              \
-    ::maybms::Status _st = (expr);                  \
-    if (!_st.ok()) return _st;                      \
-  } while (false)
-
 #define MAYBMS_CONCAT_IMPL(x, y) x##y
 #define MAYBMS_CONCAT(x, y) MAYBMS_CONCAT_IMPL(x, y)
+
+// Propagates a non-OK Status from an expression returning Status. The
+// temporary's name is line-unique so the macro can appear inside a lambda
+// that is itself an argument to another MAYBMS_RETURN_NOT_OK (no -Wshadow).
+#define MAYBMS_RETURN_NOT_OK(expr) \
+  MAYBMS_RETURN_NOT_OK_IMPL(MAYBMS_CONCAT(_status_, __LINE__), expr)
+
+#define MAYBMS_RETURN_NOT_OK_IMPL(tmp, expr) \
+  do {                                       \
+    ::maybms::Status tmp = (expr);           \
+    if (!tmp.ok()) return tmp;               \
+  } while (false)
 
 // Evaluates an expression returning Result<T>; on success binds the value
 // to `lhs`, otherwise returns the error status from the enclosing function.

@@ -15,9 +15,10 @@ Session::Session(SessionOptions options) : options_(options) {
 std::unique_ptr<worlds::WorldSet> Session::MakeWorldSet() const {
   if (options_.engine == EngineMode::kExplicit) {
     return std::make_unique<worlds::ExplicitWorldSet>(
-        options_.max_explicit_worlds);
+        options_.max_explicit_worlds, options_.threads);
   }
-  return std::make_unique<worlds::DecomposedWorldSet>(options_.max_merge);
+  return std::make_unique<worlds::DecomposedWorldSet>(options_.max_merge,
+                                                      options_.threads);
 }
 
 Result<QueryResult> Session::Execute(const std::string& sql) {

@@ -34,6 +34,11 @@ struct SessionOptions {
   /// Cap on alternatives a single component merge may produce in the
   /// decomposed engine.
   size_t max_merge = 1 << 20;
+
+  /// Worker threads for per-world execution loops (0 = the MAYBMS_THREADS
+  /// environment variable, else the hardware concurrency). Results are
+  /// byte-identical at every setting; see base/thread_pool.h.
+  size_t threads = 0;
 };
 
 /// An I-SQL session: parses statements, resolves views, and evaluates

@@ -30,6 +30,19 @@ namespace maybms {
 ///  * GetRelation() borrows a raw `const Table*` through the handle — no
 ///    refcount churn in per-world read loops (the prepared-statement View
 ///    fast path depends on this).
+///
+/// Concurrency invariant (parallel per-world execution,
+/// base/thread_pool.h): a Database that is visible to more than one
+/// thread is READ-ONLY for the duration of the parallel region — workers
+/// only ever copy it (handle bumps; shared_ptr refcounts are atomic) and
+/// mutate their private copies. GetRelation's borrowed pointer is safe
+/// precisely because no concurrent PutRelation/MutableRelation/
+/// DropRelation may swap the handle out from under it: all writes to a
+/// shared Database (world commit, catalog swap) happen single-threaded,
+/// after the parallel loop has joined. A worker's MutableRelation on its
+/// private copy always clones, never mutates in place, because the
+/// parent's handle keeps the use count above one. The TSan CI job runs
+/// the world-storage and parallel-execution suites against this contract.
 class Database {
  public:
   /// Shared, immutable relation instance. The same handle may be stored

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <iterator>
 #include <utility>
 
 #include "types/value.h"
@@ -60,7 +61,46 @@ void QuantifierCombiner::Feed(double probability, const Table& table) {
   }
 }
 
+void QuantifierCombiner::Merge(QuantifierCombiner&& other) {
+  if (use_oracle_) {
+    retained_.insert(retained_.end(),
+                     std::make_move_iterator(other.retained_.begin()),
+                     std::make_move_iterator(other.retained_.end()));
+    worlds_fed_ += other.worlds_fed_;
+    return;
+  }
+  if (!saw_schema_ && other.saw_schema_) {
+    first_schema_ = std::move(other.first_schema_);
+    saw_schema_ = true;
+  }
+  if (value_schema_.num_columns() == 0 &&
+      other.value_schema_.num_columns() > 0) {
+    value_schema_ = std::move(other.value_schema_);
+  }
+  nonempty_prob_ += other.nonempty_prob_;
+  // `other`'s worlds come after ours in the merged ordinal space, so its
+  // 1-based last_world stamps shift by our pre-merge worlds_fed_. The
+  // shifted stamp is always the newer one (> worlds_fed_ >= any existing
+  // stamp), which keeps in-world dup detection correct for future Feeds.
+  const size_t shift = worlds_fed_;
+  for (auto& [row, entry] : other.acc_) {
+    auto [it, inserted] = acc_.try_emplace(row);
+    Accum& mine = it->second;
+    mine.conf += entry.conf;
+    mine.worlds_seen += entry.worlds_seen;
+    mine.last_world = entry.last_world + shift;
+  }
+  worlds_fed_ += other.worlds_fed_;
+}
+
 Result<Table> QuantifierCombiner::Finish(double normalizer) {
+  // Zero total surviving mass (assert killed every world, or every sample
+  // weight was 0) has no well-defined conf distribution — fail cleanly
+  // instead of emitting NaN confidences. possible/certain never divide.
+  if (quantifier_ == sql::WorldQuantifier::kConf && !(normalizer > 0)) {
+    return Status::EmptyWorldSet(
+        "conf is undefined over zero total probability mass");
+  }
   if (use_oracle_) {
     // Differential mode: normalize the retained weights and delegate to
     // the set-based combinators kept in world_set.cc.
@@ -153,6 +193,25 @@ Status GroupedQuantifierCombiner::Feed(double probability, const Table& answer,
   group.mass += probability;
   total_mass_ += probability;
   ++worlds_fed_;
+  return Status::OK();
+}
+
+Status GroupedQuantifierCombiner::Merge(GroupedQuantifierCombiner&& other) {
+  for (auto& [key, group] : other.groups_) {
+    auto it = groups_.find(key);
+    if (it == groups_.end()) {
+      MAYBMS_ASSIGN_OR_RETURN(QuantifierCombiner combiner,
+                              QuantifierCombiner::Create(quantifier_));
+      GroupAccum fresh;
+      fresh.combiner.emplace(std::move(combiner));
+      it = groups_.emplace(key, std::move(fresh)).first;
+      it->second.key_table = std::move(group.key_table);
+    }
+    it->second.combiner->Merge(std::move(*group.combiner));
+    it->second.mass += group.mass;
+  }
+  total_mass_ += other.total_mass_;
+  worlds_fed_ += other.worlds_fed_;
   return Status::OK();
 }
 

@@ -76,8 +76,19 @@ class QuantifierCombiner {
   /// Number of worlds fed so far.
   size_t worlds_fed() const { return worlds_fed_; }
 
+  /// Absorbs `other` (a combiner for the SAME quantifier) as if its
+  /// worlds had been fed to this combiner immediately after this
+  /// combiner's own worlds, in `other`'s feed order. This is the parallel
+  /// merge: per-chunk combiners are merged in chunk-index order, which
+  /// keeps every accumulation order — and therefore every output byte —
+  /// independent of the thread count (see base/thread_pool.h).
+  /// Consumes `other`.
+  void Merge(QuantifierCombiner&& other);
+
   /// Emits the combined relation, sorted by tuple total order (identical
   /// to the set-based combinators' output). Consumes the combiner.
+  /// A conf combination with `normalizer` <= 0 (zero total surviving
+  /// mass) is an error, never NaN confidences.
   Result<Table> Finish(double normalizer = 1.0);
 
   /// True when MAYBMS_COMBINER_ORACLE=1: combiners retain their input and
@@ -129,6 +140,12 @@ class GroupedQuantifierCombiner {
   /// Worlds fed so far. Callers apply assert filtering *before* Feed, so
   /// this doubles as the survivor count.
   size_t worlds_fed() const { return worlds_fed_; }
+
+  /// Absorbs `other` (same quantifier) as if its worlds had been fed
+  /// right after this combiner's own, per group key — the grouped
+  /// counterpart of QuantifierCombiner::Merge, with the same chunk-order
+  /// determinism contract. Consumes `other`.
+  Status Merge(GroupedQuantifierCombiner&& other);
 
   /// One GroupResult per distinct key: probability = group mass / total
   /// fed mass, relation combined under the quantifier with weights

@@ -4,9 +4,13 @@
 #include <cmath>
 #include <limits>
 #include <map>
+#include <optional>
 #include <queue>
+#include <random>
+#include <utility>
 
 #include "base/string_util.h"
+#include "base/thread_pool.h"
 #include "engine/dml.h"
 #include "engine/executor.h"
 #include "engine/expr_eval.h"
@@ -121,8 +125,8 @@ Result<std::vector<Tuple>> FilterProjectRows(
 
 }  // namespace
 
-DecomposedWorldSet::DecomposedWorldSet(size_t max_merge)
-    : max_merge_(max_merge) {}
+DecomposedWorldSet::DecomposedWorldSet(size_t max_merge, size_t threads)
+    : max_merge_(max_merge), threads_(threads) {}
 
 std::unique_ptr<WorldSet> DecomposedWorldSet::Clone() const {
   return std::make_unique<DecomposedWorldSet>(*this);
@@ -267,7 +271,7 @@ Result<std::vector<World>> DecomposedWorldSet::TopKWorlds(size_t k) const {
   return top;
 }
 
-Result<World> DecomposedWorldSet::SampleWorld(std::mt19937* rng) const {
+Result<World> DecomposedWorldSet::SampleWorld(base::SplitMix64* rng) const {
   std::uniform_real_distribution<double> uniform(0.0, 1.0);
   std::vector<const Alternative*> chosen;
   chosen.reserve(components_.size());
@@ -383,14 +387,29 @@ Status DecomposedWorldSet::ApplyDml(const sql::Statement& stmt,
   // relation becomes per-alternative content.
   MAYBMS_ASSIGN_OR_RETURN(Component merged, MergeRelevant(relevant));
   std::string target_lower = AsciiToLower(target);
-  std::vector<Table> new_contents;
-  new_contents.reserve(merged.size());
-  for (const Alternative& alt : merged.alternatives) {
-    Database local = BuildLocalDatabase({&alt});
-    MAYBMS_RETURN_NOT_OK(plan.Execute(&local));  // all-or-nothing per world
-    MAYBMS_ASSIGN_OR_RETURN(const Table* updated, local.GetRelation(target));
-    new_contents.push_back(*updated);
-  }
+  base::ThreadPool& pool = base::ThreadPool::Shared();
+  const size_t n = merged.size();
+  std::vector<Table> new_contents(n);
+  // A PreparedDml caches per-execution state, so each slot gets its own;
+  // slot 0 adopts the plan prepared above (preparation errors already
+  // surfaced there, exactly as in the sequential path).
+  std::vector<std::optional<engine::PreparedDml>> plans(pool.Slots(threads_));
+  plans[0].emplace(std::move(plan));
+  MAYBMS_RETURN_NOT_OK(pool.ParallelFor(
+      n, threads_, [&](size_t i, size_t slot, size_t) -> Status {
+        if (!plans[slot].has_value()) {
+          MAYBMS_ASSIGN_OR_RETURN(
+              plans[slot], engine::PreparedDml::Prepare(stmt, certain_,
+                                                        &catalog));
+        }
+        Database local = BuildLocalDatabase({&merged.alternatives[i]});
+        // All-or-nothing per world.
+        MAYBMS_RETURN_NOT_OK(plans[slot]->Execute(&local));
+        MAYBMS_ASSIGN_OR_RETURN(const Table* updated,
+                                local.GetRelation(target));
+        new_contents[i] = *updated;
+        return Status::OK();
+      }));
 
   // Commit: the merged component carries the full per-world contents of
   // the target relation; its certain part becomes empty.
@@ -451,6 +470,12 @@ Result<DecomposedWorldSet::PipelineOutput> DecomposedWorldSet::RunPipeline(
   const bool needs_merge_tail =
       stmt.assert_condition != nullptr || stmt.group_worlds_by != nullptr;
 
+  // Per-alternative loops below run on the shared pool; per-chunk
+  // accumulators merged in chunk order and per-slot prepared plans keep
+  // results and errors byte-identical at every thread count.
+  base::ThreadPool& pool = base::ThreadPool::Shared();
+  const size_t slots = pool.Slots(threads_);
+
   PipelineOutput out;
 
   // When a quantifier collapses the answer and nothing downstream needs
@@ -508,10 +533,19 @@ Result<DecomposedWorldSet::PipelineOutput> DecomposedWorldSet::RunPipeline(
       out.decomposed = std::move(result);
     } else {
       // Repair/choice over an uncertain source: flatten within each local
-      // world of the relevant sub-product.
+      // world of the relevant sub-product. The outer loop over source
+      // alternatives stays sequential (alternative i's emissions precede
+      // alternative i+1's source evaluation, exactly as before); the
+      // combo enumeration inside one alternative runs on the pool, each
+      // combo decoded from its ordinal in the same little-endian block
+      // order the sequential odometer walked.
       MAYBMS_ASSIGN_OR_RETURN(Component merged_src, MergeRelevant(relevant));
       MergedResult merged;
       merged.replaced = relevant;
+      std::vector<std::optional<engine::PreparedProjection>> projections(
+          slots);
+      projections[0].emplace(std::move(projection));
+      std::vector<std::optional<QuantifierCombiner>> chunk_combiners;
       size_t flat_count = 0;
       for (const Alternative& alt : merged_src.alternatives) {
         Database local = BuildLocalDatabase({&alt});
@@ -524,42 +558,80 @@ Result<DecomposedWorldSet::PipelineOutput> DecomposedWorldSet::RunPipeline(
           MAYBMS_ASSIGN_OR_RETURN(blocks,
                                   ChoicePartition(source, *stmt.choice));
         }
-        std::vector<size_t> pick(blocks.size(), 0);
-        while (true) {
-          double prob = alt.probability;
-          std::vector<size_t> rows;
-          for (size_t b = 0; b < blocks.size(); ++b) {
-            const WeightedChoice& choice = blocks[b].choices[pick[b]];
-            prob *= choice.probability;
-            rows.insert(rows.end(), choice.row_indices.begin(),
-                        choice.row_indices.end());
-          }
-          std::vector<Tuple> chosen;
-          chosen.reserve(rows.size());
-          for (size_t r : rows) chosen.push_back(source.row(r));
-          MAYBMS_ASSIGN_OR_RETURN(Table result,
-                                  projection.Execute(local, chosen));
-          if (stream_feed) {
-            stream_combiner->Feed(prob, result);
-          } else {
-            Alternative flat = alt;
-            flat.probability = prob;
-            merged.component.alternatives.push_back(std::move(flat));
-            merged.results.push_back(std::move(result));
-          }
-          ++flat_count;
-          if (max_merge_ != 0 && flat_count > max_merge_) {
+        // Combo count, checked against the merge cap before emission (the
+        // sequential walk checked after each emitted world — same error,
+        // surfaced earlier).
+        size_t combos = 1;
+        for (const PartitionBlock& block : blocks) {
+          const size_t choices = block.choices.size();
+          if (choices != 0 &&
+              combos > std::numeric_limits<size_t>::max() / choices) {
             return Status::Unsupported(
                 "repair/choice over an uncertain source exceeds the merge "
                 "cap of " +
                 std::to_string(max_merge_) + " alternatives");
           }
-          size_t b = 0;
-          for (; b < blocks.size(); ++b) {
-            if (++pick[b] < blocks[b].choices.size()) break;
-            pick[b] = 0;
+          combos *= choices;
+          if (max_merge_ != 0 && flat_count + combos > max_merge_) {
+            return Status::Unsupported(
+                "repair/choice over an uncertain source exceeds the merge "
+                "cap of " +
+                std::to_string(max_merge_) + " alternatives");
           }
-          if (b == blocks.size()) break;
+        }
+        const size_t base = merged.component.alternatives.size();
+        if (stream_feed) {
+          chunk_combiners.clear();
+          chunk_combiners.resize(base::ThreadPool::NumChunks(combos));
+        } else {
+          merged.component.alternatives.resize(base + combos);
+          merged.results.resize(base + combos);
+        }
+        MAYBMS_RETURN_NOT_OK(pool.ParallelFor(
+            combos, threads_,
+            [&](size_t c, size_t slot, size_t chunk) -> Status {
+              if (!projections[slot].has_value()) {
+                MAYBMS_ASSIGN_OR_RETURN(
+                    projections[slot],
+                    engine::PreparedProjection::Prepare(
+                        *core, certain_, source_plan.output_schema()));
+              }
+              double prob = alt.probability;
+              std::vector<size_t> rows;
+              size_t rem = c;
+              for (size_t b = 0; b < blocks.size(); ++b) {
+                const size_t digit = rem % blocks[b].choices.size();
+                rem /= blocks[b].choices.size();
+                const WeightedChoice& choice = blocks[b].choices[digit];
+                prob *= choice.probability;
+                rows.insert(rows.end(), choice.row_indices.begin(),
+                            choice.row_indices.end());
+              }
+              std::vector<Tuple> chosen;
+              chosen.reserve(rows.size());
+              for (size_t r : rows) chosen.push_back(source.row(r));
+              MAYBMS_ASSIGN_OR_RETURN(
+                  Table result, projections[slot]->Execute(local, chosen));
+              if (stream_feed) {
+                if (!chunk_combiners[chunk].has_value()) {
+                  MAYBMS_ASSIGN_OR_RETURN(
+                      chunk_combiners[chunk],
+                      QuantifierCombiner::Create(stmt.quantifier));
+                }
+                chunk_combiners[chunk]->Feed(prob, result);
+              } else {
+                Alternative flat = alt;
+                flat.probability = prob;
+                merged.component.alternatives[base + c] = std::move(flat);
+                merged.results[base + c] = std::move(result);
+              }
+              return Status::OK();
+            }));
+        flat_count += combos;
+        if (stream_feed) {
+          for (auto& cc : chunk_combiners) {
+            if (cc.has_value()) stream_combiner->Merge(std::move(*cc));
+          }
         }
       }
       if (stream_feed) {
@@ -626,17 +698,40 @@ Result<DecomposedWorldSet::PipelineOutput> DecomposedWorldSet::RunPipeline(
     // answers are retained for the assert/grouping/materialize tails.
     MergedResult merged;
     merged.replaced = relevant;
-    if (!stream_feed) merged.results.reserve(merged_src.size());
-    for (const Alternative& alt : merged_src.alternatives) {
-      Database local = BuildLocalDatabase({&alt});
-      MAYBMS_ASSIGN_OR_RETURN(Table result, core_plan.Execute(local));
-      if (stream_feed) {
-        stream_combiner->Feed(alt.probability, result);
-      } else {
-        merged.results.push_back(std::move(result));
-      }
-    }
+    const size_t n = merged_src.size();
+    std::vector<std::optional<engine::PreparedSelect>> plans(slots);
+    plans[0].emplace(std::move(core_plan));
+    std::vector<std::optional<QuantifierCombiner>> chunk_combiners;
     if (stream_feed) {
+      chunk_combiners.resize(base::ThreadPool::NumChunks(n));
+    } else {
+      merged.results.resize(n);
+    }
+    MAYBMS_RETURN_NOT_OK(pool.ParallelFor(
+        n, threads_, [&](size_t i, size_t slot, size_t chunk) -> Status {
+          if (!plans[slot].has_value()) {
+            MAYBMS_ASSIGN_OR_RETURN(
+                plans[slot], engine::PreparedSelect::Prepare(*core, certain_));
+          }
+          const Alternative& alt = merged_src.alternatives[i];
+          Database local = BuildLocalDatabase({&alt});
+          MAYBMS_ASSIGN_OR_RETURN(Table result, plans[slot]->Execute(local));
+          if (stream_feed) {
+            if (!chunk_combiners[chunk].has_value()) {
+              MAYBMS_ASSIGN_OR_RETURN(
+                  chunk_combiners[chunk],
+                  QuantifierCombiner::Create(stmt.quantifier));
+            }
+            chunk_combiners[chunk]->Feed(alt.probability, result);
+          } else {
+            merged.results[i] = std::move(result);
+          }
+          return Status::OK();
+        }));
+    if (stream_feed) {
+      for (auto& cc : chunk_combiners) {
+        if (cc.has_value()) stream_combiner->Merge(std::move(*cc));
+      }
       streamed = true;
     } else {
       merged.component = std::move(merged_src);
@@ -682,26 +777,33 @@ Result<DecomposedWorldSet::PipelineOutput> DecomposedWorldSet::RunPipeline(
         out.decomposed.reset();
       }
       MergedResult& merged = *out.merged;
+      const size_t n = merged.component.alternatives.size();
+      // Assert predicates run in parallel into per-world keep flags;
+      // subquery plan caches mutate during evaluation, so each slot gets
+      // its own. Compaction stays sequential, in world order.
+      std::vector<char> keep_flags(n, 0);
+      std::vector<engine::SubqueryPlanCache> assert_plans(slots);
+      MAYBMS_RETURN_NOT_OK(pool.ParallelFor(
+          n, threads_, [&](size_t i, size_t slot, size_t) -> Status {
+            Database local =
+                BuildLocalDatabase({&merged.component.alternatives[i]});
+            local.PutRelation(result_name, merged.results[i]);
+            engine::SubqueryCache assert_cache(&assert_plans[slot]);
+            engine::EvalContext ctx{&local,  nullptr, nullptr,
+                                    nullptr, nullptr, &assert_cache};
+            MAYBMS_ASSIGN_OR_RETURN(
+                Trivalent keep,
+                engine::EvalPredicate(*stmt.assert_condition, ctx));
+            keep_flags[i] = keep == Trivalent::kTrue ? 1 : 0;
+            return Status::OK();
+          }));
       Component surviving;
       std::vector<Table> surviving_results;
-      // Assert-condition subquery analysis is shared across the local
-      // worlds; results stay per world.
-      engine::SubqueryPlanCache assert_plans;
-      for (size_t i = 0; i < merged.component.alternatives.size(); ++i) {
-        Database local =
-            BuildLocalDatabase({&merged.component.alternatives[i]});
-        local.PutRelation(result_name, merged.results[i]);
-        engine::SubqueryCache assert_cache(&assert_plans);
-        engine::EvalContext ctx{&local, nullptr, nullptr, nullptr, nullptr,
-                                &assert_cache};
-        MAYBMS_ASSIGN_OR_RETURN(
-            Trivalent keep,
-            engine::EvalPredicate(*stmt.assert_condition, ctx));
-        if (keep == Trivalent::kTrue) {
-          surviving.alternatives.push_back(
-              std::move(merged.component.alternatives[i]));
-          surviving_results.push_back(std::move(merged.results[i]));
-        }
+      for (size_t i = 0; i < n; ++i) {
+        if (!keep_flags[i]) continue;
+        surviving.alternatives.push_back(
+            std::move(merged.component.alternatives[i]));
+        surviving_results.push_back(std::move(merged.results[i]));
       }
       if (surviving.alternatives.empty()) {
         return Status::EmptyWorldSet("assert eliminated every world");
@@ -730,11 +832,23 @@ Result<DecomposedWorldSet::PipelineOutput> DecomposedWorldSet::RunPipeline(
         MergedResult merged;
         merged.replaced = replaced;
         merged.component = std::move(flat);
-        for (const Alternative& alt : merged.component.alternatives) {
-          Database local = BuildLocalDatabase({&alt});
-          MAYBMS_ASSIGN_OR_RETURN(Table result, core_plan.Execute(local));
-          merged.results.push_back(std::move(result));
-        }
+        const size_t n = merged.component.alternatives.size();
+        merged.results.resize(n);
+        std::vector<std::optional<engine::PreparedSelect>> plans(slots);
+        plans[0].emplace(std::move(core_plan));
+        MAYBMS_RETURN_NOT_OK(pool.ParallelFor(
+            n, threads_, [&](size_t i, size_t slot, size_t) -> Status {
+              if (!plans[slot].has_value()) {
+                MAYBMS_ASSIGN_OR_RETURN(
+                    plans[slot],
+                    engine::PreparedSelect::Prepare(*core, certain_));
+              }
+              Database local =
+                  BuildLocalDatabase({&merged.component.alternatives[i]});
+              MAYBMS_ASSIGN_OR_RETURN(merged.results[i],
+                                      plans[slot]->Execute(local));
+              return Status::OK();
+            }));
         out.merged = std::move(merged);
       } else {
         MAYBMS_ASSIGN_OR_RETURN(Component flat,
@@ -770,22 +884,31 @@ Result<DecomposedWorldSet::PipelineOutput> DecomposedWorldSet::RunPipeline(
       out.certain_result = std::move(combined);
     } else {
       MergedResult& merged = *out.merged;
+      const size_t n = merged.component.alternatives.size();
+      // The grouping query is planned against a local world (it may
+      // reference the result relation, which only exists there) — once
+      // per slot, lazily at the slot's first world; every local world
+      // shares one schema catalog, so the plans are identical.
+      std::vector<std::optional<engine::PreparedSelect>> group_plans(slots);
+      std::vector<Table> answers(n);
+      MAYBMS_RETURN_NOT_OK(pool.ParallelFor(
+          n, threads_, [&](size_t i, size_t slot, size_t) -> Status {
+            Database local =
+                BuildLocalDatabase({&merged.component.alternatives[i]});
+            local.PutRelation(result_name, merged.results[i]);
+            if (!group_plans[slot].has_value()) {
+              MAYBMS_ASSIGN_OR_RETURN(group_plans[slot],
+                                      engine::PreparedSelect::Prepare(
+                                          *stmt.group_worlds_by, local));
+            }
+            MAYBMS_ASSIGN_OR_RETURN(answers[i],
+                                    group_plans[slot]->Execute(local));
+            return Status::OK();
+          }));
       std::map<std::vector<Tuple>, std::vector<size_t>> groups;
       std::map<std::vector<Tuple>, Table> key_tables;
-      // The grouping query is planned once against the first local world
-      // (it may reference the result relation, which only exists there).
-      std::optional<engine::PreparedSelect> group_plan;
-      for (size_t i = 0; i < merged.component.alternatives.size(); ++i) {
-        Database local =
-            BuildLocalDatabase({&merged.component.alternatives[i]});
-        local.PutRelation(result_name, merged.results[i]);
-        if (!group_plan.has_value()) {
-          MAYBMS_ASSIGN_OR_RETURN(group_plan,
-                                  engine::PreparedSelect::Prepare(
-                                      *stmt.group_worlds_by, local));
-        }
-        MAYBMS_ASSIGN_OR_RETURN(Table answer, group_plan->Execute(local));
-        Table canonical = CanonicalizeGroupKey(answer);
+      for (size_t i = 0; i < n; ++i) {
+        Table canonical = CanonicalizeGroupKey(answers[i]);
         std::vector<Tuple> key = canonical.rows();
         key_tables.emplace(key, std::move(canonical));
         groups[std::move(key)].push_back(i);
@@ -985,27 +1108,52 @@ DecomposedWorldSet::EvaluateGroupedStreaming(
   MAYBMS_ASSIGN_OR_RETURN(Component merged_src, MergeRelevant(relevant));
   MAYBMS_ASSIGN_OR_RETURN(engine::PreparedSelect core_plan,
                           engine::PreparedSelect::Prepare(*core, certain_));
-  std::optional<engine::PreparedSelect> group_plan;
-  engine::SubqueryPlanCache assert_plans;
 
-  for (const Alternative& alt : merged_src.alternatives) {
-    Database local = BuildLocalDatabase({&alt});
-    MAYBMS_ASSIGN_OR_RETURN(Table result, core_plan.Execute(local));
-    if (stmt.assert_condition) {
-      engine::SubqueryCache assert_cache(&assert_plans);
-      engine::EvalContext ctx{&local, nullptr, nullptr, nullptr, nullptr,
-                              &assert_cache};
-      MAYBMS_ASSIGN_OR_RETURN(
-          Trivalent keep, engine::EvalPredicate(*stmt.assert_condition, ctx));
-      if (keep != Trivalent::kTrue) continue;
-    }
-    if (!group_plan.has_value()) {
-      MAYBMS_ASSIGN_OR_RETURN(group_plan,
-                              engine::PreparedSelect::Prepare(
-                                  *stmt.group_worlds_by, certain_));
-    }
-    MAYBMS_ASSIGN_OR_RETURN(Table answer, group_plan->Execute(local));
-    MAYBMS_RETURN_NOT_OK(grouped.Feed(alt.probability, result, answer));
+  // Parallel streaming: per-chunk grouped combiners merged in chunk order
+  // reproduce the sequential feed order; prepared plans and subquery
+  // caches are per slot. The group plan stays lazily prepared at a slot's
+  // first *surviving* world — no survivors means no preparation, exactly
+  // as in the sequential path.
+  base::ThreadPool& pool = base::ThreadPool::Shared();
+  const size_t slots = pool.Slots(threads_);
+  const size_t n = merged_src.size();
+  std::vector<std::optional<engine::PreparedSelect>> core_plans(slots);
+  core_plans[0].emplace(std::move(core_plan));
+  std::vector<std::optional<engine::PreparedSelect>> group_plans(slots);
+  std::vector<engine::SubqueryPlanCache> assert_plans(slots);
+  std::vector<std::optional<GroupedQuantifierCombiner>> chunks(
+      base::ThreadPool::NumChunks(n));
+
+  MAYBMS_RETURN_NOT_OK(pool.ParallelFor(
+      n, threads_, [&](size_t i, size_t slot, size_t chunk) -> Status {
+        if (!core_plans[slot].has_value()) {
+          MAYBMS_ASSIGN_OR_RETURN(
+              core_plans[slot], engine::PreparedSelect::Prepare(*core,
+                                                                certain_));
+        }
+        const Alternative& alt = merged_src.alternatives[i];
+        Database local = BuildLocalDatabase({&alt});
+        MAYBMS_ASSIGN_OR_RETURN(Table result, core_plans[slot]->Execute(local));
+        if (stmt.assert_condition) {
+          engine::SubqueryCache assert_cache(&assert_plans[slot]);
+          engine::EvalContext ctx{&local,  nullptr, nullptr,
+                                  nullptr, nullptr, &assert_cache};
+          MAYBMS_ASSIGN_OR_RETURN(
+              Trivalent keep,
+              engine::EvalPredicate(*stmt.assert_condition, ctx));
+          if (keep != Trivalent::kTrue) return Status::OK();
+        }
+        if (!group_plans[slot].has_value()) {
+          MAYBMS_ASSIGN_OR_RETURN(group_plans[slot],
+                                  engine::PreparedSelect::Prepare(
+                                      *stmt.group_worlds_by, certain_));
+        }
+        MAYBMS_ASSIGN_OR_RETURN(Table answer, group_plans[slot]->Execute(local));
+        if (!chunks[chunk].has_value()) chunks[chunk].emplace(stmt.quantifier);
+        return chunks[chunk]->Feed(alt.probability, result, answer);
+      }));
+  for (auto& c : chunks) {
+    if (c.has_value()) MAYBMS_RETURN_NOT_OK(grouped.Merge(std::move(*c)));
   }
 
   if (stmt.assert_condition && grouped.worlds_fed() == 0) {

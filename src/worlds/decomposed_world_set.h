@@ -63,10 +63,14 @@ namespace maybms::worlds {
 class DecomposedWorldSet : public WorldSet {
  public:
   /// `max_merge` caps the alternatives a single merge may produce (the
-  /// correlated sub-product); 0 = unlimited.
+  /// correlated sub-product); 0 = unlimited. `threads` caps the shared
+  /// thread pool's parallelism for per-alternative loops (0 =
+  /// MAYBMS_THREADS / hardware); results and errors are byte-identical at
+  /// every thread count (see base/thread_pool.h).
   static constexpr size_t kDefaultMaxMerge = 1 << 20;
 
-  explicit DecomposedWorldSet(size_t max_merge = kDefaultMaxMerge);
+  explicit DecomposedWorldSet(size_t max_merge = kDefaultMaxMerge,
+                              size_t threads = 0);
 
   std::unique_ptr<WorldSet> Clone() const override;
   std::string EngineName() const override { return "decomposed"; }
@@ -78,7 +82,7 @@ class DecomposedWorldSet : public WorldSet {
   Result<std::vector<World>> MaterializeWorlds(
       size_t max_worlds, bool* truncated = nullptr) const override;
   Result<std::vector<World>> TopKWorlds(size_t k) const override;
-  Result<World> SampleWorld(std::mt19937* rng) const override;
+  Result<World> SampleWorld(base::SplitMix64* rng) const override;
 
   Status CreateBaseTable(const std::string& name,
                          const Table& prototype) override;
@@ -164,6 +168,7 @@ class DecomposedWorldSet : public WorldSet {
   Database certain_;
   std::vector<Component> components_;
   size_t max_merge_;
+  size_t threads_;  // per-call parallelism cap; 0 = default
 };
 
 }  // namespace maybms::worlds

@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <optional>
+#include <random>
+#include <utility>
 
 #include "base/string_util.h"
+#include "base/thread_pool.h"
 #include "engine/dml.h"
 #include "engine/executor.h"
 #include "engine/expr_eval.h"
@@ -23,26 +27,46 @@ std::vector<Tuple> GroupKeyRows(const Table& table) {
   return table.SortedDistinct().rows();
 }
 
-/// Enumerates every repair/choice combination of every input world:
-/// plans the source pipeline and the projection once, partitions each
-/// world's source relation, enforces the world cap (error text is part
-/// of the conformance surface), and walks the per-block odometer,
-/// invoking `emit(world, probability, projected answer)` per derived
-/// world. Shared by the materializing pipeline and the streaming
-/// quantifier path so cap semantics cannot drift between them.
-template <typename Emit>
-Status EnumerateRepairChoiceWorlds(const std::vector<World>& input,
+/// Enumerates every repair/choice combination of every input world, in
+/// parallel within each input world: plans the source pipeline once and
+/// the projection once per thread slot, partitions each world's source
+/// relation, enforces the world cap (error text is part of the
+/// conformance surface), and emits one derived world per combination.
+///
+/// Combination `c` of a world is decoded from the per-block mixed-radix
+/// odometer (block 0 is the least-significant digit), so emission index
+/// order — and with it probability multiplication order and first-error
+/// choice — is exactly the sequential odometer walk at any thread count.
+///
+/// Per input world: `begin_world(combos)` sizes the caller's per-chunk
+/// state, `emit(global_index, slot, chunk, world, prob, result)` runs on
+/// pool threads (chunk geometry is ThreadPool::ChunkSize(combos)), and
+/// `end_world()` runs on the caller thread afterwards to merge chunk
+/// state in chunk order. Input worlds advance strictly in sequence, so
+/// error interleaving (world i's combos before world i+1's partition)
+/// matches the sequential engine. Shared by the materializing pipeline
+/// and the streaming quantifier paths so cap semantics cannot drift.
+template <typename BeginWorld, typename Emit, typename EndWorld>
+Status EnumerateRepairChoiceWorlds(base::ThreadPool& pool, size_t threads,
+                                   const std::vector<World>& input,
                                    const sql::SelectStatement& stmt,
                                    const sql::SelectStatement& core,
-                                   size_t max_worlds, Emit&& emit) {
+                                   size_t max_worlds, BeginWorld&& begin_world,
+                                   Emit&& emit, EndWorld&& end_world) {
   std::optional<engine::PreparedFromWhere> source_plan;
-  std::optional<engine::PreparedProjection> projection;
+  // Projections lazily build subquery-plan caches during Execute, so each
+  // thread slot owns one (base/thread_pool.h rule 3). Slot 0's is
+  // prepared eagerly so preparation errors surface exactly where the
+  // sequential code surfaced them; preparation is schema-only and
+  // deterministic, so a lazy slot>0 preparation can never fail first.
+  std::vector<std::optional<engine::PreparedProjection>> projections(
+      pool.Slots(threads));
   uint64_t produced = 0;
   for (const World& world : input) {
     if (!source_plan.has_value()) {
       MAYBMS_ASSIGN_OR_RETURN(
           source_plan, engine::PreparedFromWhere::Prepare(stmt, world.db));
-      MAYBMS_ASSIGN_OR_RETURN(projection,
+      MAYBMS_ASSIGN_OR_RETURN(projections[0],
                               engine::PreparedProjection::Prepare(
                                   core, world.db,
                                   source_plan->output_schema()));
@@ -69,34 +93,44 @@ Status EnumerateRepairChoiceWorlds(const std::vector<World>& input,
           "explicit world-set would exceed the configured cap of " +
           std::to_string(max_worlds) + " worlds; use the decomposed engine");
     }
+    const uint64_t base = produced;
     produced += combos;
 
-    std::vector<size_t> pick(blocks.size(), 0);
-    while (true) {
-      double prob = world.probability;
-      std::vector<size_t> rows;
-      for (size_t b = 0; b < blocks.size(); ++b) {
-        const WeightedChoice& choice = blocks[b].choices[pick[b]];
-        prob *= choice.probability;
-        rows.insert(rows.end(), choice.row_indices.begin(),
-                    choice.row_indices.end());
-      }
-      std::vector<Tuple> chosen;
-      chosen.reserve(rows.size());
-      for (size_t r : rows) chosen.push_back(source.row(r));
-      MAYBMS_ASSIGN_OR_RETURN(Table result,
-                              projection->Execute(world.db, chosen));
-      MAYBMS_RETURN_NOT_OK(emit(world, prob, std::move(result)));
-
-      // Advance the odometer. An empty block list (repair of an empty
-      // relation) yields exactly the single empty choice above.
-      size_t b = 0;
-      for (; b < blocks.size(); ++b) {
-        if (++pick[b] < blocks[b].choices.size()) break;
-        pick[b] = 0;
-      }
-      if (b == blocks.size()) break;
-    }
+    begin_world(static_cast<size_t>(combos));
+    MAYBMS_RETURN_NOT_OK(pool.ParallelFor(
+        static_cast<size_t>(combos), threads,
+        [&](size_t c, size_t slot, size_t chunk) -> Status {
+          if (!projections[slot].has_value()) {
+            MAYBMS_ASSIGN_OR_RETURN(projections[slot],
+                                    engine::PreparedProjection::Prepare(
+                                        core, world.db,
+                                        source_plan->output_schema()));
+          }
+          // Decode combination c: pick[b] is digit b of c, block 0 least
+          // significant — the sequential odometer's increment order. An
+          // empty block list (repair of an empty relation) yields exactly
+          // the single empty choice c == 0.
+          double prob = world.probability;
+          std::vector<size_t> rows;
+          uint64_t rem = c;
+          for (const PartitionBlock& block : blocks) {
+            const size_t digit =
+                static_cast<size_t>(rem % block.choices.size());
+            rem /= block.choices.size();
+            const WeightedChoice& choice = block.choices[digit];
+            prob *= choice.probability;
+            rows.insert(rows.end(), choice.row_indices.begin(),
+                        choice.row_indices.end());
+          }
+          std::vector<Tuple> chosen;
+          chosen.reserve(rows.size());
+          for (size_t r : rows) chosen.push_back(source.row(r));
+          MAYBMS_ASSIGN_OR_RETURN(Table result,
+                                  projections[slot]->Execute(world.db, chosen));
+          return emit(static_cast<size_t>(base) + c, slot, chunk, world, prob,
+                      std::move(result));
+        }));
+    MAYBMS_RETURN_NOT_OK(end_world());
   }
   return Status::OK();
 }
@@ -114,8 +148,8 @@ std::unique_ptr<sql::SelectStatement> StripWorldOps(
   return core;
 }
 
-ExplicitWorldSet::ExplicitWorldSet(size_t max_worlds)
-    : max_worlds_(max_worlds) {
+ExplicitWorldSet::ExplicitWorldSet(size_t max_worlds, size_t threads)
+    : max_worlds_(max_worlds), threads_(threads) {
   worlds_.emplace_back(Database(), 1.0);
 }
 
@@ -157,7 +191,7 @@ Result<std::vector<World>> ExplicitWorldSet::TopKWorlds(size_t k) const {
   return top;
 }
 
-Result<World> ExplicitWorldSet::SampleWorld(std::mt19937* rng) const {
+Result<World> ExplicitWorldSet::SampleWorld(base::SplitMix64* rng) const {
   if (worlds_.empty()) return Status::EmptyWorldSet("no worlds to sample");
   std::uniform_real_distribution<double> uniform(0.0, 1.0);
   double u = uniform(*rng);
@@ -203,23 +237,37 @@ Status ExplicitWorldSet::ApplyDml(const sql::Statement& stmt,
   // `worlds_` only after every world succeeded; any per-world failure
   // (e.g. a constraint violation) simply drops the log, leaving the set
   // untouched — the PR 1 atomicity guarantee without copying unchanged
-  // relations. The statement is planned once (column resolution,
-  // INSERT ... SELECT preparation, subquery analysis) against the first
-  // world's schemas — identical in every world — and only executed per
-  // world.
-  std::optional<engine::PreparedDml> plan;
-  std::vector<Database> commit_log;
-  commit_log.reserve(worlds_.size());
-  for (const World& world : worlds_) {
-    if (!plan.has_value()) {
-      MAYBMS_ASSIGN_OR_RETURN(plan,
-                              engine::PreparedDml::Prepare(stmt, world.db,
-                                                           &catalog));
-    }
-    Database snapshot = world.db;  // shares every table handle
-    MAYBMS_RETURN_NOT_OK(plan->Execute(&snapshot));
-    commit_log.push_back(std::move(snapshot));
-  }
+  // relations.
+  //
+  // Snapshots are computed in parallel; each world is touched by exactly
+  // one thread and the live set is read-only until the final swap. When
+  // several worlds fail, the error of the smallest world index is
+  // reported (ThreadPool rule 2) — the same error the sequential loop
+  // hit first, so rollback behavior is deterministic at any thread count.
+  if (worlds_.empty()) return Status::OK();
+  base::ThreadPool& pool = base::ThreadPool::Shared();
+  // The statement is planned once per thread slot (column resolution,
+  // INSERT ... SELECT preparation, subquery analysis) against one world's
+  // schemas — identical in every world — and only executed per world.
+  // Slot 0 prepares eagerly so preparation errors surface before any
+  // world executes, exactly as in the sequential code.
+  std::vector<std::optional<engine::PreparedDml>> plans(pool.Slots(threads_));
+  MAYBMS_ASSIGN_OR_RETURN(
+      plans[0], engine::PreparedDml::Prepare(stmt, worlds_[0].db, &catalog));
+  std::vector<Database> commit_log(worlds_.size());
+  MAYBMS_RETURN_NOT_OK(pool.ParallelFor(
+      worlds_.size(), threads_,
+      [&](size_t i, size_t slot, size_t /*chunk*/) -> Status {
+        if (!plans[slot].has_value()) {
+          MAYBMS_ASSIGN_OR_RETURN(
+              plans[slot],
+              engine::PreparedDml::Prepare(stmt, worlds_[i].db, &catalog));
+        }
+        Database snapshot = worlds_[i].db;  // shares every table handle
+        MAYBMS_RETURN_NOT_OK(plans[slot]->Execute(&snapshot));
+        commit_log[i] = std::move(snapshot);
+        return Status::OK();
+      }));
   for (size_t i = 0; i < worlds_.size(); ++i) {
     worlds_[i].db = std::move(commit_log[i]);
   }
@@ -241,13 +289,16 @@ Result<ExplicitWorldSet::PipelineOutput> ExplicitWorldSet::RunPipeline(
   MAYBMS_RETURN_NOT_OK(ValidateWorldOps(stmt));
 
   std::unique_ptr<sql::SelectStatement> core = StripWorldOps(stmt);
+  base::ThreadPool& pool = base::ThreadPool::Shared();
+  const size_t slots = pool.Slots(threads_);
 
   PipelineOutput out;
 
   // When a quantifier collapses the answer and no assert/grouping needs
-  // per-world results later, stream each world's answer straight into the
-  // combiner instead of storing it in the world — no per-world result
-  // table outlives its own combination step.
+  // per-world results later, stream each world's answer straight into a
+  // per-chunk combiner instead of storing it in the world — no per-world
+  // result table outlives its own combination step. Chunk combiners merge
+  // in chunk order (deterministic at any thread count).
   const bool stream_feed = stmt.quantifier != sql::WorldQuantifier::kNone &&
                            !stmt.group_worlds_by && !stmt.assert_condition;
   std::optional<QuantifierCombiner> stream_combiner;
@@ -256,65 +307,120 @@ Result<ExplicitWorldSet::PipelineOutput> ExplicitWorldSet::RunPipeline(
                             QuantifierCombiner::Create(stmt.quantifier));
     stream_combiner.emplace(std::move(c));
   }
+  std::vector<std::optional<QuantifierCombiner>> chunk_combiners;
+  auto feed_chunk = [&](size_t chunk, double prob,
+                        const Table& result) -> Status {
+    if (!chunk_combiners[chunk].has_value()) {
+      MAYBMS_ASSIGN_OR_RETURN(chunk_combiners[chunk],
+                              QuantifierCombiner::Create(stmt.quantifier));
+    }
+    chunk_combiners[chunk]->Feed(prob, result);
+    return Status::OK();
+  };
+  auto merge_chunks = [&] {
+    for (auto& c : chunk_combiners) {
+      if (c.has_value()) stream_combiner->Merge(std::move(*c));
+    }
+    chunk_combiners.clear();
+  };
 
   // --- Step 1: per-world SQL core, with repair/choice world creation. ---
-  // Statements are planned once against the first world's schemas (all
-  // worlds share one schema catalog; see engine/prepared.h) and executed
-  // per world; only scans, joins, and predicate evaluation repeat.
+  // Statements are planned once per thread slot (all worlds share one
+  // schema catalog; see engine/prepared.h) and executed per world; only
+  // scans, joins, and predicate evaluation repeat. Worlds are
+  // index-stamped into `out.worlds`, so emission order is identical to
+  // the sequential engine at any thread count.
   if (stmt.repair.has_value() || stmt.choice.has_value()) {
     MAYBMS_RETURN_NOT_OK(EnumerateRepairChoiceWorlds(
-        input, stmt, *core, max_worlds_,
-        [&](const World& world, double prob, Table result) -> Status {
+        pool, threads_, input, stmt, *core, max_worlds_,
+        [&](size_t combos) {
+          out.worlds.resize(out.worlds.size() + combos);
+          if (stream_feed) {
+            chunk_combiners.clear();
+            chunk_combiners.resize(base::ThreadPool::NumChunks(combos));
+          }
+        },
+        [&](size_t global, size_t /*slot*/, size_t chunk, const World& world,
+            double prob, Table result) -> Status {
           World derived(world.db, prob);
           if (stream_feed) {
-            stream_combiner->Feed(prob, result);
+            MAYBMS_RETURN_NOT_OK(feed_chunk(chunk, prob, result));
           } else {
             derived.db.PutRelation(result_name, std::move(result));
           }
-          out.worlds.push_back(std::move(derived));
+          out.worlds[global] = std::move(derived);
+          return Status::OK();
+        },
+        [&]() -> Status {
+          if (stream_feed) merge_chunks();
           return Status::OK();
         }));
   } else {
-    std::optional<engine::PreparedSelect> select_plan;
-    for (World& world : input) {
-      if (!select_plan.has_value()) {
-        MAYBMS_ASSIGN_OR_RETURN(select_plan,
-                                engine::PreparedSelect::Prepare(*core,
-                                                                world.db));
-      }
-      MAYBMS_ASSIGN_OR_RETURN(Table result, select_plan->Execute(world.db));
-      World derived(std::move(world.db), world.probability);
-      if (stream_feed) {
-        stream_combiner->Feed(derived.probability, result);
-      } else {
-        derived.db.PutRelation(result_name, std::move(result));
-      }
-      out.worlds.push_back(std::move(derived));
+    const size_t n = input.size();
+    std::vector<std::optional<engine::PreparedSelect>> plans(slots);
+    if (n > 0) {
+      MAYBMS_ASSIGN_OR_RETURN(
+          plans[0], engine::PreparedSelect::Prepare(*core, input[0].db));
     }
+    if (stream_feed) chunk_combiners.resize(base::ThreadPool::NumChunks(n));
+    out.worlds.resize(n);
+    MAYBMS_RETURN_NOT_OK(pool.ParallelFor(
+        n, threads_, [&](size_t i, size_t slot, size_t chunk) -> Status {
+          if (!plans[slot].has_value()) {
+            MAYBMS_ASSIGN_OR_RETURN(
+                plans[slot], engine::PreparedSelect::Prepare(*core,
+                                                             input[i].db));
+          }
+          MAYBMS_ASSIGN_OR_RETURN(Table result,
+                                  plans[slot]->Execute(input[i].db));
+          World derived(std::move(input[i].db), input[i].probability);
+          if (stream_feed) {
+            MAYBMS_RETURN_NOT_OK(feed_chunk(chunk, derived.probability,
+                                            result));
+          } else {
+            derived.db.PutRelation(result_name, std::move(result));
+          }
+          out.worlds[i] = std::move(derived);
+          return Status::OK();
+        }));
+    if (stream_feed) merge_chunks();
   }
 
   // --- Step 2: assert — drop worlds, renormalize. ---
   if (stmt.assert_condition) {
+    // Predicate evaluation is parallel (per-slot subquery-plan caches,
+    // per-world flags); compaction and the probability sum stay in world
+    // index order so renormalization is deterministic.
+    const size_t n = out.worlds.size();
+    std::vector<engine::SubqueryPlanCache> assert_plans(slots);
+    std::vector<char> keep(n, 0);
+    MAYBMS_RETURN_NOT_OK(pool.ParallelFor(
+        n, threads_, [&](size_t i, size_t slot, size_t /*chunk*/) -> Status {
+          engine::SubqueryCache cache(&assert_plans[slot]);
+          engine::EvalContext ctx{&out.worlds[i].db, nullptr, nullptr,
+                                  nullptr, nullptr, &cache};
+          MAYBMS_ASSIGN_OR_RETURN(
+              Trivalent verdict,
+              engine::EvalPredicate(*stmt.assert_condition, ctx));
+          keep[i] = verdict == Trivalent::kTrue ? 1 : 0;
+          return Status::OK();
+        }));
     std::vector<World> surviving;
     double total = 0;
-    // Subquery *analysis* of the assert condition is shared across worlds
-    // (schema-level); subquery *results* are per world via a fresh
-    // SubqueryCache per evaluation.
-    engine::SubqueryPlanCache assert_plans;
-    for (World& world : out.worlds) {
-      engine::SubqueryCache cache(&assert_plans);
-      engine::EvalContext ctx{&world.db, nullptr, nullptr, nullptr, nullptr,
-                              &cache};
-      MAYBMS_ASSIGN_OR_RETURN(
-          Trivalent keep,
-          engine::EvalPredicate(*stmt.assert_condition, ctx));
-      if (keep == Trivalent::kTrue) {
-        total += world.probability;
-        surviving.push_back(std::move(world));
-      }
+    for (size_t i = 0; i < n; ++i) {
+      if (keep[i] == 0) continue;
+      total += out.worlds[i].probability;
+      surviving.push_back(std::move(out.worlds[i]));
     }
     if (surviving.empty()) {
       return Status::EmptyWorldSet("assert eliminated every world");
+    }
+    // World probabilities are always positive (weights must be positive;
+    // see worlds/partition.cc), so survivors imply total > 0. Guard
+    // anyway: dividing by zero here would poison every downstream
+    // confidence with NaN.
+    if (!(total > 0)) {
+      return Status::EmptyWorldSet("assert leaves no probability mass");
     }
     for (World& world : surviving) world.probability /= total;
     out.worlds = std::move(surviving);
@@ -326,19 +432,33 @@ Result<ExplicitWorldSet::PipelineOutput> ExplicitWorldSet::RunPipeline(
       return Status::Unsupported(
           "the GROUP WORLDS BY query must be a plain SQL query");
     }
+    // Grouping-query answers are computed in parallel; grouping and
+    // per-group combination keep world index order.
+    const size_t n = out.worlds.size();
+    std::vector<std::optional<engine::PreparedSelect>> plans(slots);
+    if (n > 0) {
+      MAYBMS_ASSIGN_OR_RETURN(plans[0],
+                              engine::PreparedSelect::Prepare(
+                                  *stmt.group_worlds_by, out.worlds[0].db));
+    }
+    std::vector<Table> answers(n);
+    MAYBMS_RETURN_NOT_OK(pool.ParallelFor(
+        n, threads_, [&](size_t i, size_t slot, size_t /*chunk*/) -> Status {
+          if (!plans[slot].has_value()) {
+            MAYBMS_ASSIGN_OR_RETURN(plans[slot],
+                                    engine::PreparedSelect::Prepare(
+                                        *stmt.group_worlds_by,
+                                        out.worlds[i].db));
+          }
+          MAYBMS_ASSIGN_OR_RETURN(answers[i],
+                                  plans[slot]->Execute(out.worlds[i].db));
+          return Status::OK();
+        }));
     std::map<std::vector<Tuple>, std::vector<size_t>> groups;
     std::map<std::vector<Tuple>, Table> key_tables;
-    std::optional<engine::PreparedSelect> group_plan;
-    for (size_t i = 0; i < out.worlds.size(); ++i) {
-      if (!group_plan.has_value()) {
-        MAYBMS_ASSIGN_OR_RETURN(group_plan,
-                                engine::PreparedSelect::Prepare(
-                                    *stmt.group_worlds_by, out.worlds[i].db));
-      }
-      MAYBMS_ASSIGN_OR_RETURN(Table answer,
-                              group_plan->Execute(out.worlds[i].db));
-      std::vector<Tuple> key = GroupKeyRows(answer);
-      key_tables.emplace(key, answer.SortedDistinct());
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<Tuple> key = GroupKeyRows(answers[i]);
+      key_tables.emplace(key, answers[i].SortedDistinct());
       groups[std::move(key)].push_back(i);
     }
     for (const auto& [key, members] : groups) {
@@ -369,16 +489,26 @@ Result<ExplicitWorldSet::PipelineOutput> ExplicitWorldSet::RunPipeline(
       // Step 1 already fed every world's answer; nothing was retained.
       MAYBMS_ASSIGN_OR_RETURN(combined, stream_combiner->Finish());
     } else {
-      // Post-assert: feed each surviving world's answer and drop it
-      // immediately so no per-world result outlives its combination.
+      // Post-assert: feed each surviving world's answer into a per-chunk
+      // combiner and drop it immediately, then merge in chunk order.
       MAYBMS_ASSIGN_OR_RETURN(QuantifierCombiner combiner,
                               QuantifierCombiner::Create(stmt.quantifier));
-      for (World& world : out.worlds) {
-        MAYBMS_ASSIGN_OR_RETURN(const Table* result,
-                                world.db.GetRelation(result_name));
-        combiner.Feed(world.probability, *result);
-        MAYBMS_RETURN_NOT_OK(world.db.DropRelation(result_name));
+      const size_t n = out.worlds.size();
+      chunk_combiners.resize(base::ThreadPool::NumChunks(n));
+      MAYBMS_RETURN_NOT_OK(pool.ParallelFor(
+          n, threads_,
+          [&](size_t i, size_t /*slot*/, size_t chunk) -> Status {
+            MAYBMS_ASSIGN_OR_RETURN(
+                const Table* result,
+                out.worlds[i].db.GetRelation(result_name));
+            MAYBMS_RETURN_NOT_OK(
+                feed_chunk(chunk, out.worlds[i].probability, *result));
+            return out.worlds[i].db.DropRelation(result_name);
+          }));
+      for (auto& c : chunk_combiners) {
+        if (c.has_value()) combiner.Merge(std::move(*c));
       }
+      chunk_combiners.clear();
       MAYBMS_ASSIGN_OR_RETURN(combined, combiner.Finish());
     }
     // The quantifier collapsed the answer to one certain relation that is
@@ -396,14 +526,21 @@ Result<ExplicitWorldSet::PipelineOutput> ExplicitWorldSet::RunPipeline(
   // `combined`/`groups` above and MaterializeSelect never reads them.
   if (want_per_world_results &&
       stmt.quantifier == sql::WorldQuantifier::kNone) {
-    for (const World& world : out.worlds) {
-      MAYBMS_ASSIGN_OR_RETURN(const Table* result,
-                              world.db.GetRelation(result_name));
-      out.per_world_results.emplace_back(world.probability, *result);
-    }
+    const size_t n = out.worlds.size();
+    out.per_world_results.resize(n);
+    MAYBMS_RETURN_NOT_OK(pool.ParallelFor(
+        n, threads_, [&](size_t i, size_t /*slot*/, size_t /*chunk*/)
+                         -> Status {
+          MAYBMS_ASSIGN_OR_RETURN(const Table* result,
+                                  out.worlds[i].db.GetRelation(result_name));
+          out.per_world_results[i] =
+              std::make_pair(out.worlds[i].probability, *result);
+          return Status::OK();
+        }));
   }
   return out;
 }
+
 
 Result<Table> ExplicitWorldSet::EvaluateQuantifierStreaming(
     const sql::SelectStatement& stmt) const {
@@ -412,11 +549,24 @@ Result<Table> ExplicitWorldSet::EvaluateQuantifierStreaming(
 
   MAYBMS_ASSIGN_OR_RETURN(QuantifierCombiner combiner,
                           QuantifierCombiner::Create(stmt.quantifier));
+  base::ThreadPool& pool = base::ThreadPool::Shared();
+  const size_t slots = pool.Slots(threads_);
+
+  // Parallel streaming: each chunk of worlds folds into its own combiner
+  // and survival accumulators; chunks merge in chunk-index order, so the
+  // combined answer and the renormalization sum are byte-identical at
+  // every thread count (base/thread_pool.h rule 1).
+  struct ChunkAcc {
+    std::optional<QuantifierCombiner> combiner;
+    double prob = 0;
+    size_t survivors = 0;
+  };
+  std::vector<ChunkAcc> chunks;
   double surviving_prob = 0;
   size_t survivors = 0;
-  // Assert-condition subquery analysis is shared across worlds; results
+  // Assert-condition subquery analysis is shared per thread slot; results
   // stay per world (fresh SubqueryCache per evaluation).
-  engine::SubqueryPlanCache assert_plans;
+  std::vector<engine::SubqueryPlanCache> assert_plans(slots);
 
   // The assert condition can only see the statement's own answer if it
   // literally names the internal "__result" relation; copying the world
@@ -429,12 +579,18 @@ Result<Table> ExplicitWorldSet::EvaluateQuantifierStreaming(
     assert_reads_result = assert_refs.count("__result") > 0;
   }
 
-  // Folds one world's answer into the combiner, applying the assert
-  // filter first. `result` dies here — nothing per-world is retained.
-  auto feed = [&](double prob, Table result,
-                  const Database& db) -> Status {
+  // Folds one world's answer into its chunk's combiner, applying the
+  // assert filter first. `result` dies here — nothing per-world is
+  // retained.
+  auto feed = [&](double prob, Table result, const Database& db, size_t slot,
+                  size_t chunk) -> Status {
+    ChunkAcc& acc = chunks[chunk];
+    if (!acc.combiner.has_value()) {
+      MAYBMS_ASSIGN_OR_RETURN(acc.combiner,
+                              QuantifierCombiner::Create(stmt.quantifier));
+    }
     if (stmt.assert_condition) {
-      engine::SubqueryCache cache(&assert_plans);
+      engine::SubqueryCache cache(&assert_plans[slot]);
       if (assert_reads_result) {
         Database extended = db;
         extended.PutRelation("__result", std::move(result));
@@ -446,7 +602,7 @@ Result<Table> ExplicitWorldSet::EvaluateQuantifierStreaming(
         if (keep != Trivalent::kTrue) return Status::OK();
         MAYBMS_ASSIGN_OR_RETURN(const Table* kept,
                                 extended.GetRelation("__result"));
-        combiner.Feed(prob, *kept);
+        acc.combiner->Feed(prob, *kept);
       } else {
         engine::EvalContext ctx{&db, nullptr, nullptr, nullptr, nullptr,
                                 &cache};
@@ -454,33 +610,59 @@ Result<Table> ExplicitWorldSet::EvaluateQuantifierStreaming(
             Trivalent keep,
             engine::EvalPredicate(*stmt.assert_condition, ctx));
         if (keep != Trivalent::kTrue) return Status::OK();
-        combiner.Feed(prob, result);
+        acc.combiner->Feed(prob, result);
       }
     } else {
-      combiner.Feed(prob, result);
+      acc.combiner->Feed(prob, result);
     }
-    surviving_prob += prob;
-    ++survivors;
+    acc.prob += prob;
+    ++acc.survivors;
     return Status::OK();
+  };
+  auto merge_chunks = [&] {
+    for (ChunkAcc& acc : chunks) {
+      if (acc.combiner.has_value()) combiner.Merge(std::move(*acc.combiner));
+      surviving_prob += acc.prob;
+      survivors += acc.survivors;
+    }
+    chunks.clear();
   };
 
   if (stmt.repair.has_value() || stmt.choice.has_value()) {
     MAYBMS_RETURN_NOT_OK(EnumerateRepairChoiceWorlds(
-        worlds_, stmt, *core, max_worlds_,
-        [&](const World& world, double prob, Table result) -> Status {
-          return feed(prob, std::move(result), world.db);
+        pool, threads_, worlds_, stmt, *core, max_worlds_,
+        [&](size_t combos) {
+          chunks.resize(base::ThreadPool::NumChunks(combos));
+        },
+        [&](size_t /*global*/, size_t slot, size_t chunk, const World& world,
+            double prob, Table result) -> Status {
+          return feed(prob, std::move(result), world.db, slot, chunk);
+        },
+        [&]() -> Status {
+          merge_chunks();
+          return Status::OK();
         }));
   } else {
-    std::optional<engine::PreparedSelect> select_plan;
-    for (const World& world : worlds_) {
-      if (!select_plan.has_value()) {
-        MAYBMS_ASSIGN_OR_RETURN(
-            select_plan, engine::PreparedSelect::Prepare(*core, world.db));
-      }
-      MAYBMS_ASSIGN_OR_RETURN(Table result, select_plan->Execute(world.db));
-      MAYBMS_RETURN_NOT_OK(feed(world.probability, std::move(result),
-                                world.db));
+    const size_t n = worlds_.size();
+    std::vector<std::optional<engine::PreparedSelect>> plans(slots);
+    if (n > 0) {
+      MAYBMS_ASSIGN_OR_RETURN(
+          plans[0], engine::PreparedSelect::Prepare(*core, worlds_[0].db));
     }
+    chunks.resize(base::ThreadPool::NumChunks(n));
+    MAYBMS_RETURN_NOT_OK(pool.ParallelFor(
+        n, threads_, [&](size_t i, size_t slot, size_t chunk) -> Status {
+          if (!plans[slot].has_value()) {
+            MAYBMS_ASSIGN_OR_RETURN(
+                plans[slot],
+                engine::PreparedSelect::Prepare(*core, worlds_[i].db));
+          }
+          MAYBMS_ASSIGN_OR_RETURN(Table result,
+                                  plans[slot]->Execute(worlds_[i].db));
+          return feed(worlds_[i].probability, std::move(result),
+                      worlds_[i].db, slot, chunk);
+        }));
+    merge_chunks();
   }
 
   if (stmt.assert_condition) {
@@ -489,6 +671,8 @@ Result<Table> ExplicitWorldSet::EvaluateQuantifierStreaming(
     }
     // Fed weights were pre-assert probabilities; renormalize over the
     // surviving mass, exactly as the materializing pipeline does.
+    // (Survivors have positive probability, so surviving_prob > 0 and
+    // Finish cannot hit its zero-mass guard here.)
     return combiner.Finish(surviving_prob);
   }
   return combiner.Finish();
@@ -503,51 +687,81 @@ ExplicitWorldSet::EvaluateGroupedStreaming(
         "the GROUP WORLDS BY query must be a plain SQL query");
   }
   std::unique_ptr<sql::SelectStatement> core = StripWorldOps(stmt);
+  base::ThreadPool& pool = base::ThreadPool::Shared();
+  const size_t slots = pool.Slots(threads_);
 
   // The shared grouped accumulator (worlds/combiner.h): one combiner per
   // distinct group key, fed unnormalized (pre-assert) probabilities and
   // normalized per group at Finish — identical semantics on both engines.
+  // Worlds fold into per-chunk grouped combiners merged in chunk order.
   GroupedQuantifierCombiner grouped(stmt.quantifier);
-  engine::SubqueryPlanCache assert_plans;
-  std::optional<engine::PreparedSelect> group_plan;
+  std::vector<std::optional<GroupedQuantifierCombiner>> chunk_grouped;
+  std::vector<engine::SubqueryPlanCache> assert_plans(slots);
+  std::vector<std::optional<engine::PreparedSelect>> group_plans(slots);
 
   // Folds one world: assert filter, group key, feed — the per-world
   // answer dies here; nothing larger than the accumulators is retained.
-  auto feed = [&](double prob, Table result, const Database& db) -> Status {
+  auto feed = [&](double prob, Table result, const Database& db, size_t slot,
+                  size_t chunk) -> Status {
     if (stmt.assert_condition) {
-      engine::SubqueryCache cache(&assert_plans);
+      engine::SubqueryCache cache(&assert_plans[slot]);
       engine::EvalContext ctx{&db, nullptr, nullptr, nullptr, nullptr,
                               &cache};
       MAYBMS_ASSIGN_OR_RETURN(
           Trivalent keep, engine::EvalPredicate(*stmt.assert_condition, ctx));
       if (keep != Trivalent::kTrue) return Status::OK();
     }
-    if (!group_plan.has_value()) {
-      MAYBMS_ASSIGN_OR_RETURN(group_plan,
+    if (!group_plans[slot].has_value()) {
+      MAYBMS_ASSIGN_OR_RETURN(group_plans[slot],
                               engine::PreparedSelect::Prepare(
                                   *stmt.group_worlds_by, db));
     }
-    MAYBMS_ASSIGN_OR_RETURN(Table answer, group_plan->Execute(db));
-    return grouped.Feed(prob, result, answer);
+    MAYBMS_ASSIGN_OR_RETURN(Table answer, group_plans[slot]->Execute(db));
+    if (!chunk_grouped[chunk].has_value()) {
+      chunk_grouped[chunk].emplace(stmt.quantifier);
+    }
+    return chunk_grouped[chunk]->Feed(prob, result, answer);
+  };
+  auto merge_chunks = [&]() -> Status {
+    for (auto& c : chunk_grouped) {
+      if (c.has_value()) MAYBMS_RETURN_NOT_OK(grouped.Merge(std::move(*c)));
+    }
+    chunk_grouped.clear();
+    return Status::OK();
   };
 
   if (stmt.repair.has_value() || stmt.choice.has_value()) {
     MAYBMS_RETURN_NOT_OK(EnumerateRepairChoiceWorlds(
-        worlds_, stmt, *core, max_worlds_,
-        [&](const World& world, double prob, Table result) -> Status {
-          return feed(prob, std::move(result), world.db);
-        }));
+        pool, threads_, worlds_, stmt, *core, max_worlds_,
+        [&](size_t combos) {
+          chunk_grouped.resize(base::ThreadPool::NumChunks(combos));
+        },
+        [&](size_t /*global*/, size_t slot, size_t chunk, const World& world,
+            double prob, Table result) -> Status {
+          return feed(prob, std::move(result), world.db, slot, chunk);
+        },
+        merge_chunks));
   } else {
-    std::optional<engine::PreparedSelect> select_plan;
-    for (const World& world : worlds_) {
-      if (!select_plan.has_value()) {
-        MAYBMS_ASSIGN_OR_RETURN(
-            select_plan, engine::PreparedSelect::Prepare(*core, world.db));
-      }
-      MAYBMS_ASSIGN_OR_RETURN(Table result, select_plan->Execute(world.db));
-      MAYBMS_RETURN_NOT_OK(feed(world.probability, std::move(result),
-                                world.db));
+    const size_t n = worlds_.size();
+    std::vector<std::optional<engine::PreparedSelect>> plans(slots);
+    if (n > 0) {
+      MAYBMS_ASSIGN_OR_RETURN(
+          plans[0], engine::PreparedSelect::Prepare(*core, worlds_[0].db));
     }
+    chunk_grouped.resize(base::ThreadPool::NumChunks(n));
+    MAYBMS_RETURN_NOT_OK(pool.ParallelFor(
+        n, threads_, [&](size_t i, size_t slot, size_t chunk) -> Status {
+          if (!plans[slot].has_value()) {
+            MAYBMS_ASSIGN_OR_RETURN(
+                plans[slot],
+                engine::PreparedSelect::Prepare(*core, worlds_[i].db));
+          }
+          MAYBMS_ASSIGN_OR_RETURN(Table result,
+                                  plans[slot]->Execute(worlds_[i].db));
+          return feed(worlds_[i].probability, std::move(result),
+                      worlds_[i].db, slot, chunk);
+        }));
+    MAYBMS_RETURN_NOT_OK(merge_chunks());
   }
 
   if (stmt.assert_condition && grouped.worlds_fed() == 0) {

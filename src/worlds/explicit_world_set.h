@@ -19,11 +19,17 @@ namespace maybms::worlds {
 /// World creation (`repair by key`, `choice of`) multiplies the number of
 /// materialized databases, so the total world count is capped; exceeding
 /// the cap is an error directing users to the decomposed engine.
+///
+/// Per-world work (the pipeline core, streaming combination, DML
+/// snapshots) runs on the shared chunked thread pool (base/thread_pool.h).
+/// `threads` caps the parallelism (0 = MAYBMS_THREADS / hardware);
+/// results and errors are byte-identical at every thread count.
 class ExplicitWorldSet : public WorldSet {
  public:
   static constexpr size_t kDefaultMaxWorlds = 1 << 20;
 
-  explicit ExplicitWorldSet(size_t max_worlds = kDefaultMaxWorlds);
+  explicit ExplicitWorldSet(size_t max_worlds = kDefaultMaxWorlds,
+                            size_t threads = 0);
 
   std::unique_ptr<WorldSet> Clone() const override;
   std::string EngineName() const override { return "explicit"; }
@@ -35,7 +41,7 @@ class ExplicitWorldSet : public WorldSet {
   Result<std::vector<World>> MaterializeWorlds(
       size_t max_worlds, bool* truncated = nullptr) const override;
   Result<std::vector<World>> TopKWorlds(size_t k) const override;
-  Result<World> SampleWorld(std::mt19937* rng) const override;
+  Result<World> SampleWorld(base::SplitMix64* rng) const override;
 
   Status CreateBaseTable(const std::string& name,
                          const Table& prototype) override;
@@ -98,6 +104,7 @@ class ExplicitWorldSet : public WorldSet {
 
   std::vector<World> worlds_;
   size_t max_worlds_;
+  size_t threads_;  // per-call parallelism cap; 0 = default
 };
 
 /// Returns a copy of `stmt` with all world-set operations removed, leaving

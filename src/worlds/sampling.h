@@ -22,16 +22,24 @@ namespace maybms::worlds {
 ///
 /// `stmt` must be a plain SQL query (no repair/choice/assert/group worlds
 /// by); a `conf` quantifier is ignored (the estimate replaces it).
+///
+/// Draws run on the shared thread pool (base/thread_pool.h); `threads`
+/// caps the parallelism (0 = MAYBMS_THREADS / hardware). Each sample's
+/// random stream is derived from (seed, sample ordinal) alone, so the
+/// estimate depends only on (seed, samples) — never on the thread count.
 Result<Table> EstimateConfidence(const WorldSet& world_set,
                                  const sql::SelectStatement& stmt,
-                                 size_t samples, uint32_t seed);
+                                 size_t samples, uint32_t seed,
+                                 size_t threads = 0);
 
 /// Monte-Carlo estimate of P(condition holds), where `condition` is
 /// evaluated per world like an `assert` predicate. Companion to
-/// EstimateConfidence for world-level conditions (Ex. 2.10 pattern).
+/// EstimateConfidence for world-level conditions (Ex. 2.10 pattern);
+/// same (seed, samples)-deterministic parallel drawing.
 Result<double> EstimateConditionProbability(const WorldSet& world_set,
                                             const sql::Expr& condition,
-                                            size_t samples, uint32_t seed);
+                                            size_t samples, uint32_t seed,
+                                            size_t threads = 0);
 
 }  // namespace maybms::worlds
 

@@ -39,12 +39,12 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
-#include <random>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "base/result.h"
+#include "base/rng.h"
 #include "sql/ast.h"
 #include "storage/catalog.h"
 #include "worlds/world.h"
@@ -117,8 +117,10 @@ class WorldSet {
   /// Draws one world at random according to the world probabilities.
   /// The decomposed engine samples each component independently — O(n)
   /// per draw regardless of the number of worlds. Basis for Monte-Carlo
-  /// approximate confidence (see worlds/sampling.h).
-  virtual Result<World> SampleWorld(std::mt19937* rng) const = 0;
+  /// approximate confidence (see worlds/sampling.h), which constructs a
+  /// fresh O(1)-seeded generator per sample — hence base::SplitMix64,
+  /// not std::mt19937 with its 624-word init.
+  virtual Result<World> SampleWorld(base::SplitMix64* rng) const = 0;
 
   // ---- Schema / update operations (applied to every world) ----
 

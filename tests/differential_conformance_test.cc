@@ -17,6 +17,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "engine/executor.h"
@@ -222,6 +223,129 @@ uint32_t SeedCount() {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialConformanceTest,
                          ::testing::Range(uint32_t{0}, SeedCount()));
+
+// ---------------------------------------------------------------------------
+// Thread-count invariance over the same corpus
+// ---------------------------------------------------------------------------
+
+/// Exact table equality — including bitwise-equal reals. Used by the
+/// thread-invariance harness below: within ONE engine, the thread count
+/// may not perturb even the last ulp of a confidence (the per-chunk
+/// combiners merge in chunk-index order regardless of scheduling, see
+/// base/thread_pool.h), so no tolerance is granted.
+void ExpectTablesIdentical(const Table& expected, const Table& actual,
+                           const std::string& context) {
+  std::vector<CanonicalRow> e = Canonicalize(expected);
+  std::vector<CanonicalRow> a = Canonicalize(actual);
+  ASSERT_EQ(e.size(), a.size()) << context;
+  for (size_t i = 0; i < e.size(); ++i) {
+    EXPECT_EQ(e[i].discrete, a[i].discrete) << context << " (row " << i << ")";
+    ASSERT_EQ(e[i].reals.size(), a[i].reals.size()) << context;
+    for (size_t j = 0; j < e[i].reals.size(); ++j) {
+      EXPECT_EQ(e[i].reals[j], a[i].reals[j])
+          << context << " (row " << i << ", real " << j << ")";
+    }
+  }
+}
+
+/// Runs every generated pipeline on one engine twice — sequential
+/// (threads=1) and parallel (threads=4) — and demands byte-identical
+/// observables per statement: the SAME status (same error string, not
+/// merely both-failed), same result kind, world distributions equal with
+/// ZERO tolerance (plus the ordered view, which captures row order and
+/// LIMIT prefixes), identical tables and groups. Stricter than the
+/// cross-engine check above by design: parallelism must be unobservable.
+class ThreadInvarianceTest
+    : public ::testing::TestWithParam<std::tuple<EngineMode, uint32_t>> {
+ protected:
+  void SetUp() override {
+    const EngineMode mode = std::get<0>(GetParam());
+    SessionOptions sequential = OptionsFor(mode);
+    sequential.threads = 1;
+    SessionOptions parallel = OptionsFor(mode);
+    parallel.threads = 4;
+    sequential_ = std::make_unique<Session>(sequential);
+    parallel_ = std::make_unique<Session>(parallel);
+  }
+
+  void CheckStatement(const std::string& sql, const std::string& context) {
+    auto s = sequential_->Execute(sql);
+    auto p = parallel_->Execute(sql);
+    const std::string ctx = context + "\nstatement: " + sql;
+    ASSERT_EQ(s.ok(), p.ok())
+        << ctx << "\n threads=1: " << s.status().ToString()
+        << "\n threads=4: " << p.status().ToString();
+    if (!s.ok()) {
+      // Deterministic first-error selection: the parallel run must
+      // surface the exact error the sequential walk hits first.
+      EXPECT_EQ(s.status().ToString(), p.status().ToString()) << ctx;
+      return;
+    }
+    ASSERT_EQ(s->kind(), p->kind()) << ctx;
+    switch (s->kind()) {
+      case QueryResult::Kind::kMessage:
+        break;
+      case QueryResult::Kind::kWorlds:
+        ExpectSameDistribution(WorldDistribution(s->worlds()),
+                               WorldDistribution(p->worlds()),
+                               /*tolerance=*/0.0);
+        ExpectSameDistribution(
+            maybms::testing::WorldDistributionOrdered(s->worlds()),
+            maybms::testing::WorldDistributionOrdered(p->worlds()),
+            /*tolerance=*/0.0);
+        break;
+      case QueryResult::Kind::kTable:
+        ExpectTablesIdentical(s->table(), p->table(), ctx);
+        break;
+      case QueryResult::Kind::kGroups: {
+        ASSERT_EQ(s->groups().size(), p->groups().size()) << ctx;
+        for (size_t i = 0; i < s->groups().size(); ++i) {
+          EXPECT_EQ(s->groups()[i].probability, p->groups()[i].probability)
+              << ctx << " (group " << i << ")";
+          ExpectTablesIdentical(s->groups()[i].key, p->groups()[i].key,
+                                ctx + " (group key " + std::to_string(i) + ")");
+          ExpectTablesIdentical(s->groups()[i].table, p->groups()[i].table,
+                                ctx + " (group " + std::to_string(i) + ")");
+        }
+        break;
+      }
+    }
+  }
+
+  std::unique_ptr<Session> sequential_;
+  std::unique_ptr<Session> parallel_;
+};
+
+TEST_P(ThreadInvarianceTest, GeneratedPipelineIsThreadCountInvariant) {
+  const uint32_t seed = std::get<1>(GetParam());
+  GeneratedPipeline pipeline = PipelineGenerator(seed).Generate();
+  const std::string ctx = "seed " + std::to_string(seed) + "\npipeline:\n" +
+                          pipeline.DebugString();
+  for (const std::string& sql : pipeline.setup) {
+    CheckStatement(sql, ctx);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  EXPECT_EQ(sequential_->world_set().NumWorlds(),
+            parallel_->world_set().NumWorlds())
+      << ctx;
+  for (const std::string& sql : pipeline.probes) {
+    CheckStatement(sql, ctx);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, ThreadInvarianceTest,
+    ::testing::Combine(::testing::Values(EngineMode::kExplicit,
+                                         EngineMode::kDecomposed),
+                       ::testing::Range(uint32_t{0}, SeedCount())),
+    [](const ::testing::TestParamInfo<std::tuple<EngineMode, uint32_t>>&
+           param_info) {
+      return std::string(std::get<0>(param_info.param) == EngineMode::kExplicit
+                             ? "Explicit"
+                             : "Decomposed") +
+             "_" + std::to_string(std::get<1>(param_info.param));
+    });
 
 // ---------------------------------------------------------------------------
 // Generator self-checks

@@ -4,7 +4,7 @@
 
 #include <gtest/gtest.h>
 
-#include <random>
+#include <cmath>
 
 #include "isql/session.h"
 #include "sql/parser.h"
@@ -95,7 +95,7 @@ TEST_P(SamplingTest, SampledWorldsFollowTheDistribution) {
   maybms::testing::LoadFigure1(session);
   Exec(session,
        "create table I as select A, B, C from R repair by key A weight D;");
-  std::mt19937 rng(7);
+  maybms::base::SplitMix64 rng(7);
   // Count how often the a1-group resolves to B=10 (probability 1/4).
   int hits = 0;
   const int kDraws = 4000;
