@@ -19,7 +19,10 @@
 
 namespace {
 
-bool Run(maybms::isql::Session& session, const std::string& sql) {
+// [[nodiscard]] so a failed demo step cannot be silently ignored:
+// main() folds every result into its exit code.
+[[nodiscard]] bool Run(maybms::isql::Session& session,
+                       const std::string& sql) {
   std::cout << "isql> " << sql << "\n";
   auto result = session.Execute(sql);
   if (!result.ok()) {
@@ -50,32 +53,33 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  bool ok = true;
   std::cout << "== The dirty relation R (numbers possibly swapped) ==\n";
-  Run(session, "select * from R;");
+  ok &= Run(session, "select * from R;");
 
   std::cout << "== Step 1 (Figure 5): every pair may be confused ==\n";
-  Run(session,
-      "create table S as "
-      "select SSN, TEL, SSN as SSN', TEL as TEL' from R "
-      "union "
-      "select SSN, TEL, TEL as SSN', SSN as TEL' from R;");
-  Run(session, "select * from S;");
+  ok &= Run(session,
+            "create table S as "
+            "select SSN, TEL, SSN as SSN', TEL as TEL' from R "
+            "union "
+            "select SSN, TEL, TEL as SSN', SSN as TEL' from R;");
+  ok &= Run(session, "select * from S;");
 
   std::cout << "== Step 2 (Figure 6): all readings via repair by key ==\n";
-  Run(session,
-      "create table T as select SSN', TEL' from S repair by key SSN, TEL;");
-  Run(session, "select * from T;");
+  ok &= Run(session,
+            "create table T as select SSN', TEL' from S repair by key SSN, TEL;");
+  ok &= Run(session, "select * from T;");
 
   std::cout << "== Step 3 (Figure 7): enforce SSN' -> TEL' with assert ==\n";
-  Run(session,
-      "create table U as select * from T assert not exists "
-      "(select 'yes' from T t1, T t2 "
-      " where t1.SSN' = t2.SSN' and t1.TEL' <> t2.TEL');");
-  Run(session, "select * from U;");
+  ok &= Run(session,
+            "create table U as select * from T assert not exists "
+            "(select 'yes' from T t1, T t2 "
+            " where t1.SSN' = t2.SSN' and t1.TEL' <> t2.TEL');");
+  ok &= Run(session, "select * from U;");
 
   std::cout << "== Step 4: what do we now believe? ==\n";
-  Run(session, "select conf, SSN', TEL' from U;");
-  Run(session, "select possible SSN' from U;");
-  Run(session, "select certain * from U;");
-  return 0;
+  ok &= Run(session, "select conf, SSN', TEL' from U;");
+  ok &= Run(session, "select possible SSN' from U;");
+  ok &= Run(session, "select certain * from U;");
+  return ok ? 0 : 1;
 }

@@ -14,8 +14,11 @@
 
 namespace {
 
-// Executes one statement and prints its rendered result.
-bool Run(maybms::isql::Session& session, const std::string& sql) {
+// Executes one statement and prints its rendered result. [[nodiscard]]
+// so a demo step that fails cannot be silently ignored: main() folds
+// every result into its exit code.
+[[nodiscard]] bool Run(maybms::isql::Session& session,
+                       const std::string& sql) {
   std::cout << "isql> " << sql << "\n";
   auto result = session.Execute(sql);
   if (!result.ok()) {
@@ -58,36 +61,37 @@ int main(int argc, char** argv) {
   if (!Run(session,
            "create table I as select A, B, C from R "
            "repair by key A weight D;")) {
-    return 1;
+    return 1;  // every later example reads I; nothing sensible to show
   }
-  Run(session, "select * from I;");
+  bool ok = true;
+  ok &= Run(session, "select * from I;");
 
   std::cout << "== Example 2.1: per-world selection ==\n";
-  Run(session, "select * from I where A = 'a3';");
+  ok &= Run(session, "select * from I where A = 'a3';");
 
   std::cout << "== Example 2.5: assert (drops worlds, renormalizes) ==\n";
-  Run(session,
-      "create table J as select * from I "
-      "assert not exists(select * from I where C = 'c1');");
-  Run(session, "select * from J;");
+  ok &= Run(session,
+            "create table J as select * from I "
+            "assert not exists(select * from I where C = 'c1');");
+  ok &= Run(session, "select * from J;");
 
   std::cout << "== Example 2.6/2.7: choice of ==\n";
-  Run(session, "select * from S choice of E;");
-  Run(session, "select * from R choice of A weight D;");
+  ok &= Run(session, "select * from S choice of E;");
+  ok &= Run(session, "select * from R choice of A weight D;");
 
   std::cout << "== Example 2.8: possible sums ==\n";
-  Run(session, "select sum(B) from I;");
-  Run(session, "select possible sum(B) from I;");
+  ok &= Run(session, "select sum(B) from I;");
+  ok &= Run(session, "select possible sum(B) from I;");
 
   std::cout << "== Example 2.9: certain across choice-of worlds ==\n";
-  Run(session, "select certain E from S choice of C;");
+  ok &= Run(session, "select certain E from S choice of C;");
 
   std::cout << "== Example 2.10: tuple confidence ==\n";
-  Run(session, "select conf from I where 50 > (select sum(B) from I);");
-  Run(session, "select conf, A, B, C from I;");
+  ok &= Run(session, "select conf from I where 50 > (select sum(B) from I);");
+  ok &= Run(session, "select conf, A, B, C from I;");
 
   std::cout << "== Current world-set (" << session.world_set().EngineName()
             << " engine) ==\n";
   std::cout << maybms::isql::FormatWorldSet(session.world_set(), 8);
-  return 0;
+  return ok ? 0 : 1;
 }

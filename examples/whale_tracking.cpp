@@ -19,7 +19,10 @@
 
 namespace {
 
-bool Run(maybms::isql::Session& session, const std::string& sql) {
+// [[nodiscard]] so a failed demo step cannot be silently ignored:
+// main() folds every result into its exit code.
+[[nodiscard]] bool Run(maybms::isql::Session& session,
+                       const std::string& sql) {
   std::cout << "isql> " << sql << "\n";
   auto result = session.Execute(sql);
   if (!result.ok()) {
@@ -67,35 +70,36 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  bool ok = true;
   std::cout << "== The six worlds of Figure 3 ==\n";
-  Run(session, "select * from I;");
+  ok &= Run(session, "select * from I;");
 
   std::cout << "== Query Q: can the orca attack the calf (Id=1 at b)? ==\n";
-  Run(session, "select possible 'yes' from I where Id=1 and Pos='b';");
+  ok &= Run(session, "select possible 'yes' from I where Id=1 and Pos='b';");
 
   std::cout << "== Expert knowledge: cows position themselves between\n"
                "   their calves and the enemy (view Valid, assert) ==\n";
-  Run(session,
-      "create view Valid as select * from I assert exists"
-      "(select * from I where Gender='cow' and Pos='b');");
-  Run(session, "select possible 'yes' from Valid where Id=1 and Pos='b';");
+  ok &= Run(session,
+            "create view Valid as select * from I assert exists"
+            "(select * from I where Gender='cow' and Pos='b');");
+  ok &= Run(session, "select possible 'yes' from Valid where Id=1 and Pos='b';");
 
   std::cout << "== Alternative view Valid' (empty outside world E) ==\n";
-  Run(session,
-      "create view Valid2 as select * from I where exists"
-      "(select * from I where Gender='cow' and Pos='b');");
-  Run(session, "select possible 'yes' from Valid2 where Id=1 and Pos='b';");
+  ok &= Run(session,
+            "create view Valid2 as select * from I where exists"
+            "(select * from I where Gender='cow' and Pos='b');");
+  ok &= Run(session, "select possible 'yes' from Valid2 where Id=1 and Pos='b';");
 
   std::cout << "== certain answers distinguish the two views ==\n";
-  Run(session, "select certain * from Valid;");
-  Run(session, "select certain * from Valid2;");
+  ok &= Run(session, "select certain * from Valid;");
+  ok &= Run(session, "select certain * from Valid2;");
 
   std::cout << "== Figure 4: gender combinations per escape route ==\n";
-  Run(session,
-      "create table Groups as "
-      "select possible i2.Gender as G2, i3.Gender as G3 "
-      "from I i2, I i3 where i2.Id = 2 and i3.Id = 3 "
-      "group worlds by (select Pos from I where Id = 2);");
-  Run(session, "select * from Groups;");
-  return 0;
+  ok &= Run(session,
+            "create table Groups as "
+            "select possible i2.Gender as G2, i3.Gender as G3 "
+            "from I i2, I i3 where i2.Id = 2 and i3.Id = 3 "
+            "group worlds by (select Pos from I where Id = 2);");
+  ok &= Run(session, "select * from Groups;");
+  return ok ? 0 : 1;
 }

@@ -4,10 +4,24 @@
 # line every PR is gated on (see ROADMAP.md).
 #
 # Usage:
-#   scripts/check.sh              # docs check + build + ctest
+#   scripts/check.sh              # docs + lint checks, then build + ctest
 #   scripts/check.sh --docs-only  # just the docs-freshness check
+#   scripts/check.sh --lint       # just the invariant lint (tools/lint)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# ---------------------------------------------------------------------------
+# Invariant lint: self-test the rule engine against the known-bad fixture
+# corpus, then lint src/ (see tools/lint/maybms_lint.py for the rules).
+# ---------------------------------------------------------------------------
+invariant_lint() {
+  if ! command -v python3 >/dev/null 2>&1; then
+    echo "invariant-lint: python3 not found; skipping" >&2
+    return 0
+  fi
+  python3 tools/lint/maybms_lint.py --selftest
+  python3 tools/lint/maybms_lint.py
+}
 
 # ---------------------------------------------------------------------------
 # Docs freshness: documentation must not reference repo files or bench
@@ -49,9 +63,15 @@ docs_freshness() {
   echo "docs-freshness check OK"
 }
 
+if [[ "${1:-}" == "--lint" ]]; then
+  invariant_lint
+  exit 0
+fi
+
 docs_freshness
 if [[ "${1:-}" == "--docs-only" ]]; then
   exit 0
 fi
+invariant_lint
 
 cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j

@@ -1,0 +1,52 @@
+#ifndef MAYBMS_BASE_DCHECK_H_
+#define MAYBMS_BASE_DCHECK_H_
+
+// MAYBMS_DCHECK(cond, msg): debug-build invariant trap.
+//
+// In Debug builds (NDEBUG not defined) a failed condition prints the
+// condition, the message, and the source location to stderr and aborts —
+// turning an invariant violation (e.g. mutating a shared COW table, or
+// writing to a shared Database inside a parallel region) into an
+// immediate, attributable crash instead of silent corruption of sibling
+// worlds. In Release builds the macro compiles to nothing: the condition
+// expression is NOT evaluated, so traps may use debug-only state without
+// a release-build cost.
+//
+// The Debug-build death-test suite (tests/invariant_traps_test.cc) proves
+// the engine's traps fire; the ASan/UBSan/TSan CI jobs build Debug and so
+// run the whole test suite with every trap armed.
+
+#ifndef NDEBUG
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace maybms::base {
+
+[[noreturn]] inline void DcheckFail(const char* file, int line,
+                                    const char* condition,
+                                    const char* message) {
+  std::fprintf(stderr, "MAYBMS_DCHECK failed at %s:%d: (%s) — %s\n", file,
+               line, condition, message);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace maybms::base
+
+#define MAYBMS_DCHECK(cond, msg)                                    \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      ::maybms::base::DcheckFail(__FILE__, __LINE__, #cond, (msg)); \
+    }                                                               \
+  } while (false)
+
+#else  // NDEBUG
+
+#define MAYBMS_DCHECK(cond, msg) \
+  do {                           \
+  } while (false)
+
+#endif  // NDEBUG
+
+#endif  // MAYBMS_BASE_DCHECK_H_

@@ -1,0 +1,37 @@
+#ifndef MAYBMS_BASE_PARALLEL_REGION_H_
+#define MAYBMS_BASE_PARALLEL_REGION_H_
+
+// Thread-local parallel-region tracking, maintained by ThreadPool
+// (base/thread_pool.{h,cc}) and consumed by the storage layer's debug
+// invariant traps (storage/catalog.h).
+//
+// While a thread executes loop bodies inside ThreadPool::ParallelFor —
+// as the calling thread, as a pool worker, or on the sequential
+// threads:1/inline path, which follows the same rules so traps are
+// thread-count-invariant — it carries a nonzero REGION TOKEN unique to
+// that (thread, top-level region) pair. Nested ParallelFor calls keep the
+// outer token: they are part of the same logical region.
+//
+// The storage invariant this encodes (see storage/catalog.h): a Database
+// visible to more than one thread is READ-ONLY for the duration of a
+// parallel region. Debug builds stamp every Database with the token under
+// which it was constructed/assigned; the mutating entry points trap when
+// called inside a region on a Database stamped with a different token —
+// i.e. on anything the executing thread did not itself create within the
+// current region. This is a separate header so the storage layer does not
+// pull in the full thread-pool machinery.
+
+#include <cstdint>
+
+namespace maybms::base {
+
+/// Nonzero iff the calling thread is currently executing inside a
+/// ParallelFor region; unique per (thread, top-level region).
+uint64_t CurrentRegionToken();
+
+/// CurrentRegionToken() != 0.
+bool InParallelRegion();
+
+}  // namespace maybms::base
+
+#endif  // MAYBMS_BASE_PARALLEL_REGION_H_

@@ -11,8 +11,12 @@ namespace maybms {
 
 /// Either a value of type T or a non-OK Status. The usual Arrow-style
 /// vocabulary type for fallible functions that produce a value.
+///
+/// [[nodiscard]] like Status: a dropped Result is a dropped error. Consume
+/// it, propagate it (MAYBMS_ASSIGN_OR_RETURN), or drop it explicitly with
+/// MAYBMS_IGNORE_STATUS.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Implicit construction from values and statuses keeps call sites terse:
   //   Result<int> F() { if (bad) return Status::InvalidArgument("..."); return 42; }
@@ -75,5 +79,16 @@ class Result {
   auto tmp = (rexpr);                                 \
   if (!tmp.ok()) return tmp.status();                 \
   lhs = std::move(tmp).value()
+
+// Explicitly discards a Status/Result when dropping the error is the
+// intended behavior (e.g. best-effort cleanup, a bench loop that has
+// already validated the statement). This is the ONE sanctioned way to
+// drop a [[nodiscard]] value: a bare `(void)` cast is still flagged by
+// the lint pass (tools/lint), so every intentional drop is greppable.
+#define MAYBMS_IGNORE_STATUS(expr)     \
+  do {                                 \
+    auto _maybms_ignored = (expr);     \
+    static_cast<void>(_maybms_ignored); \
+  } while (false)
 
 #endif  // MAYBMS_BASE_RESULT_H_

@@ -27,7 +27,13 @@ const char* StatusCodeToString(StatusCode code);
 
 /// Outcome of an operation: a code plus a message for non-OK statuses.
 /// OK is represented without allocation; cheap to copy and move.
-class Status {
+///
+/// The class is [[nodiscard]]: every function returning a Status by value
+/// must have its result consumed (checked, propagated via
+/// MAYBMS_RETURN_NOT_OK, or explicitly dropped with MAYBMS_IGNORE_STATUS —
+/// see base/result.h). Silently dropping an error is a compile error under
+/// the repo's -Werror build and a lint finding (tools/lint).
+class [[nodiscard]] Status {
  public:
   Status() = default;
   Status(StatusCode code, std::string message);

@@ -5,6 +5,8 @@
 #include <exception>
 #include <string>
 
+#include "base/parallel_region.h"
+
 namespace maybms::base {
 
 namespace {
@@ -13,7 +15,37 @@ namespace {
 // worker): nested calls run inline instead of re-entering the pool.
 thread_local bool tls_inside_parallel_for = false;
 
+// Region token for the debug invariant traps (base/parallel_region.h):
+// nonzero while this thread runs ParallelFor bodies — including the
+// sequential inline path, so a trap that would fire at threads:8 also
+// fires at threads:1. Unlike tls_inside_parallel_for (which only guards
+// pool re-entry), the token is maintained on EVERY execution path.
+thread_local uint64_t tls_region_token = 0;
+std::atomic<uint64_t> g_next_region_token{1};
+
+// Assigns this thread a fresh token for a top-level region; nested
+// regions (token already nonzero) keep the outer token.
+class RegionTokenScope {
+ public:
+  RegionTokenScope() : saved_(tls_region_token) {
+    if (tls_region_token == 0) {
+      tls_region_token =
+          g_next_region_token.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  ~RegionTokenScope() { tls_region_token = saved_; }
+  RegionTokenScope(const RegionTokenScope&) = delete;
+  RegionTokenScope& operator=(const RegionTokenScope&) = delete;
+
+ private:
+  uint64_t saved_;
+};
+
 }  // namespace
+
+uint64_t CurrentRegionToken() { return tls_region_token; }
+
+bool InParallelRegion() { return tls_region_token != 0; }
 
 ThreadPool::ThreadPool(size_t extra_workers) : target_workers_(extra_workers) {}
 
@@ -92,7 +124,10 @@ size_t ThreadPool::Slots(size_t threads) const {
 
 Status ThreadPool::RunInline(size_t n, const Body& body) {
   // Same chunk walk as the parallel path; run in order, the first error
-  // encountered is the smallest-index error.
+  // encountered is the smallest-index error. Carries a region token like
+  // the parallel path so the Database/Table debug traps are independent
+  // of the thread count and loop size.
+  RegionTokenScope region;
   const size_t chunk_size = ChunkSize(n);
   const size_t num_chunks = NumChunks(n);
   for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
@@ -150,7 +185,10 @@ void ThreadPool::WorkerLoop() {
       ++active_;
       lk.unlock();
       tls_inside_parallel_for = true;
-      RunChunks(t, slot);
+      {
+        RegionTokenScope region;
+        RunChunks(t, slot);
+      }
       tls_inside_parallel_for = false;
       lk.lock();
       if (--active_ == 0) done_cv_.notify_all();
@@ -187,7 +225,10 @@ Status ThreadPool::ParallelFor(size_t n, size_t threads, const Body& body) {
   work_cv_.notify_all();
 
   tls_inside_parallel_for = true;
-  RunChunks(&task, /*slot=*/0);
+  {
+    RegionTokenScope region;
+    RunChunks(&task, /*slot=*/0);
+  }
   tls_inside_parallel_for = false;
 
   {

@@ -39,6 +39,12 @@
 // worker (slot 0 of the nested call) — no deadlock, no thread explosion.
 // Concurrent top-level calls from different threads serialize on the pool.
 //
+// Debug invariant enforcement: while a thread executes loop bodies (on
+// every path, including threads:1/inline) it carries a nonzero region
+// token (base/parallel_region.h). Debug builds use it to trap writes to
+// shared Databases from inside a parallel region — see the concurrency
+// invariant in storage/catalog.h and tests/invariant_traps_test.cc.
+//
 // Thread count resolution: a per-call `threads` argument of 0 means
 // DefaultThreads(), which honours the MAYBMS_THREADS environment variable
 // (if set to a positive integer) and falls back to
@@ -102,7 +108,7 @@ class ThreadPool {
   /// Runs body for every index in [0, n) using up to Slots(threads)
   /// threads. Returns OK iff every executed body returned OK; otherwise
   /// the error of the SMALLEST failing index (see rule 2 above).
-  Status ParallelFor(size_t n, size_t threads, const Body& body);
+  [[nodiscard]] Status ParallelFor(size_t n, size_t threads, const Body& body);
 
  private:
   struct Task {

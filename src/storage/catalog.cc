@@ -24,10 +24,15 @@ Result<Database::TableHandle> Database::GetRelationHandle(
   if (it == relations_.end()) {
     return Status::NotFound("relation not found: " + name);
   }
+  // The borrowed handle may be stored anywhere (typically into sibling
+  // worlds); conservatively mark the instance shared until a
+  // MutableRelation re-establishes unique ownership.
+  it->second.table->DebugMarkShared();
   return it->second.table;
 }
 
 Result<Table*> Database::MutableRelation(const std::string& name) {
+  AssertMutableInRegion();
   auto it = relations_.find(AsciiToLower(name));
   if (it == relations_.end()) {
     return Status::NotFound("relation not found: " + name);
@@ -37,15 +42,22 @@ Result<Table*> Database::MutableRelation(const std::string& name) {
   // visible to other worlds (or a borrowed handle) and must be cloned.
   if (it->second.table.use_count() > 1) {
     it->second.table = std::make_shared<Table>(*it->second.table);
+  } else {
+    // Sole owner again (any borrowed handles are gone): in-place mutation
+    // is sanctioned, clear the debug COW marker.
+    it->second.table->DebugMarkUnshared();
   }
   // The instance is uniquely owned here, and every stored instance is
   // created as a non-const Table (PutRelation / the clone above), so
   // casting the const handle back for mutation is well-defined and
   // cannot affect any other world.
+  // maybms-lint: allow(forbidden-api) — the one sanctioned const_cast:
+  // unique ownership was just established above.
   return const_cast<Table*>(it->second.table.get());
 }
 
 void Database::PutRelation(const std::string& name, Table table) {
+  AssertMutableInRegion();
   // make_shared<Table>, not <const Table>: the handle type is
   // const-qualified, but the *object* must stay non-const so
   // MutableRelation's sole-owner cast is defined behavior.
@@ -54,10 +66,14 @@ void Database::PutRelation(const std::string& name, Table table) {
 }
 
 void Database::PutRelation(const std::string& name, TableHandle table) {
+  AssertMutableInRegion();
+  // Storing a handle someone else still holds shares the instance.
+  if (table.use_count() > 1) table->DebugMarkShared();
   relations_[AsciiToLower(name)] = Entry{name, std::move(table)};
 }
 
 Status Database::DropRelation(const std::string& name) {
+  AssertMutableInRegion();
   auto it = relations_.find(AsciiToLower(name));
   if (it == relations_.end()) {
     return Status::NotFound("relation not found: " + name);

@@ -2,11 +2,14 @@
 #define MAYBMS_STORAGE_CATALOG_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "base/dcheck.h"
+#include "base/parallel_region.h"
 #include "base/result.h"
 #include "storage/table.h"
 
@@ -43,6 +46,22 @@ namespace maybms {
 /// private copy always clones, never mutates in place, because the
 /// parent's handle keeps the use count above one. The TSan CI job runs
 /// the world-storage and parallel-execution suites against this contract.
+///
+/// Debug enforcement (compiled out in Release):
+///  * Parallel-region trap: every Database is stamped with the region
+///    token (base/parallel_region.h) under which it was constructed or
+///    assigned. MutableRelation/PutRelation/DropRelation trap when called
+///    inside a parallel region on a Database the executing thread did not
+///    itself create within that region — i.e. on anything shared across
+///    the region, such as the live world vector a commit path must only
+///    touch after the join. Whole-object assignment re-stamps and does
+///    not trap (scattering results into a pre-sized commit log, each slot
+///    touched by exactly one thread, is the sanctioned writer pattern).
+///  * COW trap: Table's debug shared-marker (storage/table.h) is set by
+///    Database copies and shared-handle stores, and cleared only by
+///    MutableRelation once unique ownership is established, so in-place
+///    mutation of an instance other worlds still see aborts immediately.
+/// tests/invariant_traps_test.cc proves both traps fire.
 class Database {
  public:
   /// Shared, immutable relation instance. The same handle may be stored
@@ -50,6 +69,27 @@ class Database {
   using TableHandle = std::shared_ptr<const Table>;
 
   Database() = default;
+
+#ifndef NDEBUG
+  // Hand-written only in Debug: stamp with the CURRENT region token
+  // (never the source's) and maintain the tables' shared-markers. Release
+  // keeps the implicit members.
+  Database(const Database& other) : relations_(other.relations_) {
+    DebugMarkTablesShared();
+  }
+  Database& operator=(const Database& other) {
+    relations_ = other.relations_;
+    debug_region_token_ = base::CurrentRegionToken();
+    DebugMarkTablesShared();
+    return *this;
+  }
+  Database(Database&& other) noexcept : relations_(std::move(other.relations_)) {}
+  Database& operator=(Database&& other) noexcept {
+    relations_ = std::move(other.relations_);
+    debug_region_token_ = base::CurrentRegionToken();
+    return *this;
+  }
+#endif
 
   bool HasRelation(const std::string& name) const;
 
@@ -90,7 +130,34 @@ class Database {
     std::string display_name;
     TableHandle table;
   };
+
+#ifndef NDEBUG
+  /// Traps when a mutating entry point runs inside a parallel region on a
+  /// Database this thread did not create within that region.
+  void AssertMutableInRegion() const {
+    MAYBMS_DCHECK(base::CurrentRegionToken() == 0 ||
+                      debug_region_token_ == base::CurrentRegionToken(),
+                  "Database mutated during a parallel region — shared "
+                  "Databases are READ-ONLY while a ParallelFor runs; "
+                  "workers may only mutate copies they created inside the "
+                  "region, and commits must happen after the join "
+                  "(storage/catalog.h concurrency invariant)");
+  }
+  /// After a Database copy, every instance is reachable from both sides.
+  void DebugMarkTablesShared() const {
+    for (const auto& [key, entry] : relations_) entry.table->DebugMarkShared();
+  }
+#else
+  void AssertMutableInRegion() const {}
+  void DebugMarkTablesShared() const {}
+#endif
+
   std::map<std::string, Entry> relations_;  // key: lower-cased name
+#ifndef NDEBUG
+  // Region token (base/parallel_region.h) current when this Database was
+  // constructed/assigned; 0 when created outside any parallel region.
+  uint64_t debug_region_token_ = base::CurrentRegionToken();
+#endif
 };
 
 /// Kinds of integrity constraints enforced on insert/update.

@@ -5,6 +5,7 @@
 namespace maybms {
 
 Status Table::Append(Tuple row) {
+  AssertUnshared();
   if (row.size() != schema_.num_columns()) {
     return Status::InvalidArgument(
         "row arity " + std::to_string(row.size()) +
@@ -21,7 +22,10 @@ Table Table::SortedDistinct() const {
   return out;
 }
 
-void Table::SortRows() { std::sort(rows_.begin(), rows_.end()); }
+void Table::SortRows() {
+  AssertUnshared();
+  std::sort(rows_.begin(), rows_.end());
+}
 
 void Table::DeduplicateRows() {
   SortRows();

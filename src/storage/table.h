@@ -1,10 +1,12 @@
 #ifndef MAYBMS_STORAGE_TABLE_H_
 #define MAYBMS_STORAGE_TABLE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <string>
 #include <vector>
 
+#include "base/dcheck.h"
 #include "base/result.h"
 #include "types/schema.h"
 #include "types/tuple.h"
@@ -18,6 +20,17 @@ namespace maybms {
 /// via SortedDistinct()/ContainsTuple(). Tables are value types — copying
 /// a Table copies its rows, which is exactly what per-world semantics
 /// require.
+///
+/// Debug shared-marker (copy-on-write enforcement): in Debug builds every
+/// Table carries a marker that Database sets whenever the instance becomes
+/// reachable from more than one handle (a Database copy, a stored shared
+/// handle, a borrowed GetRelationHandle). Every mutating entry point traps
+/// via MAYBMS_DCHECK while the marker is set, so a clone-on-unshared-write
+/// violation — mutating an instance other worlds still see — aborts with a
+/// message instead of silently corrupting sibling worlds.
+/// Database::MutableRelation clears the marker once it has established
+/// unique ownership; copying a Table yields a fresh, unmarked instance.
+/// Release builds compile all of this out.
 class Table {
  public:
   Table() = default;
@@ -25,23 +38,58 @@ class Table {
   Table(Schema schema, std::vector<Tuple> rows)
       : schema_(std::move(schema)), rows_(std::move(rows)) {}
 
+#ifndef NDEBUG
+  // A copy is a brand-new unshared instance regardless of the source's
+  // marker; moving FROM a shared instance is itself a mutation and traps.
+  // (Hand-written only in Debug so Release keeps the implicit members.)
+  Table(const Table& other) : schema_(other.schema_), rows_(other.rows_) {}
+  Table& operator=(const Table& other) {
+    AssertUnshared();
+    schema_ = other.schema_;
+    rows_ = other.rows_;
+    return *this;
+  }
+  Table(Table&& other) noexcept
+      : schema_((other.AssertUnshared(), std::move(other.schema_))),
+        rows_(std::move(other.rows_)) {}
+  Table& operator=(Table&& other) noexcept {
+    AssertUnshared();
+    other.AssertUnshared();
+    schema_ = std::move(other.schema_);
+    rows_ = std::move(other.rows_);
+    return *this;
+  }
+#endif
+
   const Schema& schema() const { return schema_; }
-  Schema* mutable_schema() { return &schema_; }
+  Schema* mutable_schema() {
+    AssertUnshared();
+    return &schema_;
+  }
 
   size_t num_rows() const { return rows_.size(); }
   bool empty() const { return rows_.empty(); }
   const Tuple& row(size_t i) const { return rows_[i]; }
   const std::vector<Tuple>& rows() const { return rows_; }
-  std::vector<Tuple>* mutable_rows() { return &rows_; }
+  std::vector<Tuple>* mutable_rows() {
+    AssertUnshared();
+    return &rows_;
+  }
 
   /// Appends a row; validates arity (types are checked by the caller that
   /// produced the tuple).
-  Status Append(Tuple row);
+  [[nodiscard]] Status Append(Tuple row);
 
   /// Appends without arity checks (internal fast path).
-  void AppendUnchecked(Tuple row) { rows_.push_back(std::move(row)); }
+  void AppendUnchecked(Tuple row) {
+    AssertUnshared();
+    rows_.push_back(std::move(row));
+  }
 
-  void Clear() { rows_.clear(); }
+  void Clear() {
+    AssertUnshared();
+    rows_.clear();
+  }
 
   /// Returns a copy with rows sorted and duplicates removed.
   Table SortedDistinct() const;
@@ -64,9 +112,37 @@ class Table {
   /// Multi-line textual rendering with a header; used by the formatter.
   std::string ToString() const;
 
+  /// Debug-only COW markers (no-ops in Release); maintained by Database.
+  /// Marking is idempotent and thread-safe: parallel workers copying the
+  /// same parent Database mark its instances concurrently.
+  void DebugMarkShared() const {
+#ifndef NDEBUG
+    debug_shared_.store(true, std::memory_order_relaxed);
+#endif
+  }
+  void DebugMarkUnshared() const {
+#ifndef NDEBUG
+    debug_shared_.store(false, std::memory_order_relaxed);
+#endif
+  }
+
  private:
+  void AssertUnshared() const {
+#ifndef NDEBUG
+    MAYBMS_DCHECK(!debug_shared_.load(std::memory_order_relaxed),
+                  "Table mutated while shared between worlds — the "
+                  "copy-on-write invariant (storage/catalog.h) requires "
+                  "cloning via Database::MutableRelation first");
+#endif
+  }
+
   Schema schema_;
   std::vector<Tuple> rows_;
+#ifndef NDEBUG
+  // Set while this instance is (potentially) reachable from more than one
+  // TableHandle; mutable so const Databases can mark on copy.
+  mutable std::atomic<bool> debug_shared_{false};
+#endif
 };
 
 }  // namespace maybms

@@ -1,0 +1,62 @@
+// maybms-lint-fixture: src/engine/prepared.h
+// Known-bad fixture: plan structs capturing world data. Every line that the
+// linter MUST flag carries an `expect-lint:` marker; everything else must
+// stay clean (the self-test fails on extra findings too).
+#ifndef MAYBMS_TESTS_LINT_SELFTEST_PLAN_MEMBER_H_
+#define MAYBMS_TESTS_LINT_SELFTEST_PLAN_MEMBER_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace maybms {
+
+class Table;
+class Database;
+class Value;
+class Tuple;
+class Schema;
+
+struct PreparedScan {
+  // Schema-level members are fine.
+  std::string relation_name;
+  std::vector<size_t> column_indexes;
+  Schema output_schema;
+
+  // World data captured at prepare time: the exact bug class the rule
+  // exists for.
+  Table* source = nullptr;             // expect-lint: plan-schema-only
+  const Database* world = nullptr;     // expect-lint: plan-schema-only
+  Value filter_constant;               // expect-lint: plan-schema-only
+  std::vector<Tuple> sample_rows;      // expect-lint: plan-schema-only
+
+  // A suppressed capture: documented escape hatch, must NOT be flagged.
+  // maybms-lint: allow(plan-schema-only)
+  Value annotated_escape_hatch;
+
+  // Method declarations mentioning the types are not data members.
+  const Table* Resolve(const Database& db) const;
+  void BindConstant(Value v);
+};
+
+// Name does not match ^Prepared|*Plan|*PlanCache: not a plan struct, so a
+// row-data member here is legitimate (cf. View::owned_rows in prepared.h).
+struct MaterializedView {
+  std::vector<Tuple> owned_rows;
+  Value cached_scalar;
+};
+
+struct JoinPlanCache {
+  struct Entry {
+    // Nested structs are separate scopes; Entry is not itself a plan
+    // struct by name (cf. SubqueryCache::Entry), so this is allowed.
+    std::vector<Tuple> materialized;
+  };
+  std::vector<Entry> entries;
+  Table* probe_side = nullptr;  // expect-lint: plan-schema-only
+};
+
+}  // namespace maybms
+
+#endif  // MAYBMS_TESTS_LINT_SELFTEST_PLAN_MEMBER_H_

@@ -1,0 +1,67 @@
+// maybms-lint-fixture: src/worlds/explicit_world_set.cc
+// Known-bad fixture: dropped Status/Result values. The rule flags a bare
+// expression statement whose outermost call is a function declared (in a
+// src header or this fixture) to return Status or Result<T>.
+#include "base/result.h"
+#include "base/status.h"
+
+namespace maybms {
+
+class Database {
+ public:
+  Status DropRelation(const char* name);
+  bool HasRelation(const char* name) const;
+};
+
+Status Flush();
+Status DropWorld(int index);
+Result<int> CountRows(const Database& db);
+
+Status Violations(Database& db) {
+  Flush();                      // expect-lint: unchecked-status
+  db.DropRelation("r");         // expect-lint: unchecked-status
+  CountRows(db);                // expect-lint: unchecked-status
+
+  // A (void) cast is NOT the sanctioned drop — MAYBMS_IGNORE_STATUS is —
+  // so the lint still flags it even though the compiler is appeased.
+  (void)Flush();  // expect-lint: unchecked-status
+
+  if (db.HasRelation("r"))
+    db.DropRelation("r");  // expect-lint: unchecked-status
+
+  // Calls split across lines are still one statement.
+  db.DropRelation(  // expect-lint: unchecked-status
+      "some_longer_relation_name");
+
+  return Status::OK();
+}
+
+Status Sanctioned(Database& db) {
+  // Propagation macros consume the value.
+  MAYBMS_RETURN_NOT_OK(Flush());
+  MAYBMS_ASSIGN_OR_RETURN(int rows, CountRows(db));
+  if (rows > 0) {
+    MAYBMS_RETURN_NOT_OK(DropWorld(rows));
+  }
+
+  // Explicit consumption.
+  Status s = db.DropRelation("r");
+  if (!s.ok() && !s.IsNotFound()) return s;
+
+  // An assignment continued onto the next line is not a fresh statement.
+  Status deferred =
+      Flush();
+  if (!deferred.ok()) return deferred;
+
+  // The one sanctioned drop annotation.
+  MAYBMS_IGNORE_STATUS(db.DropRelation("gone"));
+
+  // Suppression comment for a reviewed exception.
+  // maybms-lint: allow(unchecked-status)
+  Flush();
+
+  // Consumed by return.
+  return Flush();
+}
+
+}  // namespace maybms

@@ -1,0 +1,50 @@
+// Runs the invariant linter's fixture self-test and a full-tree lint as
+// part of the regular test suite, so `ctest` catches both a rule that
+// stopped detecting its known-bad fixture and a new violation in src/.
+//
+// The linter is plain python3 (tools/lint/maybms_lint.py); if the build
+// environment has no python3 the tests skip rather than fail — CI always
+// has one, and scripts/check.sh --lint runs the same commands.
+
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace maybms {
+namespace {
+
+#ifndef MAYBMS_SOURCE_DIR
+#error "MAYBMS_SOURCE_DIR must be defined by the build (see CMakeLists.txt)"
+#endif
+
+bool HavePython3() { return std::system("python3 -c pass") == 0; }
+
+std::string LintCommand(const std::string& extra_arg) {
+  std::string cmd = "python3 ";
+  cmd += MAYBMS_SOURCE_DIR;
+  cmd += "/tools/lint/maybms_lint.py --root ";
+  cmd += MAYBMS_SOURCE_DIR;
+  if (!extra_arg.empty()) {
+    cmd += " ";
+    cmd += extra_arg;
+  }
+  return cmd;
+}
+
+TEST(LintSelftestTest, FixtureCorpusIsFullyDetected) {
+  if (!HavePython3()) GTEST_SKIP() << "python3 not available";
+  EXPECT_EQ(std::system(LintCommand("--selftest").c_str()), 0)
+      << "the linter missed an expected finding or produced an extra one "
+         "over tests/lint_selftest/";
+}
+
+TEST(LintSelftestTest, SourceTreeIsLintClean) {
+  if (!HavePython3()) GTEST_SKIP() << "python3 not available";
+  EXPECT_EQ(std::system(LintCommand("").c_str()), 0)
+      << "src/ violates an invariant lint rule (run scripts/check.sh "
+         "--lint for details)";
+}
+
+}  // namespace
+}  // namespace maybms
