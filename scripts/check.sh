@@ -42,8 +42,8 @@ docs_freshness() {
              docs/*.md README.md 2>/dev/null | sort -u)
 
   # 2) Every bench case mentioned in docs (tokens shaped like
-  #    family/.../explicit|decomposed/...) must have its family name
-  #    registered somewhere in bench/*.cc.
+  #    family/.../explicit|decomposed|memory|paged/...) must have its
+  #    family name registered somewhere in bench/*.cc.
   # The family must appear as a registration string literal — `"family/`
   # or `"family"` — not merely as a substring of a comment or identifier.
   local case family
@@ -54,7 +54,7 @@ docs_freshness() {
       fail=1
     fi
   done < <(grep -hoE '[a-z][a-z0-9_]*(/[a-z0-9_*.:]+)+' docs/*.md README.md 2>/dev/null \
-             | grep -E '/(explicit|decomposed)(/|$)' | sort -u)
+             | grep -E '/(explicit|decomposed|memory|paged)(/|$)' | sort -u)
 
   if [[ ${fail} -ne 0 ]]; then
     echo "docs-freshness check FAILED" >&2

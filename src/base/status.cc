@@ -31,6 +31,12 @@ const char* StatusCodeToString(StatusCode code) {
       return "Unsupported";
     case StatusCode::kRuntimeError:
       return "RuntimeError";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }
@@ -90,6 +96,15 @@ Status Status::Unsupported(std::string msg) {
 }
 Status Status::RuntimeError(std::string msg) {
   return Status(StatusCode::kRuntimeError, std::move(msg));
+}
+Status Status::IOError(std::string msg) {
+  return Status(StatusCode::kIOError, std::move(msg));
+}
+Status Status::ResourceExhausted(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
+Status Status::DataLoss(std::string msg) {
+  return Status(StatusCode::kDataLoss, std::move(msg));
 }
 
 }  // namespace maybms

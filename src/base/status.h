@@ -20,6 +20,12 @@ enum class StatusCode {
   kEmptyWorldSet,   // e.g. `assert` eliminated every world
   kUnsupported,
   kRuntimeError,
+  kIOError,            // file open/read/write/sync failed (storage layer)
+  kResourceExhausted,  // a hard budget is spent, e.g. every buffer-pool
+                       // page is pinned — back off, do not trap
+  kDataLoss,           // durable bytes failed validation (checksum
+                       // mismatch, truncated page): corruption is
+                       // DETECTED, never silently read
 };
 
 /// Returns a human-readable name ("ParseError", ...) for a code.
@@ -53,6 +59,9 @@ class [[nodiscard]] Status {
   static Status EmptyWorldSet(std::string msg);
   static Status Unsupported(std::string msg);
   static Status RuntimeError(std::string msg);
+  static Status IOError(std::string msg);
+  static Status ResourceExhausted(std::string msg);
+  static Status DataLoss(std::string msg);
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }

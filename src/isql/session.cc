@@ -1,15 +1,180 @@
 #include "isql/session.h"
 
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#include <unistd.h>
+
 #include "base/string_util.h"
 #include "engine/dml.h"
 #include "sql/parser.h"
+#include "storage/codec.h"
 #include "worlds/decomposed_world_set.h"
 #include "worlds/explicit_world_set.h"
 
 namespace maybms::isql {
 
+namespace {
+
+/// Constraint declarations ride along in the snapshot's opaque metadata:
+/// one entry per table, key "constraints:<table_lower>", value a
+/// codec-encoded list {u32 count; per constraint u8 kind, u32 num
+/// columns, column strings}.
+constexpr char kConstraintKeyPrefix[] = "constraints:";
+
+std::vector<std::pair<std::string, std::string>> EncodeCatalogMetadata(
+    const Catalog& catalog) {
+  std::vector<std::pair<std::string, std::string>> metadata;
+  for (const auto& [table, constraints] : catalog.AllConstraints()) {
+    std::vector<std::byte> bytes;
+    storage::codec::PutU32(&bytes, static_cast<uint32_t>(constraints.size()));
+    for (const Constraint& c : constraints) {
+      storage::codec::PutU8(&bytes, static_cast<uint8_t>(c.kind));
+      storage::codec::PutU32(&bytes, static_cast<uint32_t>(c.columns.size()));
+      for (const std::string& column : c.columns) {
+        storage::codec::PutString(&bytes, column);
+      }
+    }
+    metadata.emplace_back(
+        kConstraintKeyPrefix + table,
+        std::string(reinterpret_cast<const char*>(bytes.data()),
+                    bytes.size()));
+  }
+  return metadata;
+}
+
+Status RestoreCatalogMetadata(
+    const std::vector<std::pair<std::string, std::string>>& metadata,
+    Catalog* catalog) {
+  catalog->Clear();
+  const std::string prefix = kConstraintKeyPrefix;
+  for (const auto& [key, value] : metadata) {
+    if (key.compare(0, prefix.size(), prefix) != 0) continue;
+    const std::string table = key.substr(prefix.size());
+    storage::codec::Reader r(
+        reinterpret_cast<const std::byte*>(value.data()), value.size());
+    MAYBMS_ASSIGN_OR_RETURN(uint32_t count, r.U32());
+    for (uint32_t i = 0; i < count; ++i) {
+      Constraint c;
+      MAYBMS_ASSIGN_OR_RETURN(uint8_t kind, r.U8());
+      c.kind = static_cast<ConstraintKind>(kind);
+      MAYBMS_ASSIGN_OR_RETURN(uint32_t num_columns, r.U32());
+      c.columns.reserve(num_columns);
+      for (uint32_t j = 0; j < num_columns; ++j) {
+        MAYBMS_ASSIGN_OR_RETURN(std::string column, r.String());
+        c.columns.push_back(std::move(column));
+      }
+      catalog->AddConstraint(table, std::move(c));
+    }
+  }
+  return Status::OK();
+}
+
+bool IsMutatingStatement(sql::StatementKind kind) {
+  switch (kind) {
+    case sql::StatementKind::kSelect:
+      return false;  // plain queries never modify the world-set
+    case sql::StatementKind::kCreateTable:
+    case sql::StatementKind::kCreateTableAs:
+    case sql::StatementKind::kDropTable:
+    case sql::StatementKind::kInsert:
+    case sql::StatementKind::kUpdate:
+    case sql::StatementKind::kDelete:
+      return true;
+  }
+  return true;
+}
+
+}  // namespace
+
 Session::Session(SessionOptions options) : options_(options) {
   worlds_ = MakeWorldSet();
+  InitStorage();
+}
+
+Session::~Session() {
+  store_.reset();  // close the file before removing the directory
+  if (owns_storage_dir_ && !storage_dir_.empty()) {
+    std::error_code ec;
+    std::filesystem::remove_all(storage_dir_, ec);  // best effort
+  }
+}
+
+void Session::InitStorage() {
+  StorageMode mode = options_.storage;
+  if (mode == StorageMode::kDefault) {
+    const char* env = std::getenv("MAYBMS_STORAGE");
+    mode = (env != nullptr && std::string(env) == "paged")
+               ? StorageMode::kPaged
+               : StorageMode::kMemory;
+  }
+  if (mode != StorageMode::kPaged) return;
+  paged_ = true;
+
+  storage_status_ = [&]() -> Status {
+    std::string dir = options_.storage_dir;
+    if (dir.empty()) {
+      const char* env = std::getenv("MAYBMS_STORAGE_DIR");
+      if (env != nullptr) dir = env;
+    }
+    std::error_code ec;
+    if (dir.empty()) {
+      // Private per-session directory, removed in ~Session. pid+counter
+      // keeps concurrent test binaries and sessions apart.
+      static std::atomic<uint64_t> counter{0};
+      const std::filesystem::path base =
+          std::filesystem::temp_directory_path(ec);
+      if (ec) {
+        return Status::IOError("temp_directory_path: " + ec.message());
+      }
+      dir = (base / ("maybms-" + std::to_string(::getpid()) + "-" +
+                     std::to_string(counter.fetch_add(1))))
+                .string();
+      owns_storage_dir_ = true;
+    }
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+      return Status::IOError("create_directories(" + dir +
+                             "): " + ec.message());
+    }
+    storage_dir_ = dir;
+
+    size_t pool_pages = options_.pool_pages;
+    if (pool_pages == 0) {
+      const char* env = std::getenv("MAYBMS_POOL_PAGES");
+      if (env != nullptr) {
+        pool_pages = static_cast<size_t>(std::strtoull(env, nullptr, 10));
+      }
+    }
+    if (pool_pages == 0) pool_pages = 1024;
+
+    MAYBMS_ASSIGN_OR_RETURN(
+        store_, storage::PagedStore::Open(dir + "/maybms.db", pool_pages));
+    if (store_->has_data()) {
+      MAYBMS_ASSIGN_OR_RETURN(storage::DurableSnapshot snapshot,
+                              store_->Load());
+      MAYBMS_RETURN_NOT_OK(worlds_->FromSnapshot(snapshot));
+      MAYBMS_RETURN_NOT_OK(
+          RestoreCatalogMetadata(snapshot.metadata, &catalog_));
+    }
+    return Status::OK();
+  }();
+}
+
+Status Session::PersistAndReload() {
+  MAYBMS_ASSIGN_OR_RETURN(storage::DurableSnapshot snapshot,
+                          worlds_->ToSnapshot());
+  snapshot.metadata = EncodeCatalogMetadata(catalog_);
+  MAYBMS_RETURN_NOT_OK(store_->Commit(snapshot));
+  // Reload through the store so every relation the next statement reads
+  // has round-tripped disk pages, checksums, and the buffer pool — paged
+  // mode is exercised end to end, not just on restart.
+  MAYBMS_ASSIGN_OR_RETURN(storage::DurableSnapshot loaded, store_->Load());
+  MAYBMS_RETURN_NOT_OK(worlds_->FromSnapshot(loaded));
+  return RestoreCatalogMetadata(loaded.metadata, &catalog_);
 }
 
 std::unique_ptr<worlds::WorldSet> Session::MakeWorldSet() const {
@@ -41,6 +206,19 @@ Result<std::vector<QueryResult>> Session::ExecuteScript(
 }
 
 Result<QueryResult> Session::ExecuteStatement(const sql::Statement& stmt) {
+  if (paged_) {
+    // A failed storage init (unopenable directory, corrupt store, engine
+    // mismatch) fails every statement with the same sticky error.
+    MAYBMS_RETURN_NOT_OK(storage_status_);
+  }
+  MAYBMS_ASSIGN_OR_RETURN(QueryResult result, DispatchStatement(stmt));
+  if (paged_ && IsMutatingStatement(stmt.kind)) {
+    MAYBMS_RETURN_NOT_OK(PersistAndReload());
+  }
+  return result;
+}
+
+Result<QueryResult> Session::DispatchStatement(const sql::Statement& stmt) {
   switch (stmt.kind) {
     case sql::StatementKind::kSelect:
       return EvaluateSelect(static_cast<const sql::SelectStatement&>(stmt));

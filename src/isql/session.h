@@ -12,6 +12,7 @@
 #include "isql/query_result.h"
 #include "sql/ast.h"
 #include "storage/catalog.h"
+#include "storage/store.h"
 #include "worlds/world_set.h"
 
 namespace maybms::isql {
@@ -22,8 +23,32 @@ enum class EngineMode {
   kDecomposed,  // MayBMS world-set decomposition
 };
 
+/// Which table storage backs the session's world-set.
+enum class StorageMode {
+  kDefault,  // the MAYBMS_STORAGE environment variable; memory if unset
+  kMemory,   // in-memory tables only (no durability)
+  kPaged,    // durable paged storage (storage/store.h): every mutating
+             // statement commits, and all subsequent reads go through
+             // tables that round-tripped disk pages + the buffer pool
+};
+
 struct SessionOptions {
   EngineMode engine = EngineMode::kDecomposed;
+
+  /// Table storage backend. kDefault resolves MAYBMS_STORAGE
+  /// ("memory"/"paged"); unset means memory.
+  StorageMode storage = StorageMode::kDefault;
+
+  /// Directory for the paged store's file. Empty resolves
+  /// MAYBMS_STORAGE_DIR; if that is unset too, the session creates a
+  /// private temp directory and removes it on destruction (an explicit
+  /// directory is how callers opt into persistence across sessions).
+  std::string storage_dir;
+
+  /// Buffer-pool budget in pages for paged storage (0 resolves
+  /// MAYBMS_POOL_PAGES; unset means 1024). A hard cap: the pool never
+  /// holds more than this many pages in memory.
+  size_t pool_pages = 0;
 
   /// Cap on per-world answers rendered/returned by SELECT queries.
   size_t max_display_worlds = 64;
@@ -62,6 +87,9 @@ struct SessionOptions {
 class Session {
  public:
   explicit Session(SessionOptions options = SessionOptions());
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
 
   /// Parses and executes a single statement.
   Result<QueryResult> Execute(const std::string& sql);
@@ -80,7 +108,15 @@ class Session {
   /// Names of defined views (lower-cased).
   std::vector<std::string> ViewNames() const;
 
+  /// The paged store backing this session, or nullptr in memory mode.
+  /// Introspection for tests and benchmarks (pool stats, generations).
+  storage::PagedStore* paged_store() { return store_.get(); }
+
+  /// True when this session runs on durable paged storage.
+  bool is_paged() const { return paged_; }
+
  private:
+  Result<QueryResult> DispatchStatement(const sql::Statement& stmt);
   Result<QueryResult> EvaluateSelect(const sql::SelectStatement& stmt);
   Result<QueryResult> ExecuteCreateTable(const sql::CreateTableStatement& stmt);
   Result<QueryResult> ExecuteCreateTableAs(
@@ -99,11 +135,30 @@ class Session {
 
   std::unique_ptr<worlds::WorldSet> MakeWorldSet() const;
 
+  /// Paged mode: opens/creates the store and restores a committed
+  /// world-set if one exists. Called from the constructor; failures land
+  /// in storage_status_ (the constructor itself never fails).
+  void InitStorage();
+
+  /// Paged mode: commits the current world-set and reloads it from disk,
+  /// so every relation the NEXT statement reads has round-tripped through
+  /// pages, checksums, and the buffer pool. Called after each successful
+  /// mutating statement.
+  Status PersistAndReload();
+
   SessionOptions options_;
   std::unique_ptr<worlds::WorldSet> worlds_;
   Catalog catalog_;
   // View name (lower-cased) -> definition.
   std::map<std::string, std::shared_ptr<const sql::SelectStatement>> views_;
+
+  // Durable paged storage (null in memory mode). views_ are NOT durable:
+  // view definitions are ASTs and there is no unparser yet.
+  std::unique_ptr<storage::PagedStore> store_;
+  bool paged_ = false;         // resolved storage mode is kPaged
+  Status storage_status_;      // sticky init failure, returned per statement
+  std::string storage_dir_;
+  bool owns_storage_dir_ = false;
 };
 
 }  // namespace maybms::isql

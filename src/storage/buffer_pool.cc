@@ -1,0 +1,166 @@
+#include "storage/buffer_pool.h"
+
+#include <utility>
+
+namespace maybms::storage {
+
+PageRef& PageRef::operator=(PageRef&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = std::exchange(other.pool_, nullptr);
+    frame_ = other.frame_;
+    page_ = std::exchange(other.page_, nullptr);
+    page_id_ = other.page_id_;
+    dirty_ = std::exchange(other.dirty_, false);
+  }
+  return *this;
+}
+
+void PageRef::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_, dirty_);
+    pool_ = nullptr;
+    page_ = nullptr;
+    dirty_ = false;
+  }
+}
+
+BufferPool::BufferPool(File* file, size_t pool_pages)
+    : file_(file), budget_(pool_pages == 0 ? 1 : pool_pages) {
+  frames_.reserve(budget_ < 1024 ? budget_ : 1024);
+}
+
+Result<size_t> BufferPool::GrabFrame() {
+  // Lazy growth: allocate a new frame while under budget.
+  if (frames_.size() < budget_) {
+    frames_.push_back(std::make_unique<Frame>());
+    return frames_.size() - 1;
+  }
+  // Evict the least recently used unpinned frame.
+  size_t victim = frames_.size();
+  uint64_t oldest = 0;
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    const Frame& f = *frames_[i];
+    if (f.pins > 0) continue;
+    if (victim == frames_.size() || f.last_used < oldest) {
+      victim = i;
+      oldest = f.last_used;
+    }
+  }
+  if (victim == frames_.size()) {
+    return Status::ResourceExhausted(
+        "buffer pool: all " + std::to_string(budget_) +
+        " pages pinned; release a PageRef before pinning more");
+  }
+  Frame* f = frames_[victim].get();
+  if (f->valid) {
+    MAYBMS_RETURN_NOT_OK(FlushFrameLocked(f));
+    page_to_frame_.erase(f->page_id);
+    f->valid = false;
+    ++stats_.evictions;
+  }
+  return victim;
+}
+
+Status BufferPool::FlushFrameLocked(Frame* frame) {
+  if (!frame->dirty) return Status::OK();
+  frame->page.SealChecksum();
+  MAYBMS_RETURN_NOT_OK(file_->WriteAt(frame->page_id * kPageSize,
+                                      frame->page.data(), kPageSize));
+  frame->dirty = false;
+  ++stats_.flushes;
+  return Status::OK();
+}
+
+Result<PageRef> BufferPool::Pin(uint64_t page_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = page_to_frame_.find(page_id);
+  if (it != page_to_frame_.end()) {
+    Frame* f = frames_[it->second].get();
+    ++f->pins;
+    f->last_used = ++tick_;
+    ++stats_.hits;
+    return PageRef(this, it->second, &f->page, page_id);
+  }
+  MAYBMS_ASSIGN_OR_RETURN(size_t frame_index, GrabFrame());
+  Frame* f = frames_[frame_index].get();
+  Status read =
+      file_->ReadAt(page_id * kPageSize, f->page.data(), kPageSize);
+  if (read.ok()) read = f->page.VerifyChecksum(page_id);
+  if (!read.ok()) {
+    // The frame holds garbage; leave it invalid and unpinned.
+    return read;
+  }
+  f->page_id = page_id;
+  f->pins = 1;
+  f->dirty = false;
+  f->valid = true;
+  f->last_used = ++tick_;
+  page_to_frame_[page_id] = frame_index;
+  ++stats_.misses;
+  return PageRef(this, frame_index, &f->page, page_id);
+}
+
+Result<PageRef> BufferPool::NewPage(uint64_t page_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (page_to_frame_.count(page_id) != 0) {
+    return Status::RuntimeError("buffer pool: NewPage(" +
+                                std::to_string(page_id) +
+                                ") but the page is already cached");
+  }
+  MAYBMS_ASSIGN_OR_RETURN(size_t frame_index, GrabFrame());
+  Frame* f = frames_[frame_index].get();
+  f->page.Format(page_id);
+  f->page_id = page_id;
+  f->pins = 1;
+  f->dirty = true;
+  f->valid = true;
+  f->last_used = ++tick_;
+  page_to_frame_[page_id] = frame_index;
+  ++stats_.misses;
+  return PageRef(this, frame_index, &f->page, page_id);
+}
+
+Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& frame : frames_) {
+    if (frame->valid) {
+      MAYBMS_RETURN_NOT_OK(FlushFrameLocked(frame.get()));
+    }
+  }
+  return Status::OK();
+}
+
+void BufferPool::InvalidateUnpinned() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& frame : frames_) {
+    if (frame->valid && frame->pins == 0) {
+      page_to_frame_.erase(frame->page_id);
+      frame->valid = false;
+      frame->dirty = false;
+    }
+  }
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t BufferPool::PinnedFrames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t pinned = 0;
+  for (const auto& frame : frames_) {
+    if (frame->pins > 0) ++pinned;
+  }
+  return pinned;
+}
+
+void BufferPool::Unpin(size_t frame_index, bool dirty) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Frame* f = frames_[frame_index].get();
+  if (dirty) f->dirty = true;
+  if (f->pins > 0) --f->pins;
+}
+
+}  // namespace maybms::storage

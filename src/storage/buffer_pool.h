@@ -1,0 +1,141 @@
+#ifndef MAYBMS_STORAGE_BUFFER_POOL_H_
+#define MAYBMS_STORAGE_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "base/result.h"
+#include "storage/file.h"
+#include "storage/page.h"
+
+namespace maybms::storage {
+
+class BufferPool;
+
+/// RAII pin on one buffer-pool frame. While a PageRef is alive its frame
+/// cannot be evicted and its Page pointer stays valid; destruction (or
+/// Release) unpins. Move-only — a pin has exactly one owner.
+///
+/// Reads go through page(); writers use mutable_page(), which marks the
+/// frame dirty so eviction/FlushAll write it back (sealing the checksum).
+class PageRef {
+ public:
+  PageRef() = default;
+  PageRef(PageRef&& other) noexcept { *this = std::move(other); }
+  PageRef& operator=(PageRef&& other) noexcept;
+  PageRef(const PageRef&) = delete;
+  PageRef& operator=(const PageRef&) = delete;
+  ~PageRef() { Release(); }
+
+  bool valid() const { return pool_ != nullptr; }
+  const Page& page() const { return *page_; }
+  Page* mutable_page() {
+    dirty_ = true;
+    return page_;
+  }
+  uint64_t page_id() const { return page_id_; }
+
+  /// Unpins now (idempotent).
+  void Release();
+
+ private:
+  friend class BufferPool;
+  PageRef(BufferPool* pool, size_t frame, Page* page, uint64_t page_id)
+      : pool_(pool), frame_(frame), page_(page), page_id_(page_id) {}
+
+  BufferPool* pool_ = nullptr;
+  size_t frame_ = 0;
+  Page* page_ = nullptr;
+  uint64_t page_id_ = 0;
+  bool dirty_ = false;
+};
+
+/// A pinned LRU buffer pool with a HARD page budget over one paged file.
+///
+/// Contract (stress-tested in tests/buffer_pool_test.cc, including under
+/// TSan):
+///  * Pin(id) returns the cached frame or reads the page from disk,
+///    verifying its checksum — a corrupt page is a kDataLoss error at the
+///    pin, never silently served.
+///  * A pinned frame is NEVER evicted; eviction picks the least recently
+///    used unpinned frame and, if dirty, seals its checksum and writes it
+///    back first.
+///  * When every frame is pinned, Pin/NewPage fail with a deterministic
+///    kResourceExhausted Status — a full pool is an error the caller
+///    handles, not a trap or a deadlock.
+///  * Frames are allocated lazily up to the budget, so a large budget
+///    costs memory proportional to the pages actually touched.
+///
+/// Thread safety: all state is guarded by one mutex; concurrent Pin/
+/// unpin/eviction from any number of threads is safe. I/O happens under
+/// the lock — simple and correct; the engine's hot paths run on
+/// in-memory tables, so pool throughput is not yet the bottleneck.
+class BufferPool {
+ public:
+  BufferPool(File* file, size_t pool_pages);
+
+  /// Pins the page, reading + checksum-verifying it on a miss.
+  Result<PageRef> Pin(uint64_t page_id);
+
+  /// Pins a frame for a brand-new page: no disk read, the frame is
+  /// Format()ed and dirty. `page_id` must not be cached already.
+  Result<PageRef> NewPage(uint64_t page_id);
+
+  /// Writes every dirty frame back (sealing checksums). Does NOT sync;
+  /// the commit protocol calls File::Sync itself.
+  Status FlushAll();
+
+  /// Drops every unpinned frame (dirty ones are lost — used to discard
+  /// speculative pages after a failed commit). Pinned frames stay.
+  void InvalidateUnpinned();
+
+  size_t pool_pages() const { return budget_; }
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t flushes = 0;
+  };
+  Stats stats() const;
+
+  /// Frames with a non-zero pin count (0 after all refs released).
+  size_t PinnedFrames() const;
+
+ private:
+  friend class PageRef;
+
+  struct Frame {
+    Page page;
+    uint64_t page_id = 0;
+    uint32_t pins = 0;
+    bool dirty = false;
+    bool valid = false;
+    uint64_t last_used = 0;
+  };
+
+  /// Returns a frame index to (re)use, evicting if needed; assumes mu_
+  /// held. kResourceExhausted when every frame is pinned.
+  Result<size_t> GrabFrame();
+
+  Status FlushFrameLocked(Frame* frame);
+
+  void Unpin(size_t frame_index, bool dirty);
+
+  File* file_;
+  const size_t budget_;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Frame>> frames_;          // size() <= budget_
+  std::unordered_map<uint64_t, size_t> page_to_frame_;  // valid frames only
+  uint64_t tick_ = 0;
+  Stats stats_;
+};
+
+}  // namespace maybms::storage
+
+#endif  // MAYBMS_STORAGE_BUFFER_POOL_H_

@@ -119,4 +119,11 @@ void Catalog::DropConstraints(const std::string& table_name) {
   constraints_.erase(AsciiToLower(table_name));
 }
 
+const std::map<std::string, std::vector<Constraint>>& Catalog::AllConstraints()
+    const {
+  return constraints_;
+}
+
+void Catalog::Clear() { constraints_.clear(); }
+
 }  // namespace maybms

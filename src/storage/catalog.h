@@ -186,6 +186,13 @@ class Catalog {
 
   void DropConstraints(const std::string& table_name);
 
+  /// Full constraint map (lower-cased table name -> constraints), in
+  /// deterministic order; used by the durable-storage metadata round trip.
+  const std::map<std::string, std::vector<Constraint>>& AllConstraints() const;
+
+  /// Drops every constraint (snapshot restore replaces them wholesale).
+  void Clear();
+
  private:
   std::map<std::string, std::vector<Constraint>> constraints_;  // lower-case
 };

@@ -1,0 +1,165 @@
+#include "storage/file.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace maybms::storage {
+
+std::atomic<bool> FaultInjector::armed_{false};
+std::atomic<bool> FaultInjector::tear_{false};
+std::atomic<bool> FaultInjector::tripped_{false};
+std::atomic<uint64_t> FaultInjector::remaining_{0};
+std::atomic<uint64_t> FaultInjector::ops_{0};
+
+void FaultInjector::Arm(uint64_t fail_after, bool tear_killing_write) {
+  remaining_.store(fail_after, std::memory_order_relaxed);
+  tear_.store(tear_killing_write, std::memory_order_relaxed);
+  tripped_.store(false, std::memory_order_relaxed);
+  ops_.store(0, std::memory_order_relaxed);
+  armed_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::Disarm() {
+  armed_.store(false, std::memory_order_release);
+}
+
+uint64_t FaultInjector::OpsSinceArm() {
+  return ops_.load(std::memory_order_relaxed);
+}
+
+FaultInjector::Decision FaultInjector::NextOp() {
+  if (!armed_.load(std::memory_order_acquire)) return Decision::kProceed;
+  ops_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t remaining = remaining_.load(std::memory_order_relaxed);
+  while (remaining > 0) {
+    if (remaining_.compare_exchange_weak(remaining, remaining - 1,
+                                         std::memory_order_relaxed)) {
+      return Decision::kProceed;
+    }
+  }
+  // Budget spent: this op fails. Only the FIRST failing op may tear (a
+  // prefix reaches disk); after the crash point nothing is written.
+  const bool first_failure = !tripped_.exchange(true,
+                                                std::memory_order_relaxed);
+  if (first_failure && tear_.load(std::memory_order_relaxed)) {
+    return Decision::kTear;
+  }
+  return Decision::kFail;
+}
+
+Result<std::unique_ptr<File>> File::Open(const std::string& path,
+                                         bool create) {
+  int flags = O_RDWR | O_CLOEXEC;
+  if (create) flags |= O_CREAT;
+  int fd;
+  do {
+    fd = ::open(path.c_str(), flags, 0644);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    return Status::IOError("open(" + path + "): " + std::strerror(errno));
+  }
+  return std::unique_ptr<File>(new File(fd, path));
+}
+
+File::~File() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status File::ReadAt(uint64_t offset, void* buf, size_t size) const {
+  char* out = static_cast<char*>(buf);
+  size_t done = 0;
+  while (done < size) {
+    ssize_t n = ::pread(fd_, out + done, size - done,
+                        static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("pread(" + path_ + "): " + std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::DataLoss("pread(" + path_ + "): unexpected EOF at " +
+                              std::to_string(offset + done) +
+                              " (truncated file)");
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+namespace {
+
+Status WriteFully(int fd, const std::string& path, uint64_t offset,
+                  const char* buf, size_t size) {
+  size_t done = 0;
+  while (done < size) {
+    ssize_t n = ::pwrite(fd, buf + done, size - done,
+                         static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("pwrite(" + path + "): " + std::strerror(errno));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status File::WriteAt(uint64_t offset, const void* buf, size_t size) {
+  switch (FaultInjector::NextOp()) {
+    case FaultInjector::Decision::kProceed:
+      break;
+    case FaultInjector::Decision::kFail:
+      return Status::IOError("injected fault: write killed (" + path_ + ")");
+    case FaultInjector::Decision::kTear: {
+      // A torn write: a prefix reaches the disk, then the "crash".
+      const size_t prefix = size / 3;
+      if (prefix > 0) {
+        MAYBMS_RETURN_NOT_OK(WriteFully(fd_, path_, offset,
+                                        static_cast<const char*>(buf),
+                                        prefix));
+      }
+      return Status::IOError("injected fault: torn write (" + path_ + ")");
+    }
+  }
+  return WriteFully(fd_, path_, offset, static_cast<const char*>(buf), size);
+}
+
+Status File::Sync() {
+  if (FaultInjector::NextOp() != FaultInjector::Decision::kProceed) {
+    return Status::IOError("injected fault: fsync killed (" + path_ + ")");
+  }
+  int rc;
+  do {
+    rc = ::fsync(fd_);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    return Status::IOError("fsync(" + path_ + "): " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> File::Size() const {
+  struct stat st;
+  if (::fstat(fd_, &st) < 0) {
+    return Status::IOError("fstat(" + path_ + "): " + std::strerror(errno));
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+Status File::Truncate(uint64_t size) {
+  int rc;
+  do {
+    rc = ::ftruncate(fd_, static_cast<off_t>(size));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    return Status::IOError("ftruncate(" + path_ + "): " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace maybms::storage

@@ -1,0 +1,96 @@
+#ifndef MAYBMS_STORAGE_FILE_H_
+#define MAYBMS_STORAGE_FILE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "base/result.h"
+
+namespace maybms::storage {
+
+/// Crash-fault injection hook for the storage recovery property test
+/// (tests/storage_recovery_test.cc). Process-global by design: a real
+/// crash kills every file at once.
+///
+/// Armed with a countdown N, the (N+1)-th durability operation — a
+/// File::WriteAt or File::Sync — fails with kIOError, and EVERY
+/// subsequent operation fails too (the process is "dead"; nothing after
+/// the kill point reaches the disk). The tear flag makes the killing
+/// write a TORN write: a prefix of the buffer lands on disk before the
+/// failure, which is exactly the partial-page state the page checksums
+/// must detect on recovery.
+///
+/// Not armed (the default) the hook is two relaxed atomic loads — cheap
+/// enough to stay compiled into release builds.
+class FaultInjector {
+ public:
+  /// Fail the (fail_after + 1)-th durability op and everything after it.
+  static void Arm(uint64_t fail_after, bool tear_killing_write);
+  static void Disarm();
+
+  /// Durability ops intercepted since the last Arm (armed or tripped);
+  /// used by the recovery test to count a commit's kill points.
+  static uint64_t OpsSinceArm();
+
+  /// Internal: called by File before each durability op. Returns kProceed,
+  /// kFail (op must fail without touching the disk), or kTear (WriteAt
+  /// writes a prefix, then fails; Sync treats it as kFail).
+  enum class Decision { kProceed, kFail, kTear };
+  static Decision NextOp();
+
+ private:
+  static std::atomic<bool> armed_;
+  static std::atomic<bool> tear_;
+  static std::atomic<bool> tripped_;
+  static std::atomic<uint64_t> remaining_;
+  static std::atomic<uint64_t> ops_;
+};
+
+/// Thin POSIX file wrapper: positional read/write (pread/pwrite) with
+/// full-length enforcement, fsync, truncate. All storage-layer I/O goes
+/// through this class so the fault injector sees every byte headed to
+/// disk, and so raw file APIs stay confined to src/storage/ (enforced by
+/// the repo lint's forbidden-api rule).
+///
+/// The paged layer always does page-aligned I/O (offset and size are
+/// multiples of storage::kPageSize, buffers 4096-aligned), keeping the
+/// access pattern O_DIRECT-friendly; the flag itself is not set for
+/// portability across filesystems.
+class File {
+ public:
+  /// Opens (and with `create`, creates) the file for read/write.
+  static Result<std::unique_ptr<File>> Open(const std::string& path,
+                                            bool create);
+
+  ~File();
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  /// Reads exactly `size` bytes at `offset`; a short read (EOF inside the
+  /// range) is kDataLoss — a truncated file is corruption, not a result.
+  Status ReadAt(uint64_t offset, void* buf, size_t size) const;
+
+  /// Writes exactly `size` bytes at `offset` (fault-injection aware).
+  Status WriteAt(uint64_t offset, const void* buf, size_t size);
+
+  /// fsync (fault-injection aware): the commit barrier.
+  Status Sync();
+
+  Result<uint64_t> Size() const;
+  Status Truncate(uint64_t size);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  File(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+
+  int fd_;
+  std::string path_;
+};
+
+}  // namespace maybms::storage
+
+#endif  // MAYBMS_STORAGE_FILE_H_

@@ -1,0 +1,126 @@
+#include "storage/page.h"
+
+#include <cstring>
+
+namespace maybms::storage {
+
+namespace {
+
+// FNV-1a 64: tiny, dependency-free, and plenty for torn-write detection
+// (this is an integrity check against partial writes and bit rot, not an
+// adversarial MAC).
+uint64_t Fnv1a64(const std::byte* data, size_t size, uint64_t seed) {
+  uint64_t h = seed;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= static_cast<uint64_t>(data[i]);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+constexpr uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;
+constexpr size_t kChecksumOffset = 8;
+
+}  // namespace
+
+uint16_t Page::ReadU16(size_t offset) const {
+  uint16_t v;
+  std::memcpy(&v, bytes_ + offset, sizeof(v));
+  return v;
+}
+uint32_t Page::ReadU32(size_t offset) const {
+  uint32_t v;
+  std::memcpy(&v, bytes_ + offset, sizeof(v));
+  return v;
+}
+uint64_t Page::ReadU64(size_t offset) const {
+  uint64_t v;
+  std::memcpy(&v, bytes_ + offset, sizeof(v));
+  return v;
+}
+void Page::WriteU16(size_t offset, uint16_t v) {
+  std::memcpy(bytes_ + offset, &v, sizeof(v));
+}
+void Page::WriteU32(size_t offset, uint32_t v) {
+  std::memcpy(bytes_ + offset, &v, sizeof(v));
+}
+void Page::WriteU64(size_t offset, uint64_t v) {
+  std::memcpy(bytes_ + offset, &v, sizeof(v));
+}
+
+void Page::Format(uint64_t page_id) {
+  std::memset(bytes_, 0, kPageSize);
+  WriteU32(0, kMagic);
+  WriteU32(4, 1);  // layout version
+  WriteU64(16, page_id);
+  WriteU16(24, 0);                                   // num_slots
+  WriteU16(26, static_cast<uint16_t>(kPageSize));    // free_end
+}
+
+size_t Page::FreeSpace() const {
+  const size_t slots_end = kHeaderSize + kSlotSize * num_records();
+  const size_t heap_start = free_end();
+  if (heap_start < slots_end || heap_start > kPageSize) return 0;
+  return heap_start - slots_end;
+}
+
+bool Page::AppendRecord(const void* data, size_t size) {
+  if (!CanFit(size)) return false;
+  const uint16_t slot = num_records();
+  const uint16_t offset = static_cast<uint16_t>(free_end() - size);
+  std::memcpy(bytes_ + offset, data, size);
+  const size_t slot_pos = kHeaderSize + kSlotSize * slot;
+  WriteU16(slot_pos, offset);
+  WriteU16(slot_pos + 2, static_cast<uint16_t>(size));
+  WriteU16(24, static_cast<uint16_t>(slot + 1));
+  WriteU16(26, offset);
+  return true;
+}
+
+Result<std::pair<const std::byte*, size_t>> Page::Record(uint16_t slot) const {
+  if (slot >= num_records()) {
+    return Status::DataLoss("page " + std::to_string(page_id()) +
+                            ": record slot " + std::to_string(slot) +
+                            " out of range");
+  }
+  const size_t slot_pos = kHeaderSize + kSlotSize * slot;
+  const uint16_t offset = ReadU16(slot_pos);
+  const uint16_t length = ReadU16(slot_pos + 2);
+  if (offset < kHeaderSize || static_cast<size_t>(offset) + length > kPageSize) {
+    return Status::DataLoss("page " + std::to_string(page_id()) +
+                            ": record slot " + std::to_string(slot) +
+                            " has out-of-bounds extent");
+  }
+  return std::make_pair(bytes_ + offset, static_cast<size_t>(length));
+}
+
+uint64_t Page::ComputeChecksum() const {
+  // Checksum the page with the checksum field itself zeroed: hash the
+  // bytes before and after the field in one chained pass.
+  uint64_t h = Fnv1a64(bytes_, kChecksumOffset, kFnvOffsetBasis);
+  const uint64_t zero = 0;
+  h = Fnv1a64(reinterpret_cast<const std::byte*>(&zero), sizeof(zero), h);
+  return Fnv1a64(bytes_ + kChecksumOffset + 8,
+                 kPageSize - kChecksumOffset - 8, h);
+}
+
+void Page::SealChecksum() { WriteU64(kChecksumOffset, ComputeChecksum()); }
+
+Status Page::VerifyChecksum(uint64_t expected_page_id) const {
+  if (magic() != kMagic) {
+    return Status::DataLoss("page " + std::to_string(expected_page_id) +
+                            ": bad magic (torn or unformatted page)");
+  }
+  if (ReadU64(kChecksumOffset) != ComputeChecksum()) {
+    return Status::DataLoss("page " + std::to_string(expected_page_id) +
+                            ": checksum mismatch (torn write or bit rot)");
+  }
+  if (page_id() != expected_page_id) {
+    return Status::DataLoss("page " + std::to_string(expected_page_id) +
+                            ": stored id " + std::to_string(page_id()) +
+                            " (misdirected write)");
+  }
+  return Status::OK();
+}
+
+}  // namespace maybms::storage

@@ -1,0 +1,105 @@
+#ifndef MAYBMS_STORAGE_PAGE_H_
+#define MAYBMS_STORAGE_PAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "base/result.h"
+
+namespace maybms::storage {
+
+/// Fixed page size of the durable storage layer. A multiple of 4096 so
+/// page-aligned I/O stays O_DIRECT-friendly (every read/write the layer
+/// issues is at a page_id * kPageSize offset with a 4096-aligned buffer).
+inline constexpr size_t kPageSize = 8192;
+
+/// A slotted page: fixed-size, self-validating unit of durable storage.
+///
+/// Layout (little-endian, offsets in bytes):
+///
+///   [0, 32)                header: magic, page id, checksum, slot count,
+///                          free-space bounds
+///   [32, 32 + 4*num_slots) slot directory, growing UP: each slot is
+///                          {uint16 offset, uint16 length} of one record
+///   [free_end, kPageSize)  record heap, growing DOWN from the page end
+///
+/// The checksum (FNV-1a 64 over the whole page with the checksum field
+/// zeroed) is sealed by the buffer pool right before a frame is written
+/// and verified on every read, so a torn or bit-flipped page is DETECTED
+/// (Status kDataLoss) and never silently decoded. Records are opaque byte
+/// strings; the tuple codec lives in storage/paged_table.h.
+///
+/// Pages are plain trivially-copyable buffers — memcpy in, memcpy out —
+/// aligned to 4096 for direct-I/O friendliness.
+class alignas(4096) Page {
+ public:
+  static constexpr uint32_t kMagic = 0x4D425047;  // "MBPG"
+  static constexpr size_t kHeaderSize = 32;
+  static constexpr size_t kSlotSize = 4;
+
+  /// Largest record AppendRecord can ever accept (one slot + the bytes).
+  static constexpr size_t kMaxRecordSize =
+      kPageSize - kHeaderSize - kSlotSize;
+
+  /// Zeroes the page and writes a fresh header for `page_id`.
+  void Format(uint64_t page_id);
+
+  uint64_t page_id() const { return ReadU64(16); }
+  uint32_t magic() const { return ReadU32(0); }
+  uint16_t num_records() const { return ReadU16(24); }
+
+  /// The raw gap between the slot directory and the record heap.
+  size_t FreeSpace() const;
+
+  /// True if a record of `record_size` bytes (plus its slot) fits.
+  bool CanFit(size_t record_size) const {
+    return record_size + kSlotSize <= FreeSpace();
+  }
+
+  /// Appends a record; returns false when it does not fit (callers move
+  /// on to a fresh page — a full page is normal control flow, not an
+  /// error). Records larger than kMaxRecordSize never fit.
+  bool AppendRecord(const void* data, size_t size);
+
+  /// Bounds-checked access to record `slot`; kDataLoss on a structurally
+  /// malformed page (only reachable if corruption slipped past the
+  /// checksum, e.g. on a page that was never sealed).
+  Result<std::pair<const std::byte*, size_t>> Record(uint16_t slot) const;
+
+  /// Computes and stores the page checksum. Called by the buffer pool
+  /// right before the frame bytes go to disk.
+  void SealChecksum();
+
+  /// Validates magic, stored-vs-computed checksum, and the stored page id
+  /// against the id the caller read the page from. kDataLoss on any
+  /// mismatch — the torn-write / bit-flip / misdirected-read detector.
+  Status VerifyChecksum(uint64_t expected_page_id) const;
+
+  std::byte* data() { return bytes_; }
+  const std::byte* data() const { return bytes_; }
+
+ private:
+  uint64_t ComputeChecksum() const;
+
+  uint16_t ReadU16(size_t offset) const;
+  uint32_t ReadU32(size_t offset) const;
+  uint64_t ReadU64(size_t offset) const;
+  void WriteU16(size_t offset, uint16_t v);
+  void WriteU32(size_t offset, uint32_t v);
+  void WriteU64(size_t offset, uint64_t v);
+
+  // Header field offsets.
+  //   0: uint32 magic          4: uint32 version/reserved
+  //   8: uint64 checksum      16: uint64 page_id
+  //  24: uint16 num_slots     26: uint16 free_end
+  //  28: uint32 reserved
+  uint16_t free_end() const { return ReadU16(26); }
+
+  std::byte bytes_[kPageSize];
+};
+
+static_assert(sizeof(Page) == kPageSize);
+
+}  // namespace maybms::storage
+
+#endif  // MAYBMS_STORAGE_PAGE_H_

@@ -1,0 +1,137 @@
+#include "storage/paged_table.h"
+
+#include <string>
+#include <utility>
+
+#include "storage/codec.h"
+
+namespace maybms::storage {
+
+namespace {
+
+/// Appends records to a run of fresh pages, opening a new page whenever
+/// the current one is full.
+class RunWriter {
+ public:
+  RunWriter(BufferPool* pool, uint64_t* next_page_id)
+      : pool_(pool), next_page_id_(next_page_id), first_page_(*next_page_id) {}
+
+  Status Append(const std::vector<std::byte>& record) {
+    if (record.size() > Page::kMaxRecordSize) {
+      return Status::Unsupported(
+          "paged storage: record of " + std::to_string(record.size()) +
+          " bytes exceeds the one-page limit of " +
+          std::to_string(Page::kMaxRecordSize) + " bytes");
+    }
+    if (!current_.valid() ||
+        !current_.mutable_page()->CanFit(record.size())) {
+      MAYBMS_RETURN_NOT_OK(OpenNextPage());
+    }
+    if (!current_.mutable_page()->AppendRecord(record.data(),
+                                               record.size())) {
+      return Status::RuntimeError(
+          "paged storage: record rejected by a fresh page");
+    }
+    return Status::OK();
+  }
+
+  /// Unpins the last page and returns the finished run (row count is the
+  /// caller's to fill).
+  PageRun Finish() {
+    current_.Release();
+    return PageRun{first_page_, *next_page_id_ - first_page_, 0};
+  }
+
+ private:
+  Status OpenNextPage() {
+    current_.Release();  // unpin before grabbing the next frame
+    MAYBMS_ASSIGN_OR_RETURN(current_, pool_->NewPage((*next_page_id_)++));
+    return Status::OK();
+  }
+
+  BufferPool* pool_;
+  uint64_t* next_page_id_;
+  uint64_t first_page_;
+  PageRef current_;
+};
+
+}  // namespace
+
+Result<PagedTable> PagedTable::Write(const Table& table, BufferPool* pool,
+                                     uint64_t* next_page_id) {
+  RunWriter writer(pool, next_page_id);
+  MAYBMS_RETURN_NOT_OK(writer.Append(codec::EncodeSchema(table.schema())));
+  for (const Tuple& row : table.rows()) {
+    MAYBMS_RETURN_NOT_OK(writer.Append(codec::EncodeTuple(row)));
+  }
+  PagedTable result(pool, 0);
+  result.run_ = writer.Finish();
+  result.run_.num_rows = table.num_rows();
+  return result;
+}
+
+Result<PagedTable> PagedTable::WriteTuples(const std::vector<Tuple>& rows,
+                                           BufferPool* pool,
+                                           uint64_t* next_page_id) {
+  RunWriter writer(pool, next_page_id);
+  MAYBMS_RETURN_NOT_OK(writer.Append(codec::EncodeSchema(Schema())));
+  for (const Tuple& row : rows) {
+    MAYBMS_RETURN_NOT_OK(writer.Append(codec::EncodeTuple(row)));
+  }
+  PagedTable result(pool, 0);
+  result.run_ = writer.Finish();
+  result.run_.num_rows = rows.size();
+  return result;
+}
+
+Result<Schema> PagedTable::ReadSchema() const {
+  MAYBMS_ASSIGN_OR_RETURN(PageRef page, pool_->Pin(run_.first_page));
+  MAYBMS_ASSIGN_OR_RETURN(auto record, page.page().Record(0));
+  return codec::DecodeSchema(record.first, record.second);
+}
+
+Status PagedTable::Scan(const std::function<Status(Tuple)>& fn) const {
+  uint64_t rows_seen = 0;
+  for (uint64_t p = 0; p < run_.page_count; ++p) {
+    MAYBMS_ASSIGN_OR_RETURN(PageRef ref, pool_->Pin(run_.first_page + p));
+    const Page& page = ref.page();
+    // Record 0 of the first page is the schema, not a row.
+    const uint16_t first_slot = (p == 0) ? 1 : 0;
+    for (uint16_t slot = first_slot; slot < page.num_records(); ++slot) {
+      MAYBMS_ASSIGN_OR_RETURN(auto record, page.Record(slot));
+      MAYBMS_ASSIGN_OR_RETURN(
+          Tuple row, codec::DecodeTuple(record.first, record.second));
+      MAYBMS_RETURN_NOT_OK(fn(std::move(row)));
+      ++rows_seen;
+    }
+  }
+  if (rows_seen != run_.num_rows) {
+    return Status::DataLoss(
+        "paged storage: run at page " + std::to_string(run_.first_page) +
+        " decoded " + std::to_string(rows_seen) + " rows, manifest says " +
+        std::to_string(run_.num_rows));
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const Table>> PagedTable::Materialize() const {
+  MAYBMS_ASSIGN_OR_RETURN(Schema schema, ReadSchema());
+  auto table = std::make_shared<Table>(std::move(schema));
+  MAYBMS_RETURN_NOT_OK(Scan([&table](Tuple row) {
+    table->AppendUnchecked(std::move(row));
+    return Status::OK();
+  }));
+  return std::shared_ptr<const Table>(std::move(table));
+}
+
+Result<std::vector<Tuple>> PagedTable::MaterializeTuples() const {
+  std::vector<Tuple> rows;
+  rows.reserve(run_.num_rows);
+  MAYBMS_RETURN_NOT_OK(Scan([&rows](Tuple row) {
+    rows.push_back(std::move(row));
+    return Status::OK();
+  }));
+  return rows;
+}
+
+}  // namespace maybms::storage

@@ -1,0 +1,84 @@
+#ifndef MAYBMS_STORAGE_PAGED_TABLE_H_
+#define MAYBMS_STORAGE_PAGED_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "base/result.h"
+#include "storage/buffer_pool.h"
+#include "storage/table.h"
+#include "types/schema.h"
+#include "types/tuple.h"
+
+namespace maybms::storage {
+
+/// A contiguous run of pages holding one relation (or one schema-less
+/// tuple run, e.g. a decomposed component's contributions).
+struct PageRun {
+  uint64_t first_page = 0;
+  uint64_t page_count = 0;
+  uint64_t num_rows = 0;
+};
+
+/// The durable form of one Table: a schema record followed by its tuples,
+/// in row order, across a contiguous page run. Reads pin pages on demand
+/// through the buffer pool — a scan touches O(pool) memory however large
+/// the relation, and every page read is checksum-verified before a single
+/// value is decoded.
+///
+/// Record encoding (self-describing, little-endian):
+///   schema record: u16 num_columns, then per column
+///                  {u8 type tag, u32 name_len, name, u32 qual_len, qual}
+///   tuple record:  u16 num_values, then per value a u8 type tag and
+///                  payload — int64/double as 8 raw bytes (doubles as bit
+///                  patterns, so restored probabilities are bit-identical),
+///                  text as u32 length + bytes, boolean as 1 byte.
+///
+/// Page 0 of a run starts with the schema record; tuples follow, spilling
+/// onto subsequent pages (which hold only tuple records). A record must
+/// fit one page (Page::kMaxRecordSize ≈ 8 KiB) — oversized rows are a
+/// clean kUnsupported error at write time, not a torn encoding.
+class PagedTable {
+ public:
+  /// Writes `table` as a fresh page run starting at *next_page_id, which
+  /// is advanced past the run. Pages are left dirty in the pool; the
+  /// commit protocol flushes and syncs them.
+  static Result<PagedTable> Write(const Table& table, BufferPool* pool,
+                                  uint64_t* next_page_id);
+
+  /// Writes a schema-less tuple run (an empty schema record, then rows).
+  static Result<PagedTable> WriteTuples(const std::vector<Tuple>& rows,
+                                        BufferPool* pool,
+                                        uint64_t* next_page_id);
+
+  /// Re-attaches to an existing run (after recovery/reopen).
+  PagedTable(BufferPool* pool, PageRun run) : pool_(pool), run_(run) {}
+
+  const PageRun& run() const { return run_; }
+  uint64_t num_rows() const { return run_.num_rows; }
+
+  /// Decodes the schema record.
+  Result<Schema> ReadSchema() const;
+
+  /// Streams every row in order through `fn`, pinning one page at a time.
+  Status Scan(const std::function<Status(Tuple)>& fn) const;
+
+  /// Rebuilds the full in-memory Table (schema + rows).
+  Result<std::shared_ptr<const Table>> Materialize() const;
+
+  /// Rebuilds just the rows (for schema-less runs).
+  Result<std::vector<Tuple>> MaterializeTuples() const;
+
+ private:
+  PagedTable(BufferPool* pool, uint64_t first_page)
+      : pool_(pool), run_{first_page, 0, 0} {}
+
+  BufferPool* pool_;
+  PageRun run_;
+};
+
+}  // namespace maybms::storage
+
+#endif  // MAYBMS_STORAGE_PAGED_TABLE_H_

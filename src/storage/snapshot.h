@@ -1,0 +1,74 @@
+#ifndef MAYBMS_STORAGE_SNAPSHOT_H_
+#define MAYBMS_STORAGE_SNAPSHOT_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "storage/catalog.h"
+#include "types/tuple.h"
+
+namespace maybms::storage {
+
+/// Engine-neutral durable form of a world-set: what PagedStore writes at
+/// commit and what WorldSet::FromSnapshot restores after reopen.
+///
+/// Table instances are POINTER-DEDUPED: each distinct `const Table*`
+/// reachable from the world-set appears exactly once in `tables`, and
+/// worlds/certain refer to it by index. Restoring rebuilds one shared
+/// instance per index, so the exact copy-on-write sharing structure —
+/// which worlds share which relation instances — survives a restart, and
+/// so a relation shared by 1000 worlds is stored once, not 1000 times.
+///
+/// Decomposed alternatives' contributions are schema-less tuple vectors
+/// (the relation's schema lives with the certain-core instance), stored
+/// as dedicated page runs.
+///
+/// Probabilities are doubles carried verbatim (bit patterns on disk);
+/// restore assigns them directly WITHOUT renormalizing, so restored
+/// results are byte-identical to pre-restart ones.
+struct DurableSnapshot {
+  /// EngineName() of the world-set this snapshot came from; FromSnapshot
+  /// rejects a snapshot taken from the other engine.
+  std::string engine;
+
+  /// Deduped shared relation instances.
+  std::vector<Database::TableHandle> tables;
+
+  /// One named relation of one database: original-case name + index into
+  /// `tables`.
+  struct RelationRef {
+    std::string name;
+    size_t table_index = 0;
+  };
+
+  /// Explicit engine: one entry per world, in world order.
+  struct WorldRef {
+    double probability = 1.0;
+    std::vector<RelationRef> relations;
+  };
+  std::vector<WorldRef> worlds;
+
+  /// Decomposed engine: the certain core...
+  std::vector<RelationRef> certain;
+
+  /// ...and the components, in order. Contribution keys are the
+  /// lower-cased relation names (worlds/component.h).
+  struct AlternativeRef {
+    double probability = 1.0;
+    std::vector<std::pair<std::string, std::vector<Tuple>>> contributions;
+  };
+  struct ComponentRef {
+    std::vector<AlternativeRef> alternatives;
+  };
+  std::vector<ComponentRef> components;
+
+  /// Session-level metadata (e.g. constraint declarations), ordered KV.
+  /// Opaque to the store; the session layer owns the encoding.
+  std::vector<std::pair<std::string, std::string>> metadata;
+};
+
+}  // namespace maybms::storage
+
+#endif  // MAYBMS_STORAGE_SNAPSHOT_H_

@@ -1,0 +1,121 @@
+#ifndef MAYBMS_STORAGE_STORE_H_
+#define MAYBMS_STORAGE_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/result.h"
+#include "storage/buffer_pool.h"
+#include "storage/file.h"
+#include "storage/paged_table.h"
+#include "storage/snapshot.h"
+
+namespace maybms::storage {
+
+/// Durable world-set store: one append-only paged file holding shared
+/// table page runs, plus a commit manifest, behind a ping-pong pair of
+/// root slots (shadow paging).
+///
+/// File layout:
+///   page 0, 1        root slots. Each is a slotted page whose single
+///                    record is {root magic, generation, manifest start,
+///                    manifest page count, next free page}. A commit of
+///                    generation g writes slot g % 2 — the OTHER slot
+///                    (the previous commit) is never touched.
+///   pages 2..        data: table runs, tuple runs, manifest runs,
+///                    append-only in commit order.
+///
+/// Commit protocol (all-or-nothing; fault-injection-proven by
+/// tests/storage_recovery_test.cc at every kill point):
+///   1. append page runs for every table instance not already persisted
+///      (pointer-deduped against the last committed generation, so an
+///      unchanged relation shared by many worlds is neither rewritten nor
+///      duplicated — the copy-on-write sharing structure maps 1:1 onto
+///      shared page runs);
+///   2. append the manifest (the DurableSnapshot skeleton: world/
+///      component structure, run locations, metadata);
+///   3. FlushAll + fsync            — every new page durable;
+///   4. write root slot (g+1) % 2 + fsync — the atomic switch.
+/// A crash anywhere before step 4's fsync completes leaves the previous
+/// root slot intact and pointing at fully-durable pages: reopen recovers
+/// the exact pre-commit state. Nothing referenced by a durable root is
+/// ever overwritten; dead pages from failed or superseded commits are
+/// simply unreferenced (no compaction yet — see docs/architecture.md).
+///
+/// Recovery (Open): read both root slots; the valid-checksum slot with
+/// the highest generation wins. Both invalid means no commit ever
+/// completed — an empty store (the pre-first-commit state), which is the
+/// correct recovery for a crash during the very first commit. Any
+/// corruption BELOW a valid root (manifest or data pages) is detected by
+/// the page checksums at Load and reported as kDataLoss — never silently
+/// read.
+class PagedStore {
+ public:
+  /// Opens (creating if absent) the store file and recovers the latest
+  /// committed root.
+  static Result<std::unique_ptr<PagedStore>> Open(const std::string& path,
+                                                  size_t pool_pages);
+
+  /// True once some generation has committed (now or in a past process).
+  bool has_data() const { return has_data_; }
+  uint64_t generation() const { return generation_; }
+
+  /// Durably commits the snapshot as the next generation. On failure the
+  /// store (in memory and on disk) still presents the previous
+  /// generation, and Commit may simply be retried.
+  Status Commit(const DurableSnapshot& snapshot);
+
+  /// Materializes the committed generation. Also primes the pointer-dedup
+  /// map with the returned handles, so a following Commit only writes
+  /// tables that changed since the load.
+  Result<DurableSnapshot> Load();
+
+  BufferPool* pool() { return &pool_; }
+  File* file() { return file_.get(); }
+
+  /// Introspection for tests: the page run each live table instance
+  /// persists to (incremental commits reuse these).
+  std::vector<std::pair<const Table*, PageRun>> PersistedRuns() const;
+
+ private:
+  PagedStore(std::unique_ptr<File> file, size_t pool_pages)
+      : file_(std::move(file)), pool_(file_.get(), pool_pages) {}
+
+  struct RootRecord {
+    uint64_t generation = 0;
+    uint64_t manifest_start = 0;
+    uint64_t manifest_pages = 0;
+    uint64_t next_free_page = 0;
+  };
+
+  /// Reads root slot 0 or 1 directly (not via the pool — root pages are
+  /// the only pages ever overwritten, so they must not be cached).
+  Result<RootRecord> ReadRootSlot(uint64_t slot) const;
+  Status WriteRootSlot(const RootRecord& root);
+
+  struct RunInfo {
+    PageRun run;
+    // Keeps the instance alive so the const Table* key stays unique.
+    Database::TableHandle keepalive;
+  };
+
+  std::unique_ptr<File> file_;
+  BufferPool pool_;
+
+  bool has_data_ = false;
+  RootRecord root_;
+  uint64_t generation_ = 0;
+  uint64_t next_free_page_ = 2;  // pages 0,1 are the root slots
+
+  /// Pointer-dedup across commits: table instances already durable under
+  /// the committed root.
+  std::map<const Table*, RunInfo> persisted_;
+};
+
+}  // namespace maybms::storage
+
+#endif  // MAYBMS_STORAGE_STORE_H_

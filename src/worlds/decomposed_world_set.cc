@@ -1344,4 +1344,73 @@ Status DecomposedWorldSet::MaterializeSelect(const std::string& name,
   return Status::OK();
 }
 
+Result<storage::DurableSnapshot> DecomposedWorldSet::ToSnapshot() const {
+  storage::DurableSnapshot snapshot;
+  snapshot.engine = EngineName();
+  // The certain core is the only place relation instances (and schemas)
+  // live; components carry schema-less per-alternative extra tuples.
+  std::map<const Table*, size_t> index;
+  for (const std::string& name : certain_.RelationNames()) {
+    MAYBMS_ASSIGN_OR_RETURN(Database::TableHandle handle,
+                            certain_.GetRelationHandle(name));
+    auto [it, inserted] = index.emplace(handle.get(), snapshot.tables.size());
+    if (inserted) snapshot.tables.push_back(std::move(handle));
+    snapshot.certain.push_back({name, it->second});
+  }
+  snapshot.components.reserve(components_.size());
+  for (const Component& component : components_) {
+    storage::DurableSnapshot::ComponentRef component_ref;
+    component_ref.alternatives.reserve(component.alternatives.size());
+    for (const Alternative& alt : component.alternatives) {
+      storage::DurableSnapshot::AlternativeRef alt_ref;
+      alt_ref.probability = alt.probability;
+      // std::map iteration: contributions in sorted-key order, restored
+      // into the same sorted map — deterministic round trip.
+      for (const auto& [relation, tuples] : alt.tuples) {
+        alt_ref.contributions.emplace_back(relation, tuples);
+      }
+      component_ref.alternatives.push_back(std::move(alt_ref));
+    }
+    snapshot.components.push_back(std::move(component_ref));
+  }
+  return snapshot;
+}
+
+Status DecomposedWorldSet::FromSnapshot(
+    const storage::DurableSnapshot& snapshot) {
+  if (snapshot.engine != EngineName()) {
+    return Status::InvalidArgument(
+        "cannot restore a '" + snapshot.engine +
+        "' snapshot into the decomposed engine");
+  }
+  Database certain;
+  for (const auto& relation : snapshot.certain) {
+    if (relation.table_index >= snapshot.tables.size()) {
+      return Status::DataLoss(
+          "decomposed snapshot restore: table index out of range");
+    }
+    certain.PutRelation(relation.name, snapshot.tables[relation.table_index]);
+  }
+  std::vector<Component> components;
+  components.reserve(snapshot.components.size());
+  for (const auto& component_ref : snapshot.components) {
+    Component component;
+    component.alternatives.reserve(component_ref.alternatives.size());
+    for (const auto& alt_ref : component_ref.alternatives) {
+      Alternative alt;
+      // Probabilities adopted verbatim — no Normalize() — so restored
+      // world probabilities are bit-identical.
+      alt.probability = alt_ref.probability;
+      for (const auto& [relation, tuples] : alt_ref.contributions) {
+        alt.tuples[relation] = tuples;
+      }
+      component.alternatives.push_back(std::move(alt));
+    }
+    components.push_back(std::move(component));
+  }
+  certain_ = std::move(certain);
+  components_ = std::move(components);
+  return Status::OK();
+}
+
 }  // namespace maybms::worlds

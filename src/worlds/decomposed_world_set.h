@@ -94,6 +94,9 @@ class DecomposedWorldSet : public WorldSet {
   Status MaterializeSelect(const std::string& name,
                            const sql::SelectStatement& stmt) override;
 
+  Result<storage::DurableSnapshot> ToSnapshot() const override;
+  Status FromSnapshot(const storage::DurableSnapshot& snapshot) override;
+
   /// Introspection for tests and benchmarks.
   const Database& certain_part() const { return certain_; }
   const std::vector<Component>& components() const { return components_; }

@@ -822,4 +822,59 @@ Status ExplicitWorldSet::MaterializeSelect(const std::string& name,
   return Status::OK();
 }
 
+Result<storage::DurableSnapshot> ExplicitWorldSet::ToSnapshot() const {
+  storage::DurableSnapshot snapshot;
+  snapshot.engine = EngineName();
+  // Pointer-dedupe: every distinct shared instance appears once in
+  // `tables`, so worlds that share a relation instance keep sharing it on
+  // disk and after restore.
+  std::map<const Table*, size_t> index;
+  snapshot.worlds.reserve(worlds_.size());
+  for (const World& world : worlds_) {
+    storage::DurableSnapshot::WorldRef world_ref;
+    world_ref.probability = world.probability;
+    for (const std::string& name : world.db.RelationNames()) {
+      MAYBMS_ASSIGN_OR_RETURN(Database::TableHandle handle,
+                              world.db.GetRelationHandle(name));
+      auto [it, inserted] = index.emplace(handle.get(), snapshot.tables.size());
+      if (inserted) snapshot.tables.push_back(std::move(handle));
+      world_ref.relations.push_back({name, it->second});
+    }
+    snapshot.worlds.push_back(std::move(world_ref));
+  }
+  return snapshot;
+}
+
+Status ExplicitWorldSet::FromSnapshot(
+    const storage::DurableSnapshot& snapshot) {
+  if (snapshot.engine != EngineName()) {
+    return Status::InvalidArgument(
+        "cannot restore a '" + snapshot.engine +
+        "' snapshot into the explicit engine");
+  }
+  if (snapshot.worlds.empty()) {
+    return Status::InvalidArgument(
+        "explicit snapshot restore: snapshot has no worlds");
+  }
+  std::vector<World> worlds;
+  worlds.reserve(snapshot.worlds.size());
+  for (const auto& world_ref : snapshot.worlds) {
+    World world;
+    world.probability = world_ref.probability;
+    for (const auto& relation : world_ref.relations) {
+      if (relation.table_index >= snapshot.tables.size()) {
+        return Status::DataLoss(
+            "explicit snapshot restore: table index out of range");
+      }
+      world.db.PutRelation(relation.name,
+                           snapshot.tables[relation.table_index]);
+    }
+    worlds.push_back(std::move(world));
+  }
+  // Adopt probabilities verbatim — NOT SetWorlds, whose renormalization
+  // could perturb the doubles and break byte-identical restored results.
+  worlds_ = std::move(worlds);
+  return Status::OK();
+}
+
 }  // namespace maybms::worlds

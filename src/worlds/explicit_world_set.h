@@ -53,6 +53,9 @@ class ExplicitWorldSet : public WorldSet {
   Status MaterializeSelect(const std::string& name,
                            const sql::SelectStatement& stmt) override;
 
+  Result<storage::DurableSnapshot> ToSnapshot() const override;
+  Status FromSnapshot(const storage::DurableSnapshot& snapshot) override;
+
   /// Direct access for tests and the formatter.
   const std::vector<World>& worlds() const { return worlds_; }
 

@@ -47,6 +47,7 @@
 #include "base/rng.h"
 #include "sql/ast.h"
 #include "storage/catalog.h"
+#include "storage/snapshot.h"
 #include "worlds/world.h"
 
 namespace maybms::worlds {
@@ -151,6 +152,19 @@ class WorldSet {
   /// every (surviving) world.
   virtual Status MaterializeSelect(const std::string& name,
                                    const sql::SelectStatement& stmt) = 0;
+
+  // ---- Durable storage interchange (storage/store.h) ----
+
+  /// Captures the world-set as an engine-neutral durable snapshot. Table
+  /// instances are pointer-deduped so the copy-on-write sharing structure
+  /// is preserved exactly (storage/snapshot.h).
+  virtual Result<storage::DurableSnapshot> ToSnapshot() const = 0;
+
+  /// Replaces this world-set's entire contents with the snapshot's.
+  /// Probabilities are adopted verbatim — NO renormalization — so restored
+  /// query results are byte-identical to pre-snapshot ones. Rejects a
+  /// snapshot whose `engine` does not match EngineName().
+  virtual Status FromSnapshot(const storage::DurableSnapshot& snapshot) = 0;
 };
 
 // ---- Shared helpers used by both implementations -------------------------

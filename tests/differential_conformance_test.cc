@@ -210,7 +210,7 @@ TEST_P(DifferentialConformanceTest, GeneratedPipelineAgrees) {
   RunPipeline(GetParam());
 }
 
-// ≥200 random pipelines, each with its own world-set construction and
+// ≥300 random pipelines, each with its own world-set construction and
 // probe workload. A failure message embeds the seed and the full script.
 // MAYBMS_DIFF_SEEDS raises the count for deeper (e.g. nightly) sweeps.
 uint32_t SeedCount() {
@@ -218,7 +218,7 @@ uint32_t SeedCount() {
     long parsed = std::strtol(env, nullptr, 10);
     if (parsed > 0) return static_cast<uint32_t>(parsed);
   }
-  return 200;
+  return 300;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialConformanceTest,
@@ -368,7 +368,7 @@ TEST(PipelineGeneratorTest, DistinctSeedsDiffer) {
 }
 
 TEST(PipelineGeneratorTest, RespectsWorldBudget) {
-  for (uint32_t seed = 0; seed < 200; ++seed) {
+  for (uint32_t seed = 0; seed < 300; ++seed) {
     GeneratedPipeline p = PipelineGenerator(seed).Generate();
     EXPECT_LE(p.world_bound, PipelineGenerator::Options().world_budget)
         << "seed " << seed;
@@ -459,12 +459,12 @@ TEST_P(PreparedReuseTest, OnePlanManyWorldSets) {
 INSTANTIATE_TEST_SUITE_P(Seeds, PreparedReuseTest,
                          ::testing::Range(uint32_t{0}, uint32_t{40}));
 
-// The 200-seed corpus must collectively exercise the whole I-SQL surface
+// The 300-seed corpus must collectively exercise the whole I-SQL surface
 // the harness claims to cover; a generator regression that silently stops
 // emitting a clause would otherwise weaken the oracle unnoticed.
 TEST(PipelineGeneratorTest, CorpusCoversISqlSurface) {
   std::string corpus;
-  for (uint32_t seed = 0; seed < 200; ++seed) {
+  for (uint32_t seed = 0; seed < 300; ++seed) {
     corpus += PipelineGenerator(seed).Generate().DebugString();
   }
   for (const char* feature :
@@ -504,14 +504,14 @@ TEST(PipelineGeneratorTest, CorpusContainsFullDepth3RepairChain) {
     return false;
   };
   int full_chains = 0;
-  for (uint32_t seed = 0; seed < 200; ++seed) {
+  for (uint32_t seed = 0; seed < 300; ++seed) {
     GeneratedPipeline p = PipelineGenerator(seed).Generate();
     if (link_repairs(p, "C0") && link_repairs(p, "C1") &&
         link_repairs(p, "C2")) {
       ++full_chains;
     }
   }
-  EXPECT_GE(full_chains, 1) << "no seed in 0..199 produces a repair chain "
+  EXPECT_GE(full_chains, 1) << "no seed in 0..299 produces a repair chain "
                                "of depth 3 with all links repairing";
 }
 

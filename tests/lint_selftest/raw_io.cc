@@ -1,0 +1,34 @@
+// maybms-lint-fixture: src/isql/session.cc
+// Known-bad fixture: raw file I/O outside src/storage/. Every disk access
+// must go through storage::File so the fault injector can kill it and
+// page checksums cannot be bypassed. The fixture pretends to live in
+// src/isql/, where the ban applies.
+#include <cstdio>
+#include <fstream>
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+namespace maybms {
+
+void Violations(const char* path, int fd, void* buf) {
+  int raw = ::open(path, O_RDONLY);           // expect-lint: forbidden-api
+  FILE* f = fopen(path, "rb");                // expect-lint: forbidden-api
+  (void)pread(fd, buf, 16, 0);                // expect-lint: forbidden-api
+  (void)pwrite(fd, buf, 16, 0);               // expect-lint: forbidden-api
+  (void)fsync(fd);                            // expect-lint: forbidden-api
+  (void)fdatasync(fd);                        // expect-lint: forbidden-api
+  (void)ftruncate(fd, 0);                     // expect-lint: forbidden-api
+  void* m = mmap(nullptr, 4096, PROT_READ,    // expect-lint: forbidden-api
+                 MAP_PRIVATE, fd, 0);
+  (void)munmap(m, 4096);                      // expect-lint: forbidden-api
+  (void)raw;
+  (void)f;
+}
+
+void NotViolations(std::fstream& s, const char* path) {
+  // A member named open is NOT raw file I/O; the lookbehind excludes it.
+  s.open(path);
+}
+
+}  // namespace maybms

@@ -1,0 +1,22 @@
+// maybms-lint-fixture: src/storage/file.cc
+// Known-good fixture: the SAME raw file I/O calls as raw_io.cc, but the
+// fixture pretends to live in src/storage/ — the one directory allowed to
+// touch the disk directly (it IS the storage::File implementation). The
+// self-test fails if the exemption ever stops working, because every
+// finding here would be unexpected.
+#include <cstdio>
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace maybms::storage {
+
+void SanctionedRawIo(const char* path, int fd, void* buf) {
+  int raw = ::open(path, O_RDWR | O_CREAT, 0644);
+  (void)pread(fd, buf, 16, 0);
+  (void)pwrite(fd, buf, 16, 0);
+  (void)fsync(fd);
+  (void)ftruncate(fd, 0);
+  (void)raw;
+}
+
+}  // namespace maybms::storage

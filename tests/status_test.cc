@@ -105,6 +105,8 @@ TEST(StatusCodeTest, EveryCodeHasADistinctName) {
       StatusCode::kParseError,  StatusCode::kTypeError,
       StatusCode::kConstraintViolation, StatusCode::kEmptyWorldSet,
       StatusCode::kUnsupported, StatusCode::kRuntimeError,
+      StatusCode::kIOError,     StatusCode::kResourceExhausted,
+      StatusCode::kDataLoss,
   };
   std::set<std::string> names;
   for (StatusCode code : codes) {
@@ -114,6 +116,24 @@ TEST(StatusCodeTest, EveryCodeHasADistinctName) {
     names.insert(name);
   }
   EXPECT_EQ(names.size(), std::size(codes));
+}
+
+// The storage layer's codes (ISSUE 8): kIOError for environment faults
+// (retryable), kResourceExhausted for budget exhaustion (caller must
+// release resources), kDataLoss for integrity failures (never retryable,
+// never silently readable).
+TEST(StatusTest, StorageCodesRoundTripThroughToString) {
+  Status io = Status::IOError("write failed: disk full");
+  EXPECT_EQ(io.code(), StatusCode::kIOError);
+  EXPECT_EQ(io.ToString(), "IOError: write failed: disk full");
+
+  Status exhausted = Status::ResourceExhausted("all 4 pages pinned");
+  EXPECT_EQ(exhausted.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(exhausted.ToString(), "ResourceExhausted: all 4 pages pinned");
+
+  Status loss = Status::DataLoss("page 7: checksum mismatch");
+  EXPECT_EQ(loss.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(loss.ToString(), "DataLoss: page 7: checksum mismatch");
 }
 
 TEST(StatusTest, EmptyMessage) {

@@ -1,0 +1,413 @@
+// Crash-recovery battery for the paged store (ISSUE 8):
+//  * a fault-injected "process death" at EVERY write/fsync of a commit,
+//    followed by reopen, must yield the exact pre-commit state (and the
+//    store must remain committable afterwards);
+//  * torn writes (a prefix of the killed write reaches disk) are covered
+//    at alternating kill points — the page checksums must detect them;
+//  * bit-flip and truncated-file fixtures prove corruption below a valid
+//    root is DETECTED (kDataLoss), never silently read.
+
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "storage/file.h"
+#include "storage/page.h"
+#include "storage/snapshot.h"
+#include "storage/store.h"
+
+namespace maybms::storage {
+namespace {
+
+Schema TwoColumnSchema() {
+  return Schema({Column("id", DataType::kInteger),
+                 Column("name", DataType::kText)});
+}
+
+Database::TableHandle MakeTable(int64_t seed, int64_t rows) {
+  Table table(TwoColumnSchema());
+  for (int64_t i = 0; i < rows; ++i) {
+    table.AppendUnchecked(Tuple({Value::Integer(seed * 1000 + i),
+                                 Value::Text("row-" + std::to_string(seed) +
+                                             "-" + std::to_string(i))}));
+  }
+  return std::make_shared<Table>(std::move(table));
+}
+
+/// A two-world explicit-style snapshot. `version` varies table contents;
+/// both worlds share table 0 (the dedupe/sharing structure under test)
+/// while table 1 belongs to world 1 only.
+DurableSnapshot MakeSnapshot(int64_t version) {
+  DurableSnapshot snapshot;
+  snapshot.engine = "explicit";
+  snapshot.tables.push_back(MakeTable(version, 5));
+  snapshot.tables.push_back(MakeTable(version + 100, 3));
+  snapshot.worlds.push_back({0.25, {{"R", 0}}});
+  snapshot.worlds.push_back({0.75, {{"R", 0}, {"S", 1}}});
+  snapshot.metadata.emplace_back("k" + std::to_string(version), "v");
+  return snapshot;
+}
+
+uint64_t Bits(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+void ExpectSnapshotsEqual(const DurableSnapshot& got,
+                          const DurableSnapshot& want) {
+  EXPECT_EQ(got.engine, want.engine);
+  ASSERT_EQ(got.tables.size(), want.tables.size());
+  for (size_t i = 0; i < want.tables.size(); ++i) {
+    EXPECT_TRUE(got.tables[i]->schema() == want.tables[i]->schema());
+    ASSERT_EQ(got.tables[i]->num_rows(), want.tables[i]->num_rows());
+    for (size_t r = 0; r < want.tables[i]->num_rows(); ++r) {
+      EXPECT_EQ(got.tables[i]->row(r), want.tables[i]->row(r))
+          << "table " << i << " row " << r;
+    }
+  }
+  ASSERT_EQ(got.worlds.size(), want.worlds.size());
+  for (size_t w = 0; w < want.worlds.size(); ++w) {
+    // Byte-identical probabilities: compare bit patterns, not values.
+    EXPECT_EQ(Bits(got.worlds[w].probability),
+              Bits(want.worlds[w].probability));
+    ASSERT_EQ(got.worlds[w].relations.size(), want.worlds[w].relations.size());
+    for (size_t r = 0; r < want.worlds[w].relations.size(); ++r) {
+      EXPECT_EQ(got.worlds[w].relations[r].name,
+                want.worlds[w].relations[r].name);
+      EXPECT_EQ(got.worlds[w].relations[r].table_index,
+                want.worlds[w].relations[r].table_index);
+    }
+  }
+  EXPECT_EQ(got.metadata, want.metadata);
+}
+
+class StorageRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultInjector::Disarm();
+    dir_ = std::filesystem::temp_directory_path() /
+           ("maybms-recovery-test-" +
+            std::to_string(reinterpret_cast<uintptr_t>(this)));
+    std::filesystem::create_directories(dir_);
+  }
+
+  void TearDown() override {
+    FaultInjector::Disarm();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::string StorePath(const std::string& name) {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(StorageRecoveryTest, CommitLoadRoundTrip) {
+  auto store = PagedStore::Open(StorePath("a.db"), 64);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_FALSE(store.value()->has_data());
+
+  const DurableSnapshot snapshot = MakeSnapshot(1);
+  ASSERT_TRUE(store.value()->Commit(snapshot).ok());
+  EXPECT_TRUE(store.value()->has_data());
+  EXPECT_EQ(store.value()->generation(), 1u);
+
+  auto loaded = store.value()->Load();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectSnapshotsEqual(loaded.value(), snapshot);
+
+  // Reopen from disk in a fresh store object.
+  store.value().reset();
+  auto reopened = PagedStore::Open(StorePath("a.db"), 64);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_TRUE(reopened.value()->has_data());
+  EXPECT_EQ(reopened.value()->generation(), 1u);
+  auto reloaded = reopened.value()->Load();
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  ExpectSnapshotsEqual(reloaded.value(), snapshot);
+}
+
+TEST_F(StorageRecoveryTest, UnchangedTablesReusePageRuns) {
+  auto store_or = PagedStore::Open(StorePath("b.db"), 64);
+  ASSERT_TRUE(store_or.ok());
+  PagedStore* store = store_or.value().get();
+
+  DurableSnapshot v1 = MakeSnapshot(1);
+  ASSERT_TRUE(store->Commit(v1).ok());
+  uint64_t shared_first_page = 0;
+  for (const auto& [table, run] : store->PersistedRuns()) {
+    if (table == v1.tables[0].get()) shared_first_page = run.first_page;
+  }
+  ASSERT_GE(shared_first_page, 2u);
+
+  // v2 keeps table 0's instance and replaces table 1.
+  DurableSnapshot v2 = v1;
+  v2.tables[1] = MakeTable(999, 4);
+  ASSERT_TRUE(store->Commit(v2).ok());
+  EXPECT_EQ(store->generation(), 2u);
+
+  bool found = false;
+  for (const auto& [table, run] : store->PersistedRuns()) {
+    if (table == v2.tables[0].get()) {
+      // The unchanged instance was NOT rewritten: same page run.
+      EXPECT_EQ(run.first_page, shared_first_page);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(StorageRecoveryTest, SharedInstancesStaySharedAcrossReload) {
+  auto store_or = PagedStore::Open(StorePath("c.db"), 64);
+  ASSERT_TRUE(store_or.ok());
+  ASSERT_TRUE(store_or.value()->Commit(MakeSnapshot(7)).ok());
+
+  auto loaded = store_or.value()->Load();
+  ASSERT_TRUE(loaded.ok());
+  // Both worlds referenced table index 0; the restored snapshot holds ONE
+  // instance for it (pointer-shared through the handle), not copies.
+  ASSERT_EQ(loaded.value().tables.size(), 2u);
+  EXPECT_EQ(loaded.value().worlds[0].relations[0].table_index, 0u);
+  EXPECT_EQ(loaded.value().worlds[1].relations[0].table_index, 0u);
+}
+
+// The central property: kill the commit at EVERY durability op (write or
+// fsync), reopen, and require an ATOMIC outcome — byte-identical
+// pre-commit state for every kill point up to and including the root-slot
+// write, and the complete post-commit state for a kill on the final fsync
+// (the root bytes are already in the file; a dead process cannot unwrite
+// them — a failed commit means "not guaranteed durable", never "a third
+// state"). Then prove the store is not wedged by committing cleanly. Odd
+// kill points tear the killing write (a prefix reaches disk) to exercise
+// checksum detection.
+TEST_F(StorageRecoveryTest, EveryKillPointRecoversPreCommitState) {
+  const DurableSnapshot before = MakeSnapshot(1);
+  const DurableSnapshot after = MakeSnapshot(2);
+
+  // Dry run to count the second commit's durability ops.
+  uint64_t total_ops = 0;
+  {
+    auto store = PagedStore::Open(StorePath("dry.db"), 64);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store.value()->Commit(before).ok());
+    FaultInjector::Arm(/*fail_after=*/1u << 30, /*tear_killing_write=*/false);
+    ASSERT_TRUE(store.value()->Commit(after).ok());
+    total_ops = FaultInjector::OpsSinceArm();
+    FaultInjector::Disarm();
+  }
+  ASSERT_GE(total_ops, 4u) << "commit should write pages, sync, write root, "
+                              "sync";
+
+  for (uint64_t kill = 0; kill < total_ops; ++kill) {
+    SCOPED_TRACE("kill point " + std::to_string(kill) + " of " +
+                 std::to_string(total_ops));
+    const std::string path = StorePath("kill-" + std::to_string(kill) +
+                                       ".db");
+    {
+      auto store = PagedStore::Open(path, 64);
+      ASSERT_TRUE(store.ok());
+      ASSERT_TRUE(store.value()->Commit(before).ok());
+
+      FaultInjector::Arm(kill, /*tear_killing_write=*/(kill % 2) == 1);
+      Status died = store.value()->Commit(after);
+      FaultInjector::Disarm();
+      ASSERT_FALSE(died.ok()) << "commit must fail at the kill point";
+      EXPECT_EQ(died.code(), StatusCode::kIOError);
+      // The "dead process": drop the store object without cleanup.
+    }
+
+    // Reopen. Ops 0 .. total-2 die before or at the root-slot write, so
+    // the root never lands (a torn root write fails its checksum) and the
+    // previous generation must be byte-identical. Op total-1 is the final
+    // fsync: the root bytes are already in the file, so the commit is
+    // visible — and must then be COMPLETE, not partial.
+    const bool root_landed = (kill == total_ops - 1);
+    auto reopened = PagedStore::Open(path, 64);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    ASSERT_TRUE(reopened.value()->has_data());
+    EXPECT_EQ(reopened.value()->generation(), root_landed ? 2u : 1u);
+    auto loaded = reopened.value()->Load();
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    ExpectSnapshotsEqual(loaded.value(), root_landed ? after : before);
+
+    // And the store is not wedged: the interrupted commit retries clean.
+    ASSERT_TRUE(reopened.value()->Commit(after).ok());
+    auto final_load = reopened.value()->Load();
+    ASSERT_TRUE(final_load.ok());
+    ExpectSnapshotsEqual(final_load.value(), after);
+  }
+}
+
+// Killing the FIRST commit at every point must recover to the empty
+// store — the pre-commit state of a store that never committed.
+TEST_F(StorageRecoveryTest, FirstCommitKillPointsRecoverToEmptyStore) {
+  const DurableSnapshot snapshot = MakeSnapshot(3);
+
+  uint64_t total_ops = 0;
+  {
+    auto store = PagedStore::Open(StorePath("dry1.db"), 64);
+    ASSERT_TRUE(store.ok());
+    FaultInjector::Arm(1u << 30, false);
+    ASSERT_TRUE(store.value()->Commit(snapshot).ok());
+    total_ops = FaultInjector::OpsSinceArm();
+    FaultInjector::Disarm();
+  }
+
+  for (uint64_t kill = 0; kill < total_ops; ++kill) {
+    SCOPED_TRACE("kill point " + std::to_string(kill));
+    const std::string path = StorePath("kill1-" + std::to_string(kill) +
+                                       ".db");
+    {
+      auto store = PagedStore::Open(path, 64);
+      ASSERT_TRUE(store.ok());
+      FaultInjector::Arm(kill, (kill % 2) == 0);
+      Status died = store.value()->Commit(snapshot);
+      FaultInjector::Disarm();
+      ASSERT_FALSE(died.ok());
+    }
+
+    // Same atomicity split as above: only a kill on the final fsync (the
+    // last op) leaves the already-written root visible.
+    const bool root_landed = (kill == total_ops - 1);
+    auto reopened = PagedStore::Open(path, 64);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    EXPECT_EQ(reopened.value()->has_data(), root_landed);
+    if (root_landed) {
+      auto visible = reopened.value()->Load();
+      ASSERT_TRUE(visible.ok()) << visible.status().ToString();
+      ExpectSnapshotsEqual(visible.value(), snapshot);
+    }
+
+    ASSERT_TRUE(reopened.value()->Commit(snapshot).ok());
+    auto loaded = reopened.value()->Load();
+    ASSERT_TRUE(loaded.ok());
+    ExpectSnapshotsEqual(loaded.value(), snapshot);
+  }
+}
+
+TEST_F(StorageRecoveryTest, BitFlipInDataPageIsDetectedNeverSilentlyRead) {
+  const std::string path = StorePath("flip.db");
+  {
+    auto store = PagedStore::Open(path, 64);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store.value()->Commit(MakeSnapshot(4)).ok());
+  }
+
+  // Flip a single bit inside the first data page (page 2 — table runs
+  // start right after the two root slots).
+  {
+    auto file = File::Open(path, /*create=*/false);
+    ASSERT_TRUE(file.ok());
+    auto page = std::make_unique<Page>();
+    ASSERT_TRUE(
+        file.value()->ReadAt(2 * kPageSize, page->data(), kPageSize).ok());
+    page->data()[kPageSize / 3] ^= std::byte{0x01};
+    ASSERT_TRUE(
+        file.value()->WriteAt(2 * kPageSize, page->data(), kPageSize).ok());
+  }
+
+  // The root is intact, so Open succeeds — but Load must detect the flip.
+  auto reopened = PagedStore::Open(path, 64);
+  ASSERT_TRUE(reopened.ok());
+  ASSERT_TRUE(reopened.value()->has_data());
+  auto loaded = reopened.value()->Load();
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(loaded.status().message().find("checksum mismatch"),
+            std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST_F(StorageRecoveryTest, TruncatedFileIsDetectedNeverSilentlyRead) {
+  const std::string path = StorePath("trunc.db");
+  {
+    auto store = PagedStore::Open(path, 64);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store.value()->Commit(MakeSnapshot(5)).ok());
+  }
+
+  // Cut the file mid-page: the tail page (the manifest) is now partial.
+  {
+    auto file = File::Open(path, /*create=*/false);
+    ASSERT_TRUE(file.ok());
+    auto size = file.value()->Size();
+    ASSERT_TRUE(size.ok());
+    ASSERT_TRUE(file.value()->Truncate(size.value() - kPageSize / 2).ok());
+  }
+
+  auto reopened = PagedStore::Open(path, 64);
+  ASSERT_TRUE(reopened.ok());
+  ASSERT_TRUE(reopened.value()->has_data());
+  auto loaded = reopened.value()->Load();
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(StorageRecoveryTest, DecomposedComponentsRoundTrip) {
+  DurableSnapshot snapshot;
+  snapshot.engine = "decomposed";
+  snapshot.tables.push_back(MakeTable(1, 4));
+  snapshot.certain.push_back({"R", 0});
+  DurableSnapshot::ComponentRef component;
+  DurableSnapshot::AlternativeRef alt_a;
+  alt_a.probability = 0.3;
+  alt_a.contributions.emplace_back(
+      "r", std::vector<Tuple>{Tuple({Value::Integer(1), Value::Text("a")})});
+  DurableSnapshot::AlternativeRef alt_b;
+  alt_b.probability = 0.7;
+  alt_b.contributions.emplace_back("r", std::vector<Tuple>{});
+  component.alternatives.push_back(std::move(alt_a));
+  component.alternatives.push_back(std::move(alt_b));
+  snapshot.components.push_back(std::move(component));
+
+  const std::string path = StorePath("decomposed.db");
+  {
+    auto store = PagedStore::Open(path, 64);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store.value()->Commit(snapshot).ok());
+  }
+  auto reopened = PagedStore::Open(path, 64);
+  ASSERT_TRUE(reopened.ok());
+  auto loaded = reopened.value()->Load();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().engine, "decomposed");
+  ASSERT_EQ(loaded.value().components.size(), 1u);
+  const auto& restored = loaded.value().components[0];
+  ASSERT_EQ(restored.alternatives.size(), 2u);
+  EXPECT_EQ(Bits(restored.alternatives[0].probability), Bits(0.3));
+  EXPECT_EQ(Bits(restored.alternatives[1].probability), Bits(0.7));
+  ASSERT_EQ(restored.alternatives[0].contributions.size(), 1u);
+  EXPECT_EQ(restored.alternatives[0].contributions[0].first, "r");
+  ASSERT_EQ(restored.alternatives[0].contributions[0].second.size(), 1u);
+  EXPECT_EQ(restored.alternatives[0].contributions[0].second[0],
+            Tuple({Value::Integer(1), Value::Text("a")}));
+  EXPECT_TRUE(restored.alternatives[1].contributions[0].second.empty());
+}
+
+// A tiny pool (4 pages) must be enough for any commit/load — the store
+// pins at most one page at a time.
+TEST_F(StorageRecoveryTest, TinyPoolHandlesCommitAndLoad) {
+  auto store = PagedStore::Open(StorePath("tiny.db"), 4);
+  ASSERT_TRUE(store.ok());
+  DurableSnapshot big;
+  big.engine = "explicit";
+  big.tables.push_back(MakeTable(1, 2000));  // dozens of pages
+  big.worlds.push_back({1.0, {{"R", 0}}});
+  ASSERT_TRUE(store.value()->Commit(big).ok());
+  auto loaded = store.value()->Load();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().tables.size(), 1u);
+  EXPECT_EQ(loaded.value().tables[0]->num_rows(), 2000u);
+  EXPECT_EQ(loaded.value().tables[0]->row(1999),
+            MakeTable(1, 2000)->row(1999));
+}
+
+}  // namespace
+}  // namespace maybms::storage

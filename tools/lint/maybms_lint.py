@@ -16,7 +16,10 @@ rules over `src/` (see docs/architecture.md, "Invariant enforcement"):
                      Table/Database (bypasses the COW write protocol), raw
                      std::thread/std::jthread outside base/ (use
                      base::ThreadPool), std::mt19937 outside base/ (use
-                     base::SplitMix64, which is O(1) to seed).
+                     base::SplitMix64, which is O(1) to seed), and raw
+                     file I/O (open/fopen/mmap/pread/pwrite/fsync/...)
+                     outside src/storage/ (use storage::File, which the
+                     fault injector and checksum layer instrument).
 
   unchecked-status   A bare expression statement calling a function that
                      returns Status/Result drops the error. Consume it,
@@ -71,21 +74,34 @@ CALL_RE = re.compile(
     r"\s*((?:[A-Za-z_]\w*\s*(?:\.|->|::)\s*)*)([A-Za-z_]\w*)\s*\(")
 
 FORBIDDEN_API_PATTERNS = [
-    # (regex, restrict-to-outside-base, message)
-    (re.compile(r"\bGetMutableRelation\b"), False,
+    # (regex, exempt_path_prefix, message): a match is ignored when the
+    # file's rule path starts with the exempt prefix (None = banned
+    # everywhere in src/).
+    (re.compile(r"\bGetMutableRelation\b"), None,
      "deleted API GetMutableRelation — use Database::MutableRelation "
      "(clone-on-unshared-write) or PutRelation"),
-    (re.compile(r"\bconst_cast\s*<[^>]*\b(Table|Database)\b"), False,
+    (re.compile(r"\bconst_cast\s*<[^>]*\b(Table|Database)\b"), None,
      "const_cast on Table/Database bypasses the copy-on-write protocol "
      "(storage/catalog.h); mutate through MutableRelation"),
-    (re.compile(r"\bstd::thread\b(?!::hardware_concurrency)"), True,
+    (re.compile(r"\bstd::thread\b(?!::hardware_concurrency)"), "src/base/",
      "raw std::thread outside base/ — use base::ThreadPool::ParallelFor "
      "(deterministic chunking, first-error-by-index)"),
-    (re.compile(r"\bstd::jthread\b"), True,
+    (re.compile(r"\bstd::jthread\b"), "src/base/",
      "raw std::jthread outside base/ — use base::ThreadPool::ParallelFor"),
-    (re.compile(r"\bstd::mt19937(_64)?\b"), True,
+    (re.compile(r"\bstd::mt19937(_64)?\b"), "src/base/",
      "std::mt19937 outside base/ — use base::SplitMix64 (base/rng.h), "
      "which is O(1) to seed per sample"),
+    # Raw file I/O outside src/storage/: every disk access must go through
+    # storage::File so the fault injector sees it (crash-recovery tests
+    # enumerate File ops as kill points — a bypassing write would be a
+    # durability hole the battery cannot reach) and so page checksums
+    # cannot be skipped. The lookbehind excludes member calls
+    # (stream.open) while `::open(` still matches.
+    (re.compile(r"(?<![\w.>])(open|openat|creat|fopen|mmap|munmap|pread|"
+                r"pwrite|fsync|fdatasync|ftruncate)\s*\("), "src/storage/",
+     "raw file I/O outside src/storage/ — go through storage::File "
+     "(fault-injectable, checksummed); direct syscalls dodge the "
+     "crash-recovery battery"),
 ]
 
 
@@ -334,9 +350,9 @@ def check_plan_schema_only(path_for_rules, stripped, line_starts, findings,
 
 def check_forbidden_api(path_for_rules, stripped, line_starts, findings,
                         allows):
-    in_base = "src/base/" in path_for_rules.replace("\\", "/")
-    for pattern, outside_base_only, message in FORBIDDEN_API_PATTERNS:
-        if outside_base_only and in_base:
+    norm_path = path_for_rules.replace("\\", "/")
+    for pattern, exempt_prefix, message in FORBIDDEN_API_PATTERNS:
+        if exempt_prefix and norm_path.startswith(exempt_prefix):
             continue
         for m in pattern.finditer(stripped):
             line = line_of(stripped, m.start(), line_starts)
