@@ -1,0 +1,130 @@
+// Network-server throughput (ISSUE 9): end-to-end round-trips per second
+// over the loopback wire protocol, scaling the number of concurrent
+// client connections. Every round-trip is a full framed request/response
+// for a SELECT that pins the published snapshot — the lock-free reader
+// path — so the family measures how concurrent sessions share one
+// world-set. Note the qps scaling across conns:{1,4,16} is bounded by
+// the machine's core count; single-core runners serialize the workers
+// and mostly measure context-switch overhead at higher conns.
+//
+// Case family:
+//   server/throughput/conns:{1,4,16}
+//
+// Counters: qps (round-trips per wall-clock second, all connections).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "server/net.h"
+#include "server/protocol.h"
+#include "server/server.h"
+
+namespace {
+
+using maybms::StatusCode;
+using maybms::server::ConnectTo;
+using maybms::server::Fd;
+using maybms::server::RoundTrip;
+using maybms::server::Server;
+using maybms::server::ServerOptions;
+
+constexpr int kOpsPerClientPerIteration = 50;
+constexpr int kTimeoutMs = 30'000;
+constexpr char kProbe[] = "select possible V from I;";
+
+/// Starts a server preloaded with a small repaired relation (16 worlds),
+/// so the probe SELECT exercises real per-world evaluation rather than a
+/// constant-fold.
+std::unique_ptr<Server> StartLoadedServer(benchmark::State& state,
+                                          size_t max_connections) {
+  ServerOptions options;
+  options.max_connections = max_connections;
+  auto server = Server::Start(std::move(options));
+  if (!server.ok()) {
+    state.SkipWithError(server.status().ToString().c_str());
+    return nullptr;
+  }
+  auto seeded = (*server)->Execute(
+      "create table R (K integer, V integer);"
+      "insert into R values (1,1),(1,2),(2,1),(2,2),"
+      "                     (3,1),(3,2),(4,1),(4,2);"
+      "create table I as select * from R repair by key K;");
+  if (seeded.first != StatusCode::kOk) {
+    state.SkipWithError(seeded.second.c_str());
+    return nullptr;
+  }
+  return std::move(*server);
+}
+
+void BM_ServerThroughput(benchmark::State& state) {
+  const int conns = static_cast<int>(state.range(0));
+  std::unique_ptr<Server> server =
+      StartLoadedServer(state, static_cast<size_t>(conns));
+  if (server == nullptr) return;
+
+  // Persistent connections: opened once, reused for every iteration, so
+  // the timed region is pure request/response traffic.
+  std::vector<Fd> connections;
+  connections.reserve(static_cast<size_t>(conns));
+  for (int c = 0; c < conns; ++c) {
+    auto conn = ConnectTo("127.0.0.1", server->port());
+    if (!conn.ok()) {
+      state.SkipWithError(conn.status().ToString().c_str());
+      return;
+    }
+    connections.push_back(std::move(*conn));
+  }
+
+  bool failed = false;
+  for (auto _ : state) {
+    std::vector<std::thread> clients;
+    clients.reserve(static_cast<size_t>(conns));
+    for (int c = 0; c < conns; ++c) {
+      clients.emplace_back([&, c] {
+        for (int op = 0; op < kOpsPerClientPerIteration; ++op) {
+          auto reply = RoundTrip(connections[static_cast<size_t>(c)], kProbe,
+                                 kTimeoutMs);
+          if (!reply.ok() || reply->first != StatusCode::kOk) {
+            failed = true;
+            return;
+          }
+        }
+      });
+    }
+    for (std::thread& client : clients) client.join();
+    if (failed) {
+      state.SkipWithError("round-trip failed mid-benchmark");
+      return;
+    }
+  }
+
+  const double ops = static_cast<double>(state.iterations()) * conns *
+                     kOpsPerClientPerIteration;
+  state.SetItemsProcessed(static_cast<int64_t>(ops));
+  state.counters["qps"] =
+      benchmark::Counter(ops, benchmark::Counter::kIsRate);
+}
+
+void RegisterBenchmarks() {
+  benchmark::RegisterBenchmark("server/throughput", BM_ServerThroughput)
+      ->ArgName("conns")
+      ->Arg(1)
+      ->Arg(4)
+      ->Arg(16)
+      ->Unit(benchmark::kMillisecond)
+      ->UseRealTime();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterBenchmarks();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,8 +1,10 @@
 #include "isql/session.h"
 
 #include <atomic>
+#include <cerrno>
 #include <cstdlib>
 #include <filesystem>
+#include <limits>
 #include <system_error>
 #include <utility>
 
@@ -73,6 +75,30 @@ Status RestoreCatalogMetadata(
   return Status::OK();
 }
 
+/// Strict environment-variable number parsing, matching what
+/// ThreadPool::DefaultThreads does for MAYBMS_THREADS: the whole string
+/// must be digits and the value must be positive. Anything else —
+/// "abc", "64k" (silent truncation to 64), "-1" (strtoull wraps to a
+/// huge pool), "0", overflow — is an error, never a silent fallback.
+Result<size_t> ParsePositiveEnv(const char* name, const char* text) {
+  const std::string value(text);
+  const Status invalid = Status::InvalidArgument(
+      std::string(name) + " must be a positive integer, got \"" + value +
+      "\"");
+  if (value.empty() ||
+      value.find_first_not_of("0123456789") != std::string::npos) {
+    return invalid;
+  }
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (errno == ERANGE || end != value.c_str() + value.size() || parsed == 0 ||
+      parsed > std::numeric_limits<size_t>::max()) {
+    return invalid;
+  }
+  return static_cast<size_t>(parsed);
+}
+
 bool IsMutatingStatement(sql::StatementKind kind) {
   switch (kind) {
     case sql::StatementKind::kSelect:
@@ -93,6 +119,7 @@ bool IsMutatingStatement(sql::StatementKind kind) {
 Session::Session(SessionOptions options) : options_(options) {
   worlds_ = MakeWorldSet();
   InitStorage();
+  if (options_.publish_snapshots) PublishSnapshot();
 }
 
 Session::~Session() {
@@ -107,9 +134,19 @@ void Session::InitStorage() {
   StorageMode mode = options_.storage;
   if (mode == StorageMode::kDefault) {
     const char* env = std::getenv("MAYBMS_STORAGE");
-    mode = (env != nullptr && std::string(env) == "paged")
-               ? StorageMode::kPaged
-               : StorageMode::kMemory;
+    const std::string value = env != nullptr ? env : "";
+    if (value.empty() || value == "memory") {
+      mode = StorageMode::kMemory;
+    } else if (value == "paged") {
+      mode = StorageMode::kPaged;
+    } else {
+      // A typo ("Paged", "disk") must not silently drop durability: fail
+      // every statement instead of falling back to memory mode.
+      storage_status_ = Status::InvalidArgument(
+          "MAYBMS_STORAGE: unknown storage mode \"" + value +
+          "\" (expected \"memory\" or \"paged\")");
+      return;
+    }
   }
   if (mode != StorageMode::kPaged) return;
   paged_ = true;
@@ -146,7 +183,8 @@ void Session::InitStorage() {
     if (pool_pages == 0) {
       const char* env = std::getenv("MAYBMS_POOL_PAGES");
       if (env != nullptr) {
-        pool_pages = static_cast<size_t>(std::strtoull(env, nullptr, 10));
+        MAYBMS_ASSIGN_OR_RETURN(pool_pages,
+                                ParsePositiveEnv("MAYBMS_POOL_PAGES", env));
       }
     }
     if (pool_pages == 0) pool_pages = 1024;
@@ -206,14 +244,16 @@ Result<std::vector<QueryResult>> Session::ExecuteScript(
 }
 
 Result<QueryResult> Session::ExecuteStatement(const sql::Statement& stmt) {
-  if (paged_) {
-    // A failed storage init (unopenable directory, corrupt store, engine
-    // mismatch) fails every statement with the same sticky error.
-    MAYBMS_RETURN_NOT_OK(storage_status_);
-  }
+  // A failed storage init (unknown MAYBMS_STORAGE mode, invalid
+  // MAYBMS_POOL_PAGES, unopenable directory, corrupt store, engine
+  // mismatch) fails every statement with the same sticky error.
+  MAYBMS_RETURN_NOT_OK(storage_status_);
   MAYBMS_ASSIGN_OR_RETURN(QueryResult result, DispatchStatement(stmt));
-  if (paged_ && IsMutatingStatement(stmt.kind)) {
-    MAYBMS_RETURN_NOT_OK(PersistAndReload());
+  if (IsMutatingStatement(stmt.kind)) {
+    if (paged_) {
+      MAYBMS_RETURN_NOT_OK(PersistAndReload());
+    }
+    if (options_.publish_snapshots) PublishSnapshot();
   }
   return result;
 }
@@ -245,50 +285,56 @@ std::vector<std::string> Session::ViewNames() const {
   return names;
 }
 
-bool Session::ReferencesViews(const sql::SelectStatement& stmt) const {
+bool Session::ReferencesViews(const sql::SelectStatement& stmt,
+                              const ViewMap& views) {
   std::set<std::string> referenced;
   worlds::CollectReferencedRelations(stmt, &referenced);
   for (const std::string& name : referenced) {
-    if (views_.count(name) > 0) return true;
+    if (views.count(name) > 0) return true;
   }
   return false;
 }
 
-Status Session::MaterializeViewsInto(worlds::WorldSet* target,
+Status Session::MaterializeViewsInto(const ViewMap& views,
+                                     worlds::WorldSet* target,
                                      const sql::SelectStatement& stmt,
-                                     std::set<std::string>* in_progress) const {
+                                     std::set<std::string>* in_progress) {
   std::set<std::string> referenced;
   worlds::CollectReferencedRelations(stmt, &referenced);
   for (const std::string& name : referenced) {
-    auto it = views_.find(name);
-    if (it == views_.end()) continue;
+    auto it = views.find(name);
+    if (it == views.end()) continue;
     if (target->HasRelation(name)) continue;  // already materialized
     if (!in_progress->insert(name).second) {
       return Status::InvalidArgument("cyclic view definition: " + name);
     }
     // Dependencies first.
     MAYBMS_RETURN_NOT_OK(
-        MaterializeViewsInto(target, *it->second, in_progress));
+        MaterializeViewsInto(views, target, *it->second, in_progress));
     MAYBMS_RETURN_NOT_OK(target->MaterializeSelect(name, *it->second));
     in_progress->erase(name);
   }
   return Status::OK();
 }
 
-Result<QueryResult> Session::EvaluateSelect(const sql::SelectStatement& stmt) {
-  const worlds::WorldSet* ws = worlds_.get();
+Result<QueryResult> Session::EvaluateSelectOn(const worlds::WorldSet& ws,
+                                              const ViewMap& views,
+                                              const sql::SelectStatement& stmt,
+                                              size_t max_display_worlds) {
+  const worlds::WorldSet* target = &ws;
   std::unique_ptr<worlds::WorldSet> derived;
-  if (ReferencesViews(stmt)) {
-    derived = worlds_->Clone();
+  if (ReferencesViews(stmt, views)) {
+    // View world operations evaluate on a private clone — plain queries
+    // never modify the session's (or snapshot's) world-set.
+    derived = ws.Clone();
     std::set<std::string> in_progress;
     MAYBMS_RETURN_NOT_OK(
-        MaterializeViewsInto(derived.get(), stmt, &in_progress));
-    ws = derived.get();
+        MaterializeViewsInto(views, derived.get(), stmt, &in_progress));
+    target = derived.get();
   }
 
-  MAYBMS_ASSIGN_OR_RETURN(
-      worlds::SelectEvaluation eval,
-      ws->EvaluateSelect(stmt, options_.max_display_worlds));
+  MAYBMS_ASSIGN_OR_RETURN(worlds::SelectEvaluation eval,
+                          target->EvaluateSelect(stmt, max_display_worlds));
 
   if (!eval.groups.empty()) {
     return QueryResult::Groups(std::move(eval.groups));
@@ -297,6 +343,62 @@ Result<QueryResult> Session::EvaluateSelect(const sql::SelectStatement& stmt) {
     return QueryResult::SingleTable(std::move(*eval.combined));
   }
   return QueryResult::Worlds(std::move(eval.per_world), eval.truncated);
+}
+
+Result<QueryResult> Session::EvaluateSelect(const sql::SelectStatement& stmt) {
+  return EvaluateSelectOn(*worlds_, views_, stmt, options_.max_display_worlds);
+}
+
+void Session::PublishSnapshot() {
+  auto snapshot = std::make_shared<SessionSnapshot>();
+  snapshot->version = commit_version_++;
+  // The clone shares every Table instance with the live world-set
+  // (immutable once shared), so this is O(worlds × relations) handle
+  // bumps; the next mutating statement clones-on-write and leaves the
+  // snapshot's instances untouched.
+  snapshot->worlds =
+      std::shared_ptr<const worlds::WorldSet>(worlds_->Clone().release());
+  snapshot->catalog = catalog_;
+  snapshot->views = views_;
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  published_ = std::move(snapshot);
+}
+
+std::shared_ptr<const SessionSnapshot> Session::PinSnapshot() const {
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    if (published_ != nullptr) return published_;
+  }
+  // No published snapshot (publish_snapshots off): build one on the fly.
+  // Single-threaded use only, like every other const accessor.
+  auto snapshot = std::make_shared<SessionSnapshot>();
+  snapshot->version = commit_version_;
+  snapshot->worlds =
+      std::shared_ptr<const worlds::WorldSet>(worlds_->Clone().release());
+  snapshot->catalog = catalog_;
+  snapshot->views = views_;
+  return snapshot;
+}
+
+Result<QueryResult> Session::EvaluateSnapshot(const SessionSnapshot& snapshot,
+                                              const sql::Statement& stmt,
+                                              size_t max_display_worlds) {
+  if (stmt.kind != sql::StatementKind::kSelect) {
+    return Status::InvalidArgument(
+        "snapshot evaluation is read-only: only SELECT statements may run "
+        "against a pinned snapshot");
+  }
+  return EvaluateSelectOn(*snapshot.worlds, snapshot.views,
+                          static_cast<const sql::SelectStatement&>(stmt),
+                          max_display_worlds);
+}
+
+Result<QueryResult> Session::EvaluateSnapshot(const SessionSnapshot& snapshot,
+                                              const std::string& sql,
+                                              size_t max_display_worlds) {
+  MAYBMS_ASSIGN_OR_RETURN(sql::StatementPtr stmt,
+                          sql::Parser::ParseStatement(sql));
+  return EvaluateSnapshot(snapshot, *stmt, max_display_worlds);
 }
 
 Result<QueryResult> Session::ExecuteCreateTable(
@@ -328,14 +430,14 @@ Result<QueryResult> Session::ExecuteCreateTableAs(
     return QueryResult::Message("created view " + stmt.table_name);
   }
 
-  if (ReferencesViews(*stmt.query)) {
+  if (ReferencesViews(*stmt.query, views_)) {
     // Materialize referenced views first; view world operations (e.g. an
     // `assert` inside the view) become part of the session's world-set —
     // CREATE TABLE makes the derived world-set real.
     std::unique_ptr<worlds::WorldSet> derived = worlds_->Clone();
     std::set<std::string> in_progress;
     MAYBMS_RETURN_NOT_OK(
-        MaterializeViewsInto(derived.get(), *stmt.query, &in_progress));
+        MaterializeViewsInto(views_, derived.get(), *stmt.query, &in_progress));
     MAYBMS_RETURN_NOT_OK(
         derived->MaterializeSelect(stmt.table_name, *stmt.query));
     worlds_ = std::move(derived);

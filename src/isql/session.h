@@ -2,8 +2,10 @@
 #define MAYBMS_ISQL_SESSION_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -35,6 +37,14 @@ enum class StorageMode {
 struct SessionOptions {
   EngineMode engine = EngineMode::kDecomposed;
 
+  /// Maintain a published SessionSnapshot (see below) that is rebuilt
+  /// after every successful mutating statement. Readers on other threads
+  /// may then PinSnapshot() and evaluate SELECTs against it concurrently
+  /// with (exactly one) writer executing statements on the session.
+  /// Off by default: embedded single-threaded sessions skip the
+  /// O(worlds × relations) handle-bump clone per commit.
+  bool publish_snapshots = false;
+
   /// Table storage backend. kDefault resolves MAYBMS_STORAGE
   /// ("memory"/"paged"); unset means memory.
   StorageMode storage = StorageMode::kDefault;
@@ -64,6 +74,25 @@ struct SessionOptions {
   /// environment variable, else the hardware concurrency). Results are
   /// byte-identical at every setting; see base/thread_pool.h.
   size_t threads = 0;
+};
+
+/// A consistent immutable view of a session's state — the world-set,
+/// the constraint catalog, and the view definitions — as of one commit
+/// point. Snapshots are what make concurrent reads snapshot-isolated:
+/// the world-set handle is a copy-on-write clone whose Table instances
+/// are shared with the live session (immutable once shared,
+/// storage/catalog.h), so pinning is O(worlds × relations) handle bumps
+/// and a pinned snapshot never observes later writes. A statement
+/// evaluated against a snapshot sees either the state before a
+/// concurrent commit or the state after it — never a mixture — and its
+/// result is byte-identical to serial execution against that state.
+struct SessionSnapshot {
+  /// Monotone commit sequence number (0 = initial state); successive
+  /// published snapshots of one session carry increasing versions.
+  uint64_t version = 0;
+  std::shared_ptr<const worlds::WorldSet> worlds;
+  Catalog catalog;
+  std::map<std::string, std::shared_ptr<const sql::SelectStatement>> views;
 };
 
 /// An I-SQL session: parses statements, resolves views, and evaluates
@@ -108,6 +137,33 @@ class Session {
   /// Names of defined views (lower-cased).
   std::vector<std::string> ViewNames() const;
 
+  // ---- Snapshot-isolated concurrent reads (src/server/) ----
+
+  /// Pins the current state as an immutable snapshot.
+  ///
+  /// With options().publish_snapshots set, this returns the snapshot
+  /// published by the latest commit and is safe to call from any thread
+  /// concurrently with one writer thread executing statements (the
+  /// server's reader path). Without it, a snapshot of the current state
+  /// is built on the fly; that path is NOT safe against a concurrent
+  /// writer — same single-thread rule as every other const accessor.
+  std::shared_ptr<const SessionSnapshot> PinSnapshot() const;
+
+  /// Evaluates a SELECT (including repair/choice/assert/group pipelines
+  /// and view references) against a pinned snapshot. Never modifies any
+  /// session; mutating statements are rejected with kInvalidArgument.
+  /// Safe to run from many threads over the same snapshot concurrently:
+  /// evaluation is const over the snapshot's world-set, and view
+  /// materialization works on a reader-private clone.
+  static Result<QueryResult> EvaluateSnapshot(const SessionSnapshot& snapshot,
+                                              const sql::Statement& stmt,
+                                              size_t max_display_worlds);
+
+  /// Parse-then-evaluate convenience for the wire path and tests.
+  static Result<QueryResult> EvaluateSnapshot(const SessionSnapshot& snapshot,
+                                              const std::string& sql,
+                                              size_t max_display_worlds);
+
   /// The paged store backing this session, or nullptr in memory mode.
   /// Introspection for tests and benchmarks (pool stats, generations).
   storage::PagedStore* paged_store() { return store_.get(); }
@@ -124,14 +180,32 @@ class Session {
   Result<QueryResult> ExecuteDrop(const sql::DropTableStatement& stmt);
   Result<QueryResult> ExecuteDml(const sql::Statement& stmt);
 
-  /// True if `stmt` (transitively) references any defined view.
-  bool ReferencesViews(const sql::SelectStatement& stmt) const;
+  using ViewMap =
+      std::map<std::string, std::shared_ptr<const sql::SelectStatement>>;
+
+  /// True if `stmt` (transitively) references any view in `views`.
+  static bool ReferencesViews(const sql::SelectStatement& stmt,
+                              const ViewMap& views);
 
   /// Materializes every view referenced by `stmt` into `target`
   /// (recursively, dependency-first). `in_progress` detects cycles.
-  Status MaterializeViewsInto(worlds::WorldSet* target,
-                              const sql::SelectStatement& stmt,
-                              std::set<std::string>* in_progress) const;
+  static Status MaterializeViewsInto(const ViewMap& views,
+                                     worlds::WorldSet* target,
+                                     const sql::SelectStatement& stmt,
+                                     std::set<std::string>* in_progress);
+
+  /// The shared SELECT pipeline: evaluates `stmt` against `ws`, expanding
+  /// views from `views` on a clone when referenced. Both the session's
+  /// EvaluateSelect and the static snapshot path go through here.
+  static Result<QueryResult> EvaluateSelectOn(const worlds::WorldSet& ws,
+                                              const ViewMap& views,
+                                              const sql::SelectStatement& stmt,
+                                              size_t max_display_worlds);
+
+  /// Rebuilds and publishes the snapshot readers pin (publish_snapshots
+  /// mode). Called after construction and after every successful mutating
+  /// statement, from the (single) writer thread.
+  void PublishSnapshot();
 
   std::unique_ptr<worlds::WorldSet> MakeWorldSet() const;
 
@@ -150,7 +224,13 @@ class Session {
   std::unique_ptr<worlds::WorldSet> worlds_;
   Catalog catalog_;
   // View name (lower-cased) -> definition.
-  std::map<std::string, std::shared_ptr<const sql::SelectStatement>> views_;
+  ViewMap views_;
+
+  // Published snapshot (publish_snapshots mode). The mutex guards only
+  // the pointer swap/copy: readers run evaluation outside it.
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const SessionSnapshot> published_;
+  uint64_t commit_version_ = 0;
 
   // Durable paged storage (null in memory mode). views_ are NOT durable:
   // view definitions are ASTs and there is no unparser yet.

@@ -1,0 +1,257 @@
+#include "server/net.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace maybms::server {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+Status SetNonBlocking(int fd) {
+  int flags;
+  do {
+    flags = ::fcntl(fd, F_GETFL, 0);
+  } while (flags < 0 && errno == EINTR);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  int rc;
+  do {
+    rc = ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return Errno("fcntl(F_SETFL)");
+  return Status::OK();
+}
+
+Result<struct sockaddr_in> ResolveV4(const std::string& host, uint16_t port) {
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string numeric = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, numeric.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  return addr;
+}
+
+}  // namespace
+
+Fd& Fd::operator=(Fd&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Fd::Close() {
+  if (fd_ >= 0) {
+    // close() is not retried on EINTR: POSIX leaves the fd state
+    // unspecified, and Linux always releases it.
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Fd> ListenOn(const std::string& host, uint16_t port,
+                    uint16_t* bound_port) {
+  MAYBMS_ASSIGN_OR_RETURN(struct sockaddr_in addr, ResolveV4(host, port));
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return Errno("socket");
+  int one = 1;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) <
+      0) {
+    return Errno("setsockopt(SO_REUSEADDR)");
+  }
+  if (::bind(fd.get(), reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    return Errno("bind(" + host + ":" + std::to_string(port) + ")");
+  }
+  if (::listen(fd.get(), 128) < 0) return Errno("listen");
+  MAYBMS_RETURN_NOT_OK(SetNonBlocking(fd.get()));
+  if (bound_port != nullptr) {
+    struct sockaddr_in actual;
+    socklen_t len = sizeof(actual);
+    if (::getsockname(fd.get(), reinterpret_cast<struct sockaddr*>(&actual),
+                      &len) < 0) {
+      return Errno("getsockname");
+    }
+    *bound_port = ntohs(actual.sin_port);
+  }
+  return fd;
+}
+
+Result<Fd> ConnectTo(const std::string& host, uint16_t port) {
+  MAYBMS_ASSIGN_OR_RETURN(struct sockaddr_in addr, ResolveV4(host, port));
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return Errno("socket");
+  // connect() must NOT be retried on EINTR: the attempt keeps completing
+  // asynchronously in the kernel (a retry would report EALREADY). Wait
+  // for writability and read the outcome from SO_ERROR instead.
+  int rc = ::connect(fd.get(), reinterpret_cast<struct sockaddr*>(&addr),
+                     sizeof(addr));
+  if (rc < 0 && errno == EINTR) {
+    // A connect interrupted by a signal completes asynchronously: wait
+    // for writability, then read the final outcome from SO_ERROR.
+    struct pollfd pfd{fd.get(), POLLOUT, 0};
+    int prc;
+    do {
+      prc = ::poll(&pfd, 1, -1);
+    } while (prc < 0 && errno == EINTR);
+    if (prc < 0) return Errno("poll(connect)");
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) < 0) {
+      return Errno("getsockopt(SO_ERROR)");
+    }
+    if (err != 0) {
+      return Status::IOError("connect(" + host + ":" + std::to_string(port) +
+                             "): " + std::strerror(err));
+    }
+  } else if (rc < 0) {
+    return Errno("connect(" + host + ":" + std::to_string(port) + ")");
+  }
+  // Small request/response frames: turn off Nagle so a reply is not held
+  // back waiting for a full segment.
+  int one = 1;
+  if (::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) <
+      0) {
+    return Errno("setsockopt(TCP_NODELAY)");
+  }
+  return fd;
+}
+
+Result<WaitStatus> WaitReadable(int fd, int wake_fd, int timeout_ms) {
+  struct pollfd pfds[2];
+  pfds[0] = {fd, POLLIN, 0};
+  nfds_t nfds = 1;
+  if (wake_fd >= 0) {
+    pfds[1] = {wake_fd, POLLIN, 0};
+    nfds = 2;
+  }
+  int rc;
+  do {
+    rc = ::poll(pfds, nfds, timeout_ms);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return Errno("poll");
+  if (rc == 0) return WaitStatus::kTimeout;
+  if (nfds == 2 && (pfds[1].revents & (POLLIN | POLLERR | POLLHUP)) != 0) {
+    return WaitStatus::kWake;
+  }
+  return WaitStatus::kReadable;
+}
+
+Result<Fd> Accept(const Fd& listener) {
+  int fd;
+  do {
+    fd = ::accept4(listener.get(), nullptr, nullptr, SOCK_CLOEXEC);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return Fd();
+    // Per-connection failures (the peer reset before we accepted) are
+    // transient: report them as an invalid Fd too, not a server error.
+    if (errno == ECONNABORTED) return Fd();
+    return Errno("accept");
+  }
+  Fd conn(fd);
+  int one = 1;
+  if (::setsockopt(conn.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) <
+      0) {
+    return Errno("setsockopt(TCP_NODELAY)");
+  }
+  return conn;
+}
+
+Result<ReadStatus> ReadFull(const Fd& fd, void* data, size_t size,
+                            int timeout_ms) {
+  char* out = static_cast<char*>(data);
+  size_t done = 0;
+  while (done < size) {
+    MAYBMS_ASSIGN_OR_RETURN(WaitStatus wait,
+                            WaitReadable(fd.get(), -1, timeout_ms));
+    if (wait == WaitStatus::kTimeout) {
+      if (done == 0) return ReadStatus::kTimeout;
+      return Status::IOError("read timed out mid-frame after " +
+                             std::to_string(timeout_ms) + "ms");
+    }
+    ssize_t n;
+    do {
+      n = ::recv(fd.get(), out + done, size - done, 0);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return Errno("recv");
+    }
+    if (n == 0) {
+      if (done == 0) return ReadStatus::kEof;
+      return Status::IOError("connection closed mid-frame (" +
+                             std::to_string(done) + " of " +
+                             std::to_string(size) + " bytes)");
+    }
+    done += static_cast<size_t>(n);
+  }
+  return ReadStatus::kOk;
+}
+
+Status WriteFull(const Fd& fd, const void* data, size_t size,
+                 int timeout_ms) {
+  const char* in = static_cast<const char*>(data);
+  size_t done = 0;
+  while (done < size) {
+    ssize_t n;
+    do {
+      n = ::send(fd.get(), in + done, size - done, MSG_NOSIGNAL);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        struct pollfd pfd{fd.get(), POLLOUT, 0};
+        int rc;
+        do {
+          rc = ::poll(&pfd, 1, timeout_ms);
+        } while (rc < 0 && errno == EINTR);
+        if (rc < 0) return Errno("poll(send)");
+        if (rc == 0) {
+          return Status::IOError("write timed out after " +
+                                 std::to_string(timeout_ms) + "ms");
+        }
+        continue;
+      }
+      return Errno("send");
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<WakePipe> WakePipe::Create() {
+  int fds[2];
+  if (::pipe2(fds, O_CLOEXEC | O_NONBLOCK) < 0) return Errno("pipe2");
+  WakePipe pipe;
+  pipe.read_end_ = Fd(fds[0]);
+  pipe.write_end_ = Fd(fds[1]);
+  return pipe;
+}
+
+void WakePipe::Wake() {
+  char byte = 1;
+  ssize_t n;
+  do {
+    n = ::write(write_end_.get(), &byte, 1);
+  } while (n < 0 && errno == EINTR);
+  // A full pipe means a wake is already pending — that is all we need.
+  (void)n;
+}
+
+}  // namespace maybms::server

@@ -1,0 +1,99 @@
+#ifndef MAYBMS_SERVER_NET_H_
+#define MAYBMS_SERVER_NET_H_
+
+// EINTR-safe TCP plumbing for the I-SQL server front-end, mirroring the
+// storage::File idiom (src/storage/file.cc): every syscall loops on
+// EINTR, every failure surfaces as a Status with the errno text, and no
+// call ever raises SIGPIPE (writes go through send(MSG_NOSIGNAL)).
+//
+// Timeouts are cooperative: reads and accepts wait on poll() with a
+// bounded timeout and report kTimeout instead of blocking forever, so
+// the server can enforce idle timeouts and drain promptly on SIGTERM.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "base/result.h"
+
+namespace maybms::server {
+
+/// RAII owner of a file descriptor (socket or pipe end).
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { Close(); }
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept;
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Creates a listening TCP socket bound to `host`:`port` (port 0 picks an
+/// ephemeral port; the bound port is written to *bound_port). The socket
+/// is non-blocking: pair Accept() with WaitReadable().
+Result<Fd> ListenOn(const std::string& host, uint16_t port,
+                    uint16_t* bound_port);
+
+/// Blocking connect to `host`:`port` (EINTR-safe, including the
+/// connect-restarted-as-in-progress case).
+Result<Fd> ConnectTo(const std::string& host, uint16_t port);
+
+/// Outcome of waiting for readability.
+enum class WaitStatus {
+  kReadable,  // `fd` has data / a pending connection
+  kWake,      // `wake_fd` became readable first (shutdown signal)
+  kTimeout,   // nothing within `timeout_ms`
+};
+
+/// Waits until `fd` is readable, `wake_fd` (pass -1 for none) is
+/// readable, or `timeout_ms` elapses (-1 = wait forever).
+Result<WaitStatus> WaitReadable(int fd, int wake_fd, int timeout_ms);
+
+/// Accepts one pending connection from a non-blocking listener. Returns
+/// an invalid Fd when no connection is pending (EAGAIN) — callers gate on
+/// WaitReadable first.
+Result<Fd> Accept(const Fd& listener);
+
+/// Outcome of a framed/fixed-size read.
+enum class ReadStatus {
+  kOk,       // `size` bytes read
+  kEof,      // the peer closed the connection before the first byte
+  kTimeout,  // nothing arrived within `timeout_ms` (before the first byte)
+};
+
+/// Reads exactly `size` bytes into `data`. A clean close before the first
+/// byte is kEof and a quiet wait is kTimeout; EOF or a stall *mid-buffer*
+/// is an error (a torn frame, never silently accepted).
+Result<ReadStatus> ReadFull(const Fd& fd, void* data, size_t size,
+                            int timeout_ms);
+
+/// Writes exactly `size` bytes (send with MSG_NOSIGNAL; a closed peer is
+/// kIOError, not SIGPIPE). Waits up to `timeout_ms` for writability per
+/// chunk.
+Status WriteFull(const Fd& fd, const void* data, size_t size, int timeout_ms);
+
+/// A self-pipe for waking pollers out of WaitReadable (the SIGTERM drain
+/// path): Wake() writes one byte, wake_fd() is the read end.
+class WakePipe {
+ public:
+  static Result<WakePipe> Create();
+  void Wake();
+  int wake_fd() const { return read_end_.get(); }
+
+ private:
+  Fd read_end_;
+  Fd write_end_;
+};
+
+}  // namespace maybms::server
+
+#endif  // MAYBMS_SERVER_NET_H_

@@ -1,0 +1,111 @@
+#include "server/protocol.h"
+
+#include <cstring>
+
+namespace maybms::server {
+
+namespace {
+
+// The status-code byte must survive codec changes on one side only long
+// enough to be diagnosable; values beyond the known range decode to an
+// error instead of casting blindly.
+constexpr uint8_t kMaxStatusOrdinal = static_cast<uint8_t>(StatusCode::kDataLoss);
+
+void PutU32(std::string* out, uint32_t v) {
+  // Little-endian, matching storage/codec.cc.
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+  out->push_back(static_cast<char>((v >> 16) & 0xff));
+  out->push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+uint32_t GetU32(const unsigned char* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+Status WriteFrame(const Fd& fd, const std::string& payload, int timeout_ms) {
+  if (payload.size() > kMaxFrameBytes) {
+    return Status::InvalidArgument(
+        "frame payload exceeds " + std::to_string(kMaxFrameBytes) +
+        " bytes: " + std::to_string(payload.size()));
+  }
+  std::string wire;
+  wire.reserve(4 + payload.size());
+  PutU32(&wire, static_cast<uint32_t>(payload.size()));
+  wire.append(payload);
+  return WriteFull(fd, wire.data(), wire.size(), timeout_ms);
+}
+
+Result<FrameStatus> ReadFrame(const Fd& fd, std::string* payload,
+                              int timeout_ms) {
+  unsigned char header[4];
+  MAYBMS_ASSIGN_OR_RETURN(ReadStatus head,
+                          ReadFull(fd, header, sizeof(header), timeout_ms));
+  if (head == ReadStatus::kEof) return FrameStatus::kEof;
+  if (head == ReadStatus::kTimeout) return FrameStatus::kTimeout;
+  const uint32_t size = GetU32(header);
+  if (size > kMaxFrameBytes) {
+    return Status::InvalidArgument(
+        "frame length prefix " + std::to_string(size) + " exceeds the " +
+        std::to_string(kMaxFrameBytes) + "-byte cap");
+  }
+  payload->assign(size, '\0');
+  if (size == 0) return FrameStatus::kFrame;
+  MAYBMS_ASSIGN_OR_RETURN(ReadStatus body,
+                          ReadFull(fd, payload->data(), size, timeout_ms));
+  if (body != ReadStatus::kOk) {
+    // EOF/timeout after the header: the frame is torn, never silently
+    // treated as a clean close.
+    return Status::IOError("connection closed mid-frame (header promised " +
+                           std::to_string(size) + " bytes)");
+  }
+  return FrameStatus::kFrame;
+}
+
+std::string EncodeResponse(StatusCode code, const std::string& text) {
+  std::string payload;
+  payload.reserve(1 + text.size());
+  payload.push_back(static_cast<char>(static_cast<uint8_t>(code)));
+  payload.append(text);
+  return payload;
+}
+
+Status DecodeResponse(const std::string& payload, StatusCode* code,
+                      std::string* text) {
+  if (payload.empty()) {
+    return Status::IOError("empty response payload (missing status byte)");
+  }
+  const uint8_t ordinal = static_cast<uint8_t>(payload[0]);
+  if (ordinal > kMaxStatusOrdinal) {
+    return Status::IOError("unknown response status ordinal " +
+                           std::to_string(ordinal));
+  }
+  *code = static_cast<StatusCode>(ordinal);
+  text->assign(payload, 1, payload.size() - 1);
+  return Status::OK();
+}
+
+Result<std::pair<StatusCode, std::string>> RoundTrip(const Fd& fd,
+                                                     const std::string& sql,
+                                                     int timeout_ms) {
+  MAYBMS_RETURN_NOT_OK(WriteFrame(fd, sql, timeout_ms));
+  std::string payload;
+  MAYBMS_ASSIGN_OR_RETURN(FrameStatus frame,
+                          ReadFrame(fd, &payload, timeout_ms));
+  if (frame == FrameStatus::kEof) {
+    return Status::IOError("server closed the connection before replying");
+  }
+  if (frame == FrameStatus::kTimeout) {
+    return Status::IOError("timed out waiting for the server's reply");
+  }
+  StatusCode code;
+  std::string text;
+  MAYBMS_RETURN_NOT_OK(DecodeResponse(payload, &code, &text));
+  return std::make_pair(code, std::move(text));
+}
+
+}  // namespace maybms::server

@@ -1,0 +1,65 @@
+#ifndef MAYBMS_SERVER_PROTOCOL_H_
+#define MAYBMS_SERVER_PROTOCOL_H_
+
+// The wire protocol of the I-SQL server: length-prefixed frames over TCP.
+//
+//   frame    := u32-LE payload length | payload bytes
+//   request  := the I-SQL statement/script text, UTF-8
+//   response := u8 StatusCode ordinal | result text, UTF-8
+//
+// For an OK response the text is the formatted query result(s)
+// (isql::FormatQueryResult, one block per statement, separated by
+// newlines); for an error it is the status message. Frames above
+// kMaxFrameBytes are rejected without allocating — a malformed or
+// hostile length prefix must not OOM the server.
+//
+// The framing is deliberately dumb: no handshake, no versioning byte —
+// one request frame in, one response frame out, repeated until either
+// side closes. Statement semantics (snapshot reads, serialized writes)
+// live in server.h.
+
+#include <cstdint>
+#include <string>
+
+#include "base/result.h"
+#include "base/status.h"
+#include "server/net.h"
+
+namespace maybms::server {
+
+/// Hard cap on a frame payload; larger prefixes fail with
+/// kInvalidArgument before any allocation.
+inline constexpr uint32_t kMaxFrameBytes = 16u << 20;  // 16 MiB
+
+/// Outcome of reading one frame.
+enum class FrameStatus {
+  kFrame,    // *payload holds a complete frame
+  kEof,      // peer closed cleanly between frames
+  kTimeout,  // no frame arrived within the timeout (idle connection)
+};
+
+/// Writes one length-prefixed frame.
+Status WriteFrame(const Fd& fd, const std::string& payload, int timeout_ms);
+
+/// Reads one length-prefixed frame. `timeout_ms` bounds the wait for the
+/// frame to *start*; once the length prefix arrived, the body must
+/// follow within the same bound (a stalled body is an error, not
+/// kTimeout).
+Result<FrameStatus> ReadFrame(const Fd& fd, std::string* payload,
+                              int timeout_ms);
+
+/// Encodes a response payload: the status-code byte, then the text.
+std::string EncodeResponse(StatusCode code, const std::string& text);
+
+/// Decodes a response payload (client side).
+Status DecodeResponse(const std::string& payload, StatusCode* code,
+                      std::string* text);
+
+/// One request/response round trip (client side).
+Result<std::pair<StatusCode, std::string>> RoundTrip(const Fd& fd,
+                                                     const std::string& sql,
+                                                     int timeout_ms);
+
+}  // namespace maybms::server
+
+#endif  // MAYBMS_SERVER_PROTOCOL_H_

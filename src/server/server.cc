@@ -1,0 +1,197 @@
+#include "server/server.h"
+
+#include "isql/formatter.h"
+#include "sql/parser.h"
+
+namespace maybms::server {
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)), session_(options_.session) {}
+
+Server::~Server() { Shutdown(); }
+
+std::string Server::BusyMessage(size_t max_connections) {
+  return "server at connection capacity (" +
+         std::to_string(max_connections) + " sessions); retry later";
+}
+
+Result<std::unique_ptr<Server>> Server::Start(ServerOptions options) {
+  // The reader path pins published snapshots; without this the server
+  // would race readers against in-place writes.
+  options.session.publish_snapshots = true;
+  std::unique_ptr<Server> server(new Server(std::move(options)));
+  MAYBMS_ASSIGN_OR_RETURN(server->wake_, WakePipe::Create());
+  MAYBMS_ASSIGN_OR_RETURN(
+      server->listener_,
+      ListenOn(server->options_.host, server->options_.port, &server->port_));
+  server->accept_thread_ =
+      WorkerThread([raw = server.get()] { raw->AcceptLoop(); });
+  return server;
+}
+
+size_t Server::active_connections() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_;
+}
+
+void Server::AcceptLoop() {
+  for (;;) {
+    Result<WaitStatus> wait =
+        WaitReadable(listener_.get(), wake_.wake_fd(), -1);
+    if (!wait.ok() || *wait == WaitStatus::kWake) return;
+    if (*wait == WaitStatus::kTimeout) continue;
+    Result<Fd> accepted = Accept(listener_);
+    if (!accepted.ok()) return;  // fatal listener failure
+    if (!accepted->valid()) continue;  // spurious wakeup / aborted peer
+    if (draining_.load(std::memory_order_acquire)) return;
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+
+    bool refused = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (active_ >= options_.max_connections) {
+        refused = true;
+      } else {
+        ++active_;
+        queue_.push_back(std::move(*accepted));
+        // One worker per concurrently served connection, spawned lazily
+        // (ThreadPool::EnsureWorkers style) and reused across
+        // connections; never more than max_connections.
+        if (workers_.size() < active_) {
+          workers_.emplace_back([this] { WorkerLoop(); });
+        }
+      }
+    }
+    if (refused) {
+      connections_refused_.fetch_add(1, std::memory_order_relaxed);
+      // Deterministic backpressure: exactly one kResourceExhausted
+      // response, then close. Best effort — a peer that vanished first
+      // loses nothing.
+      MAYBMS_IGNORE_STATUS(WriteFrame(
+          *accepted,
+          EncodeResponse(StatusCode::kResourceExhausted,
+                         BusyMessage(options_.max_connections)),
+          options_.io_timeout_ms));
+    } else {
+      queue_cv_.notify_one();
+    }
+  }
+}
+
+void Server::WorkerLoop() {
+  for (;;) {
+    Fd conn;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [this] {
+        return draining_.load(std::memory_order_acquire) || !queue_.empty();
+      });
+      if (draining_.load(std::memory_order_acquire)) {
+        // Queued connections never started a statement; drop them (the
+        // client sees a clean EOF, knowing nothing ran).
+        while (!queue_.empty()) {
+          Fd dropped = std::move(queue_.front());
+          queue_.pop_front();
+          --active_;
+        }
+        return;
+      }
+      conn = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    ServeConn(std::move(conn));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+    }
+  }
+}
+
+void Server::ServeConn(Fd conn) {
+  for (;;) {
+    // Wait for the next request with the wake pipe armed, so a drain
+    // interrupts idle connections immediately instead of after the idle
+    // timeout. Draining between requests closes before reading: the
+    // statement provably never ran.
+    Result<WaitStatus> wait = WaitReadable(conn.get(), wake_.wake_fd(),
+                                           options_.idle_timeout_ms);
+    if (!wait.ok() || *wait != WaitStatus::kReadable) return;
+    if (draining_.load(std::memory_order_acquire)) return;
+
+    std::string request;
+    Result<FrameStatus> frame =
+        ReadFrame(conn, &request, options_.io_timeout_ms);
+    if (!frame.ok()) {
+      // Protocol violation (oversized prefix, torn frame): best-effort
+      // error reply, then close.
+      MAYBMS_IGNORE_STATUS(WriteFrame(
+          conn,
+          EncodeResponse(frame.status().code(), frame.status().message()),
+          options_.io_timeout_ms));
+      return;
+    }
+    if (*frame != FrameStatus::kFrame) return;  // clean EOF
+
+    std::pair<StatusCode, std::string> response = Execute(request);
+    if (!WriteFrame(conn, EncodeResponse(response.first, response.second),
+                    options_.io_timeout_ms)
+             .ok()) {
+      return;
+    }
+  }
+}
+
+std::pair<StatusCode, std::string> Server::Execute(const std::string& sql) {
+  Result<std::vector<sql::StatementPtr>> parsed =
+      sql::Parser::ParseScript(sql);
+  if (!parsed.ok()) {
+    return {parsed.status().code(), parsed.status().message()};
+  }
+  std::string out;
+  for (const sql::StatementPtr& stmt : *parsed) {
+    Result<isql::QueryResult> result = [&]() -> Result<isql::QueryResult> {
+      if (stmt->kind == sql::StatementKind::kSelect) {
+        // Reader path: pin the published snapshot for the life of the
+        // statement; no lock. Concurrent commits swap the published
+        // pointer — this statement keeps reading its pinned state.
+        std::shared_ptr<const isql::SessionSnapshot> snapshot =
+            session_.PinSnapshot();
+        return isql::Session::EvaluateSnapshot(
+            *snapshot, *stmt, options_.session.max_display_worlds);
+      }
+      // Writer path: strict serialization behind the single writer lock;
+      // the commit republishes the snapshot before the lock drops.
+      std::lock_guard<std::mutex> lock(writer_mu_);
+      return session_.ExecuteStatement(*stmt);
+    }();
+    if (!result.ok()) {
+      // Script semantics match Session::ExecuteScript: statements before
+      // the failure stay applied, the failure is reported.
+      return {result.status().code(), result.status().message()};
+    }
+    statements_served_.fetch_add(1, std::memory_order_relaxed);
+    if (!out.empty() && out.back() != '\n') out.push_back('\n');
+    out += isql::FormatQueryResult(*result);
+  }
+  return {StatusCode::kOk, out};
+}
+
+void Server::Shutdown() {
+  std::call_once(shutdown_once_, [this] {
+    draining_.store(true, std::memory_order_release);
+    // The unread wake byte is a level-triggered broadcast: every poller
+    // (accept loop, every idle worker) sees the pipe readable until the
+    // drain completes.
+    wake_.Wake();
+    queue_cv_.notify_all();
+    if (accept_thread_.joinable()) accept_thread_.join();
+    queue_cv_.notify_all();
+    // workers_ is stable now: only the (joined) accept loop ever grew it.
+    for (WorkerThread& worker : workers_) {
+      if (worker.joinable()) worker.join();
+    }
+    listener_.Close();
+  });
+}
+
+}  // namespace maybms::server

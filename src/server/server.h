@@ -1,0 +1,153 @@
+#ifndef MAYBMS_SERVER_SERVER_H_
+#define MAYBMS_SERVER_SERVER_H_
+
+// The I-SQL network server front-end: a TCP accept loop with
+// session-per-connection workers over ONE shared world-set.
+//
+// Concurrency model (the point of this layer):
+//  * Reads are snapshot-isolated and lock-free. A SELECT pins the
+//    session's published SessionSnapshot (isql/session.h) for the life
+//    of the statement and evaluates without taking any lock: tables are
+//    immutable once shared (storage/catalog.h), so any number of
+//    connections read one shared world-set concurrently, and every
+//    result is byte-identical to serial execution against the snapshot's
+//    commit point.
+//  * Writes are strict. DDL/DML serialize behind a single writer mutex;
+//    a commit republishes the snapshot, so the next read (on any
+//    connection) sees the complete new state — readers observe either
+//    the old or the new snapshot, never a mixture.
+//  * Backpressure is deterministic. A connection beyond
+//    ServerOptions::max_connections receives exactly one
+//    kResourceExhausted response (BusyMessage()) and is closed.
+//  * Drain is graceful. Shutdown() (the SIGTERM path in maybms_server)
+//    stops accepting, interrupts idle waits, lets in-flight statements
+//    finish and their responses flush, then joins every worker. A frame
+//    is never torn: a client either receives its complete response or a
+//    clean EOF before the statement ran.
+//
+// Every worker is a long-lived session thread, which base::ThreadPool's
+// batch-oriented ParallelFor does not model; this file owns its threads
+// in the same spawn-lazily/join-on-drain style.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+// Long-lived session workers need a real thread type.
+// maybms-lint: allow(forbidden-api)
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "base/result.h"
+#include "isql/session.h"
+#include "server/net.h"
+#include "server/protocol.h"
+
+namespace maybms::server {
+
+struct ServerOptions {
+  /// Bind address. The default stays loopback-only; pass "0.0.0.0" to
+  /// serve remote clients.
+  std::string host = "127.0.0.1";
+
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+
+  /// Concurrently served sessions. Connection max_connections+1 gets a
+  /// deterministic kResourceExhausted reply and is closed.
+  size_t max_connections = 64;
+
+  /// How long a connection may sit idle between requests before the
+  /// server closes it.
+  int idle_timeout_ms = 60'000;
+
+  /// Per-chunk I/O timeout for frame bodies and responses (a stalled
+  /// peer mid-frame is an error, not an idle wait).
+  int io_timeout_ms = 10'000;
+
+  /// Engine/storage configuration of the shared session.
+  /// publish_snapshots is forced on — it is what the reader path pins.
+  isql::SessionOptions session;
+};
+
+class Server {
+ public:
+  /// Binds, spawns the accept loop, and returns a serving instance.
+  static Result<std::unique_ptr<Server>> Start(ServerOptions options);
+
+  /// Graceful drain: stop accepting, finish in-flight statements, flush
+  /// responses, close every connection, join every thread. Idempotent;
+  /// concurrent callers block until the drain completes.
+  void Shutdown();
+
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound port (useful with ServerOptions::port = 0).
+  uint16_t port() const { return port_; }
+
+  /// Executes a request body (an I-SQL statement or ';'-script) exactly
+  /// like a network request: SELECTs evaluate against a pinned snapshot
+  /// without locking, everything else serializes behind the writer
+  /// mutex. Returns the wire status code and response text. Thread-safe;
+  /// also the in-process path for preloading data and benchmarks.
+  std::pair<StatusCode, std::string> Execute(const std::string& sql);
+
+  /// The deterministic busy-reply text for a given connection cap.
+  static std::string BusyMessage(size_t max_connections);
+
+  // ---- Introspection (tests, benchmarks) ----
+  uint64_t statements_served() const {
+    return statements_served_.load(std::memory_order_relaxed);
+  }
+  uint64_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+  uint64_t connections_refused() const {
+    return connections_refused_.load(std::memory_order_relaxed);
+  }
+  size_t active_connections() const;
+
+ private:
+  explicit Server(ServerOptions options);
+
+  void AcceptLoop();
+  void WorkerLoop();
+  void ServeConn(Fd conn);
+
+  // The sanctioned thread type of this file (see the header comment) —
+  // single suppression point for the raw-thread lint rule.
+  // maybms-lint: allow(forbidden-api)
+  using WorkerThread = std::thread;
+
+  ServerOptions options_;
+  uint16_t port_ = 0;
+  Fd listener_;
+  WakePipe wake_;
+
+  isql::Session session_;
+  std::mutex writer_mu_;  // serializes every non-SELECT statement
+
+  mutable std::mutex mu_;  // guards queue_, workers_, active_
+  std::condition_variable queue_cv_;
+  std::deque<Fd> queue_;
+  std::vector<WorkerThread> workers_;
+  size_t active_ = 0;  // connections queued or being served
+
+  WorkerThread accept_thread_;
+  std::atomic<bool> draining_{false};
+  std::once_flag shutdown_once_;
+
+  std::atomic<uint64_t> statements_served_{0};
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_refused_{0};
+};
+
+}  // namespace maybms::server
+
+#endif  // MAYBMS_SERVER_SERVER_H_

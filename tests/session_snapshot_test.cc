@@ -1,0 +1,254 @@
+// Snapshot-isolation tests for Session::PinSnapshot /
+// Session::EvaluateSnapshot — the contract the network server's
+// concurrent reader path is built on. The concurrent batteries run under
+// the TSan CI job; the assertions themselves are the stronger check:
+// every concurrently observed result must be byte-identical to one of
+// the serial commit states, never a mixture.
+
+#include "isql/session.h"
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "isql/formatter.h"
+#include "tests/test_util.h"
+
+namespace maybms::isql {
+namespace {
+
+using maybms::testing::EngineTest;
+using maybms::testing::Exec;
+using maybms::testing::ExecScript;
+
+class SessionSnapshotTest : public EngineTest {
+ protected:
+  SessionOptions PublishingOptions() const {
+    SessionOptions options = Options();
+    options.publish_snapshots = true;
+    return options;
+  }
+};
+
+/// Formats a probe SELECT evaluated against `snapshot`.
+std::string Probe(const SessionSnapshot& snapshot, const std::string& sql,
+                  std::string* error) {
+  auto r = Session::EvaluateSnapshot(snapshot, sql, 4096);
+  if (!r.ok()) {
+    *error = r.status().ToString();
+    return "";
+  }
+  return FormatQueryResult(*r);
+}
+
+TEST_P(SessionSnapshotTest, PinnedSnapshotIgnoresLaterCommits) {
+  Session session(PublishingOptions());
+  ExecScript(session, R"sql(
+    create table T (K integer, V integer);
+    insert into T values (1, 10), (2, 20);
+  )sql");
+
+  auto before = session.PinSnapshot();
+  ASSERT_NE(before, nullptr);
+  Exec(session, "insert into T values (3, 30);");
+  auto after = session.PinSnapshot();
+
+  std::string error;
+  const std::string probe = "select possible K, V from T;";
+  const std::string old_result = Probe(*before, probe, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  const std::string new_result = Probe(*after, probe, &error);
+  ASSERT_TRUE(error.empty()) << error;
+
+  EXPECT_NE(old_result, new_result);
+  EXPECT_EQ(old_result.find("30"), std::string::npos)
+      << "pinned snapshot observed a later commit:\n" << old_result;
+  EXPECT_NE(new_result.find("30"), std::string::npos);
+  EXPECT_LT(before->version, after->version);
+
+  // The pinned state matches what a session restored to that commit
+  // point reports — byte-identical, not just row-equivalent.
+  Session serial(PublishingOptions());
+  ExecScript(serial, R"sql(
+    create table T (K integer, V integer);
+    insert into T values (1, 10), (2, 20);
+  )sql");
+  EXPECT_EQ(old_result, FormatQueryResult(Exec(serial, probe)));
+}
+
+TEST_P(SessionSnapshotTest, VersionsAreMonotonicPerCommit) {
+  Session session(PublishingOptions());
+  uint64_t last = session.PinSnapshot()->version;
+  for (const char* sql :
+       {"create table T (A integer);", "insert into T values (1);",
+        "insert into T values (2);", "update T set A = A + 1;",
+        "delete from T;"}) {
+    Exec(session, sql);
+    const uint64_t version = session.PinSnapshot()->version;
+    EXPECT_GT(version, last) << sql;
+    last = version;
+  }
+  // SELECTs are not commits: the version must not move.
+  Exec(session, "select 1;");
+  EXPECT_EQ(session.PinSnapshot()->version, last);
+}
+
+TEST_P(SessionSnapshotTest, EvaluateSnapshotRejectsMutations) {
+  Session session(PublishingOptions());
+  Exec(session, "create table T (A integer);");
+  auto snapshot = session.PinSnapshot();
+  for (const char* sql :
+       {"create table U (B integer);", "insert into T values (1);",
+        "update T set A = 2;", "delete from T;", "drop table T;"}) {
+    auto r = Session::EvaluateSnapshot(*snapshot, sql, 64);
+    ASSERT_FALSE(r.ok()) << "mutation ran against a snapshot: " << sql;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << sql;
+  }
+}
+
+TEST_P(SessionSnapshotTest, SnapshotsResolveViews) {
+  Session session(PublishingOptions());
+  maybms::testing::LoadFigure1(session);
+  Exec(session, "create view V as select possible A, B from R where B > 10;");
+
+  auto snapshot = session.PinSnapshot();
+  std::string error;
+  const std::string via_snapshot = Probe(*snapshot, "select * from V;", &error);
+  ASSERT_TRUE(error.empty()) << error;
+  EXPECT_EQ(via_snapshot,
+            FormatQueryResult(Exec(session, "select * from V;")));
+}
+
+TEST_P(SessionSnapshotTest, UnpublishedSessionPinsOnTheFly) {
+  // publish_snapshots off (the default): PinSnapshot still works for
+  // single-threaded callers, building the snapshot at call time.
+  Session session((Options()));
+  ExecScript(session, R"sql(
+    create table T (A integer);
+    insert into T values (7);
+  )sql");
+  auto snapshot = session.PinSnapshot();
+  ASSERT_NE(snapshot, nullptr);
+  std::string error;
+  const std::string result =
+      Probe(*snapshot, "select possible A from T;", &error);
+  ASSERT_TRUE(error.empty()) << error;
+  EXPECT_NE(result.find("7"), std::string::npos);
+}
+
+// The core concurrency battery: one writer commits K times while N
+// readers continuously pin and evaluate. Every reader-observed result
+// must be byte-identical to the serial result at some commit version —
+// old state or new state, never a mixture — and the versions each
+// reader observes must be monotone.
+TEST_P(SessionSnapshotTest, ConcurrentReadersSeeOnlyCommittedStates) {
+  constexpr int kReaders = 4;
+  constexpr int kCommits = 24;
+  const std::string probe = "select possible K, V from T;";
+
+  const std::string setup =
+      "create table T (K integer, V integer);"
+      "insert into T values (0, 0);";
+  auto commit_sql = [](int i) {
+    return "insert into T values (" + std::to_string(i) + ", " +
+           std::to_string(i * i) + ");";
+  };
+
+  // Serial twin: the ground truth. expected[version] is the formatted
+  // probe result at that commit version.
+  std::map<uint64_t, std::string> expected;
+  {
+    Session serial(PublishingOptions());
+    ExecScript(serial, setup);
+    auto record = [&] {
+      auto snapshot = serial.PinSnapshot();
+      std::string error;
+      expected[snapshot->version] = Probe(*snapshot, probe, &error);
+      ASSERT_TRUE(error.empty()) << error;
+    };
+    record();
+    for (int i = 1; i <= kCommits; ++i) {
+      Exec(serial, commit_sql(i));
+      record();
+      if (HasFatalFailure()) return;
+    }
+  }
+
+  Session session(PublishingOptions());
+  ExecScript(session, setup);
+  const uint64_t start_version = session.PinSnapshot()->version;
+  ASSERT_EQ(expected.count(start_version), 1u);
+
+  std::atomic<bool> done{false};
+  std::vector<std::string> reader_errors(kReaders);
+  std::vector<uint64_t> reader_iterations(kReaders, 0);
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      uint64_t last_version = 0;
+      while (reader_errors[r].empty()) {
+        const bool final_pass = done.load(std::memory_order_acquire);
+        auto snapshot = session.PinSnapshot();
+        if (snapshot->version < last_version) {
+          reader_errors[r] = "version went backwards: " +
+                             std::to_string(snapshot->version) + " after " +
+                             std::to_string(last_version);
+          break;
+        }
+        last_version = snapshot->version;
+        std::string error;
+        const std::string result = Probe(*snapshot, probe, &error);
+        if (!error.empty()) {
+          reader_errors[r] = error;
+          break;
+        }
+        auto it = expected.find(snapshot->version);
+        if (it == expected.end()) {
+          reader_errors[r] = "observed unknown commit version " +
+                             std::to_string(snapshot->version);
+          break;
+        }
+        if (result != it->second) {
+          reader_errors[r] =
+              "result at version " + std::to_string(snapshot->version) +
+              " is not byte-identical to serial execution:\n--- got\n" +
+              result + "\n--- want\n" + it->second;
+          break;
+        }
+        ++reader_iterations[r];
+        if (final_pass) break;
+      }
+    });
+  }
+
+  for (int i = 1; i <= kCommits; ++i) {
+    auto result = session.Execute(commit_sql(i));
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& reader : readers) reader.join();
+
+  for (int r = 0; r < kReaders; ++r) {
+    EXPECT_TRUE(reader_errors[r].empty())
+        << "reader " << r << ": " << reader_errors[r];
+    // Every reader completed at least its final pass.
+    EXPECT_GT(reader_iterations[r], 0u) << "reader " << r;
+  }
+  // After the writer finished, a fresh pin must see the final state.
+  auto final_snapshot = session.PinSnapshot();
+  std::string error;
+  EXPECT_EQ(Probe(*final_snapshot, probe, &error),
+            expected.rbegin()->second);
+  EXPECT_TRUE(error.empty()) << error;
+}
+
+MAYBMS_INSTANTIATE_ENGINES(SessionSnapshotTest);
+
+}  // namespace
+}  // namespace maybms::isql

@@ -3,6 +3,8 @@
 
 #include "isql/session.h"
 
+#include <cstdlib>
+
 #include <gtest/gtest.h>
 
 #include "tests/test_util.h"
@@ -223,6 +225,62 @@ TEST(SessionCapsTest, DecomposedMergeCapGuardsCorrelation) {
   auto r = session.Execute("select possible sum(V) from I;");
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kUnsupported);
+}
+
+// MAYBMS_POOL_PAGES must be validated like MAYBMS_THREADS
+// (base/thread_pool.cc): a malformed value is a configuration error the
+// user hears about, never a silent fallback to the default pool size.
+class PoolPagesEnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    ::unsetenv("MAYBMS_POOL_PAGES");
+    ::unsetenv("MAYBMS_STORAGE");
+  }
+
+  /// A paged session picking its pool size from the environment.
+  static SessionOptions PagedFromEnv() {
+    SessionOptions options;
+    options.storage = StorageMode::kPaged;
+    options.pool_pages = 0;  // resolve MAYBMS_POOL_PAGES
+    return options;
+  }
+};
+
+TEST_F(PoolPagesEnvTest, MalformedValuesAreInvalidArgument) {
+  for (const char* bad : {"abc", "64k", "-1", "0", "", " 64", "64 ",
+                          "0x40", "18446744073709551616"}) {
+    ASSERT_EQ(::setenv("MAYBMS_POOL_PAGES", bad, 1), 0);
+    Session session(PagedFromEnv());
+    auto r = session.Execute("create table T (A integer);");
+    ASSERT_FALSE(r.ok()) << "MAYBMS_POOL_PAGES=\"" << bad
+                         << "\" was silently accepted";
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << bad;
+    EXPECT_NE(r.status().message().find("MAYBMS_POOL_PAGES"),
+              std::string::npos)
+        << "error should name the variable: " << r.status().ToString();
+    // The failure is sticky: every later statement reports it too.
+    auto again = session.Execute("select 1;");
+    EXPECT_FALSE(again.ok()) << bad;
+  }
+}
+
+TEST_F(PoolPagesEnvTest, ValidValueSizesThePool) {
+  ASSERT_EQ(::setenv("MAYBMS_POOL_PAGES", "16", 1), 0);
+  Session session(PagedFromEnv());
+  ExecScript(session, "create table T (A integer);"
+                      "insert into T values (1);");
+  ASSERT_NE(session.paged_store(), nullptr);
+  EXPECT_EQ(session.paged_store()->pool()->pool_pages(), 16u);
+}
+
+TEST_F(PoolPagesEnvTest, ExplicitOptionIgnoresTheEnvironment) {
+  ASSERT_EQ(::setenv("MAYBMS_POOL_PAGES", "garbage", 1), 0);
+  SessionOptions options = PagedFromEnv();
+  options.pool_pages = 32;
+  Session session(options);
+  ExecScript(session, "create table T (A integer);");
+  ASSERT_NE(session.paged_store(), nullptr);
+  EXPECT_EQ(session.paged_store()->pool()->pool_pages(), 32u);
 }
 
 }  // namespace

@@ -325,5 +325,33 @@ TEST(StorageModeResolutionTest, EnvironmentVariableSelectsPagedStorage) {
   EXPECT_FALSE(session.is_paged());
 }
 
+// Unknown MAYBMS_STORAGE values must be a configuration error, not a
+// silent fall-back to memory: a CI job exporting MAYBMS_STORAGE=Paged
+// would otherwise "pass" without touching the paged path at all.
+TEST(StorageModeResolutionTest, UnknownEnvironmentValuesAreRejected) {
+  for (const char* bad : {"Paged", "disk", "PAGED", "Memory", "mem", " "}) {
+    ASSERT_EQ(::setenv("MAYBMS_STORAGE", bad, 1), 0);
+    Session session((SessionOptions()));
+    EXPECT_FALSE(session.is_paged()) << bad;
+    auto r = session.Execute("create table T (A integer);");
+    ASSERT_FALSE(r.ok()) << "MAYBMS_STORAGE=\"" << bad
+                         << "\" was silently accepted";
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << bad;
+    EXPECT_NE(r.status().message().find("MAYBMS_STORAGE"), std::string::npos)
+        << r.status().ToString();
+  }
+  ::unsetenv("MAYBMS_STORAGE");
+}
+
+// The two documented values keep working, case-sensitively.
+TEST(StorageModeResolutionTest, MemoryIsAcceptedExplicitly) {
+  ::setenv("MAYBMS_STORAGE", "memory", 1);
+  Session session((SessionOptions()));
+  EXPECT_FALSE(session.is_paged());
+  auto r = session.Execute("create table T (A integer);");
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  ::unsetenv("MAYBMS_STORAGE");
+}
+
 }  // namespace
 }  // namespace maybms

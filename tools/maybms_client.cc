@@ -1,0 +1,123 @@
+// maybms_client: a small I-SQL wire client for maybms_server.
+//
+//   maybms_client [--host H] [--port P] [--timeout-ms MS] -e "statement;"
+//   maybms_client [--host H] [--port P] < script.sql
+//
+// With -e, sends exactly one request and prints the response. Without,
+// reads stdin, sends one request per ';'-terminated statement (so a
+// multi-statement script round-trips statement by statement, matching
+// the interactive shell), and prints each response. Exits nonzero on a
+// transport failure or any error response.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "server/net.h"
+#include "server/protocol.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--host H] [--port P] [--timeout-ms MS] "
+               "[-e \"statement;\"]\n",
+               argv0);
+  return 2;
+}
+
+/// Sends one request; prints the response text. Returns 0 on an OK
+/// response, 1 otherwise.
+int RunStatement(const maybms::server::Fd& conn, const std::string& sql,
+                 int timeout_ms) {
+  auto reply = maybms::server::RoundTrip(conn, sql, timeout_ms);
+  if (!reply.ok()) {
+    std::fprintf(stderr, "maybms_client: %s\n",
+                 reply.status().ToString().c_str());
+    return 1;
+  }
+  if (reply->first != maybms::StatusCode::kOk) {
+    std::fprintf(stderr, "ERROR (%s): %s\n",
+                 maybms::StatusCodeToString(reply->first),
+                 reply->second.c_str());
+    return 1;
+  }
+  if (!reply->second.empty()) {
+    std::fputs(reply->second.c_str(), stdout);
+    if (reply->second.back() != '\n') std::fputc('\n', stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  int timeout_ms = 30'000;
+  std::string statement;
+  bool have_statement = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--host") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      host = v;
+    } else if (arg == "--port") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      port = static_cast<uint16_t>(std::atoi(v));
+    } else if (arg == "--timeout-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      timeout_ms = std::atoi(v);
+    } else if (arg == "-e") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      statement = v;
+      have_statement = true;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (port == 0) {
+    std::fprintf(stderr, "maybms_client: --port is required\n");
+    return Usage(argv[0]);
+  }
+
+  auto conn = maybms::server::ConnectTo(host, port);
+  if (!conn.ok()) {
+    std::fprintf(stderr, "maybms_client: %s\n",
+                 conn.status().ToString().c_str());
+    return 1;
+  }
+
+  if (have_statement) {
+    return RunStatement(*conn, statement, timeout_ms);
+  }
+
+  // Stdin mode: buffer until a line ends the current statement with ';'.
+  int rc = 0;
+  std::string pending;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (!pending.empty()) pending.push_back('\n');
+    pending += line;
+    // Send once the buffered text ends in ';' (ignoring trailing blanks).
+    size_t end = pending.find_last_not_of(" \t\r\n");
+    if (end == std::string::npos || pending[end] != ';') continue;
+    rc |= RunStatement(*conn, pending, timeout_ms);
+    pending.clear();
+  }
+  if (pending.find_first_not_of(" \t\r\n") != std::string::npos) {
+    rc |= RunStatement(*conn, pending, timeout_ms);
+  }
+  return rc;
+}
