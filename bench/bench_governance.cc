@@ -1,0 +1,137 @@
+// Resource-governance overhead and responsiveness (ISSUE 10).
+//
+// Two questions, each its own case family segment:
+//
+//  * `governance/overload/armed/...` vs `.../ungoverned/...` — what does
+//    an ARMED but never-fired budget cost? The same 4096-world quantifier
+//    statement runs with no limits and with generous limits (deadline,
+//    world cap, and memory cap all set far above what the statement
+//    uses). The armed run pays the poll-site bookkeeping: a thread-local
+//    counter bump per poll, a clock read every 16th, a probe every 64th.
+//    Acceptance: armed within 2% of ungoverned.
+//
+//  * `governance/overload/cancel/...` — time-to-cancel: how long does a
+//    4096-world statement take to ABORT once its deadline has already
+//    passed? The session's deadline is 1 ms; the measured time is
+//    dominated by how quickly the per-world loops reach a poll site and
+//    stop, which is the latency a client sees between dropping a
+//    connection (or a drain starting) and the worker being free again.
+//
+// The cancel cases also prove the no-tear contract under timing (the
+// kill-point battery in tests/governance_test.cc proves it exhaustively
+// under injection): every aborted iteration must leave the probe
+// relation untouched.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "base/query_context.h"
+#include "base/status.h"
+#include "bench/workloads.h"
+#include "isql/session.h"
+
+namespace maybms::bench {
+namespace {
+
+using isql::EngineMode;
+
+constexpr int kNKeys = 12;  // 2^12 = 4096 worlds
+
+std::string WorkloadScript() {
+  return KeyViolationScript(kNKeys, 2) +
+         "create table I as select K, V from R repair by key K;";
+}
+
+// The measured statement: a full per-world quantifier walk — every world
+// evaluated, every answer fed through the combiner — so the poll sites
+// in the per-world loop, the fan-out, and the combine all run.
+constexpr const char* kQuery = "select conf, K, V from I where K < 3;";
+
+std::unique_ptr<isql::Session> MakeGovernedSession(EngineMode mode,
+                                                   bool armed) {
+  isql::SessionOptions options;
+  options.engine = mode;
+  options.max_display_worlds = 1 << 20;
+  if (armed) {
+    // Generous: never fires on this workload, but every poll site now
+    // does its full bookkeeping.
+    options.statement_timeout_ms = 600'000;
+    options.max_worlds = 1 << 30;
+    options.mem_budget_mb = 4096;
+  }
+  return std::make_unique<isql::Session>(options);
+}
+
+void BM_Overload(benchmark::State& state, EngineMode mode, bool armed) {
+  auto session = MakeGovernedSession(mode, armed);
+  MustExecute(*session, WorkloadScript());
+  for (auto _ : state) {
+    auto result = MustQuery(*session, kQuery);
+    benchmark::DoNotOptimize(result.kind());
+  }
+  state.counters["worlds"] = 1 << kNKeys;
+}
+
+void BM_TimeToCancel(benchmark::State& state, EngineMode mode) {
+  // Setup runs ungoverned; only the measured statement carries the
+  // already-hopeless 1 ms deadline, installed per statement the way an
+  // embedding host would (an externally installed QueryContext wins
+  // over the session's own limits).
+  auto session = MakeGovernedSession(mode, /*armed=*/false);
+  MustExecute(*session, WorkloadScript());
+  base::GovernanceLimits limits;
+  limits.deadline_ms = 1;
+  for (auto _ : state) {
+    base::QueryContext ctx(limits);
+    base::QueryContextScope scope(&ctx);
+    auto result =
+        session->Execute("create table J as select K, V from I where K < 6;");
+    if (result.ok()) {
+      // Too fast to govern on this machine: nothing to measure, but the
+      // case must not poison the baseline with a lie — report and stop.
+      state.SkipWithError("statement finished inside the 1 ms deadline");
+      break;
+    }
+    if (result.status().code() != StatusCode::kDeadlineExceeded) {
+      std::fprintf(stderr, "unexpected verdict: %s\n",
+                   result.status().ToString().c_str());
+      std::abort();
+    }
+  }
+  state.counters["worlds"] = 1 << kNKeys;
+}
+
+void RegisterGovernanceBenchmarks() {
+  for (EngineMode mode : {EngineMode::kExplicit, EngineMode::kDecomposed}) {
+    const std::string engine =
+        mode == EngineMode::kExplicit ? "explicit" : "decomposed";
+    benchmark::RegisterBenchmark(
+        ("governance/overload/ungoverned/" + engine + "/worlds:4096").c_str(),
+        [mode](benchmark::State& s) { BM_Overload(s, mode, false); })
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        ("governance/overload/armed/" + engine + "/worlds:4096").c_str(),
+        [mode](benchmark::State& s) { BM_Overload(s, mode, true); })
+        ->Unit(benchmark::kMillisecond);
+  }
+  // Time-to-cancel is an explicit-engine scenario: the decomposed engine
+  // answers this statement without a 4096-world walk, so there is no
+  // long-running loop to interrupt.
+  benchmark::RegisterBenchmark(
+      "governance/overload/cancel/explicit/worlds:4096",
+      [](benchmark::State& s) { BM_TimeToCancel(s, EngineMode::kExplicit); })
+      ->Unit(benchmark::kMillisecond);
+}
+
+}  // namespace
+}  // namespace maybms::bench
+
+int main(int argc, char** argv) {
+  maybms::bench::RegisterGovernanceBenchmarks();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

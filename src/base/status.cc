@@ -37,6 +37,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "ResourceExhausted";
     case StatusCode::kDataLoss:
       return "DataLoss";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }
@@ -105,6 +107,9 @@ Status Status::ResourceExhausted(std::string msg) {
 }
 Status Status::DataLoss(std::string msg) {
   return Status(StatusCode::kDataLoss, std::move(msg));
+}
+Status Status::DeadlineExceeded(std::string msg) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(msg));
 }
 
 }  // namespace maybms

@@ -26,6 +26,11 @@ enum class StatusCode {
   kDataLoss,           // durable bytes failed validation (checksum
                        // mismatch, truncated page): corruption is
                        // DETECTED, never silently read
+  kDeadlineExceeded,   // the statement's deadline passed or it was
+                       // cooperatively cancelled (base/query_context.h);
+                       // state is rolled back, retrying is safe.
+                       // Appended last: wire ordinals of earlier codes
+                       // (server/protocol.cc) must stay stable.
 };
 
 /// Returns a human-readable name ("ParseError", ...) for a code.
@@ -62,6 +67,7 @@ class [[nodiscard]] Status {
   static Status IOError(std::string msg);
   static Status ResourceExhausted(std::string msg);
   static Status DataLoss(std::string msg);
+  static Status DeadlineExceeded(std::string msg);
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }

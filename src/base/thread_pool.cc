@@ -6,6 +6,7 @@
 #include <string>
 
 #include "base/parallel_region.h"
+#include "base/query_context.h"
 
 namespace maybms::base {
 
@@ -131,6 +132,9 @@ Status ThreadPool::RunInline(size_t n, const Body& body) {
   const size_t chunk_size = ChunkSize(n);
   const size_t num_chunks = NumChunks(n);
   for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+    // Same chunk-boundary governance poll as the parallel path, so the
+    // number of polls a statement makes is a function of n only.
+    MAYBMS_RETURN_NOT_OK(GovernPoll());
     const size_t begin = chunk * chunk_size;
     const size_t end = std::min(begin + chunk_size, n);
     for (size_t i = begin; i < end; ++i) {
@@ -148,6 +152,22 @@ void ThreadPool::RunChunks(Task* task, size_t slot) {
     if (chunk >= task->num_chunks) break;
     const size_t begin = chunk * task->chunk_size;
     const size_t end = std::min(begin + task->chunk_size, task->n);
+    if (task->context != nullptr) {
+      // Chunk-boundary governance poll. A fired limit is recorded at the
+      // chunk's first index under the usual smallest-index rule; the
+      // verdict Status is set-once in the context (and index-free), so
+      // every thread that observes it reports the identical error.
+      Status governed = task->context->Check();
+      if (!governed.ok()) {
+        std::lock_guard<std::mutex> g(task->error_mu);
+        if (begin < task->error_index) {
+          task->error_index = begin;
+          task->error = std::move(governed);
+          task->stop_before.store(begin, std::memory_order_release);
+        }
+        continue;  // drain remaining chunks without running bodies
+      }
+    }
     for (size_t i = begin; i < end; ++i) {
       // Rule 2: an index at or above a known failing index is dead —
       // the sequential loop would have stopped before reaching it.
@@ -187,6 +207,10 @@ void ThreadPool::WorkerLoop() {
       tls_inside_parallel_for = true;
       {
         RegionTokenScope region;
+        // Workers carry the submitter's governance context for the
+        // task's duration, so nested loops and engine code polling
+        // GovernPoll() see it on every thread.
+        QueryContextScope governance(t->context);
         RunChunks(t, slot);
       }
       tls_inside_parallel_for = false;
@@ -215,6 +239,7 @@ Status ThreadPool::ParallelFor(size_t n, size_t threads, const Body& body) {
   task.num_chunks = NumChunks(n);
   task.max_slots = slots;
   task.body = &body;
+  task.context = CurrentQueryContext();
   task.stop_before.store(n, std::memory_order_relaxed);
   task.error_index = n;
 

@@ -64,6 +64,8 @@
 
 namespace maybms::base {
 
+class QueryContext;
+
 class ThreadPool {
  public:
   /// body(index, slot, chunk): run iteration `index`, executing as thread
@@ -117,6 +119,10 @@ class ThreadPool {
     size_t num_chunks = 0;
     size_t max_slots = 0;
     const Body* body = nullptr;
+    // The submitting thread's governance context (base/query_context.h),
+    // installed on every worker for the task's duration and polled at
+    // chunk boundaries; nullptr when the statement is ungoverned.
+    QueryContext* context = nullptr;
     std::atomic<size_t> next_chunk{0};
     std::atomic<size_t> next_slot{1};  // caller owns slot 0
     // Indices >= stop_before are skipped: a body at a smaller-or-equal

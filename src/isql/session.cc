@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <limits>
+#include <optional>
 #include <system_error>
 #include <utility>
 
@@ -119,6 +120,7 @@ bool IsMutatingStatement(sql::StatementKind kind) {
 Session::Session(SessionOptions options) : options_(options) {
   worlds_ = MakeWorldSet();
   InitStorage();
+  ResolveGovernance();
   if (options_.publish_snapshots) PublishSnapshot();
 }
 
@@ -207,12 +209,49 @@ Status Session::PersistAndReload() {
                           worlds_->ToSnapshot());
   snapshot.metadata = EncodeCatalogMetadata(catalog_);
   MAYBMS_RETURN_NOT_OK(store_->Commit(snapshot));
+  // The root flipped: from here the reload MUST complete, or memory
+  // would lag the durable state it just wrote. Shield the region so a
+  // deadline that fires mid-reload cannot abort it (governance polls in
+  // FromSnapshot/Scan become no-ops under a null context).
+  base::QueryContextScope shield(nullptr);
   // Reload through the store so every relation the next statement reads
   // has round-tripped disk pages, checksums, and the buffer pool — paged
   // mode is exercised end to end, not just on restart.
   MAYBMS_ASSIGN_OR_RETURN(storage::DurableSnapshot loaded, store_->Load());
   MAYBMS_RETURN_NOT_OK(worlds_->FromSnapshot(loaded));
   return RestoreCatalogMetadata(loaded.metadata, &catalog_);
+}
+
+void Session::ResolveGovernance() {
+  governance_status_ = [&]() -> Status {
+    // Option value wins; zero falls back to the environment; strict
+    // parsing — "500ms" or "-1" must fail loudly, never silently run
+    // ungoverned (the PR 9 MAYBMS_POOL_PAGES rule).
+    auto resolve = [](uint64_t option_value, const char* env_name,
+                      uint64_t* out) -> Status {
+      if (option_value != 0) {
+        *out = option_value;
+        return Status::OK();
+      }
+      const char* env = std::getenv(env_name);
+      if (env != nullptr) {
+        MAYBMS_ASSIGN_OR_RETURN(size_t parsed,
+                                ParsePositiveEnv(env_name, env));
+        *out = static_cast<uint64_t>(parsed);
+      }
+      return Status::OK();
+    };
+    MAYBMS_RETURN_NOT_OK(resolve(options_.statement_timeout_ms,
+                                 "MAYBMS_STATEMENT_TIMEOUT_MS",
+                                 &governance_limits_.deadline_ms));
+    MAYBMS_RETURN_NOT_OK(resolve(options_.max_worlds, "MAYBMS_MAX_WORLDS",
+                                 &governance_limits_.max_worlds));
+    uint64_t mem_budget_mb = 0;
+    MAYBMS_RETURN_NOT_OK(resolve(options_.mem_budget_mb,
+                                 "MAYBMS_MEM_BUDGET_MB", &mem_budget_mb));
+    governance_limits_.mem_budget_bytes = mem_budget_mb * 1024 * 1024;
+    return Status::OK();
+  }();
 }
 
 std::unique_ptr<worlds::WorldSet> Session::MakeWorldSet() const {
@@ -246,15 +285,59 @@ Result<std::vector<QueryResult>> Session::ExecuteScript(
 Result<QueryResult> Session::ExecuteStatement(const sql::Statement& stmt) {
   // A failed storage init (unknown MAYBMS_STORAGE mode, invalid
   // MAYBMS_POOL_PAGES, unopenable directory, corrupt store, engine
-  // mismatch) fails every statement with the same sticky error.
+  // mismatch) fails every statement with the same sticky error, as does
+  // a malformed governance variable.
   MAYBMS_RETURN_NOT_OK(storage_status_);
-  MAYBMS_ASSIGN_OR_RETURN(QueryResult result, DispatchStatement(stmt));
-  if (IsMutatingStatement(stmt.kind)) {
-    if (paged_) {
+  MAYBMS_RETURN_NOT_OK(governance_status_);
+  if (base::CurrentQueryContext() != nullptr) {
+    // A caller (the server's per-request path) already installed a
+    // context on this thread; it owns the deadline arithmetic.
+    return ExecuteGoverned(stmt, base::CurrentQueryContext());
+  }
+  base::QueryContext ctx(governance_limits_);
+  if (!ctx.governed()) {
+    // No limits, no injected kill points: skip the context entirely so
+    // every GovernPoll() stays one TLS load and a branch.
+    return ExecuteGoverned(stmt, nullptr);
+  }
+  base::QueryContextScope scope(&ctx);
+  return ExecuteGoverned(stmt, &ctx);
+}
+
+Result<QueryResult> Session::ExecuteGoverned(const sql::Statement& stmt,
+                                             base::QueryContext* ctx) {
+  const bool mutating = IsMutatingStatement(stmt.kind);
+  // Pre-statement capture for governed mutating statements. The engines
+  // already compute-then-commit, so in-memory state can only be torn by
+  // an abort BETWEEN the in-memory commit and the storage commit (paged
+  // mode); the capture is O(worlds × relations) handle bumps and makes
+  // rollback unconditional either way. Ungoverned statements skip it.
+  std::unique_ptr<worlds::WorldSet> rollback_worlds;
+  std::optional<Catalog> rollback_catalog;
+  std::optional<ViewMap> rollback_views;
+  if (ctx != nullptr && mutating) {
+    rollback_worlds = worlds_->Clone();
+    rollback_catalog = catalog_;
+    rollback_views = views_;
+  }
+
+  Result<QueryResult> result = [&]() -> Result<QueryResult> {
+    MAYBMS_ASSIGN_OR_RETURN(QueryResult r, DispatchStatement(stmt));
+    if (mutating && paged_) {
       MAYBMS_RETURN_NOT_OK(PersistAndReload());
     }
-    if (options_.publish_snapshots) PublishSnapshot();
+    return r;
+  }();
+
+  if (!result.ok()) {
+    if (rollback_worlds != nullptr) {
+      worlds_ = std::move(rollback_worlds);
+      catalog_ = std::move(*rollback_catalog);
+      views_ = std::move(*rollback_views);
+    }
+    return result.status();
   }
+  if (mutating && options_.publish_snapshots) PublishSnapshot();
   return result;
 }
 

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "base/query_context.h"
 #include "base/result.h"
 #include "isql/query_result.h"
 #include "sql/ast.h"
@@ -74,6 +75,24 @@ struct SessionOptions {
   /// environment variable, else the hardware concurrency). Results are
   /// byte-identical at every setting; see base/thread_pool.h.
   size_t threads = 0;
+
+  // ---- Statement governance (base/query_context.h) ----
+  // Zero resolves the corresponding environment variable; an unset
+  // variable means unlimited. A malformed variable fails every statement
+  // with kInvalidArgument (sticky, like MAYBMS_POOL_PAGES). Exceeding a
+  // limit aborts the statement with kDeadlineExceeded (deadline) or
+  // kResourceExhausted (budgets) and rolls its effects back entirely.
+
+  /// Wall-clock deadline per statement, ms (MAYBMS_STATEMENT_TIMEOUT_MS).
+  uint64_t statement_timeout_ms = 0;
+
+  /// Cap on worlds a statement may materialize/enumerate
+  /// (MAYBMS_MAX_WORLDS).
+  uint64_t max_worlds = 0;
+
+  /// Cap on estimated result bytes a statement may accumulate, MiB
+  /// (MAYBMS_MEM_BUDGET_MB).
+  uint64_t mem_budget_mb = 0;
 };
 
 /// A consistent immutable view of a session's state — the world-set,
@@ -127,8 +146,18 @@ class Session {
   /// every statement.
   Result<std::vector<QueryResult>> ExecuteScript(const std::string& sql);
 
-  /// Executes an already parsed statement.
+  /// Executes an already parsed statement. Runs under the session's
+  /// resolved governance limits; if the caller (e.g. the server) has
+  /// already installed a QueryContext on this thread, that context
+  /// governs instead — the caller owns deadline arithmetic then.
   Result<QueryResult> ExecuteStatement(const sql::Statement& stmt);
+
+  /// The session's resolved governance limits (options + environment).
+  /// The server uses these as the floor when combining with per-request
+  /// deadlines.
+  const base::GovernanceLimits& governance_limits() const {
+    return governance_limits_;
+  }
 
   const worlds::WorldSet& world_set() const { return *worlds_; }
   const Catalog& catalog() const { return catalog_; }
@@ -172,6 +201,17 @@ class Session {
   bool is_paged() const { return paged_; }
 
  private:
+  /// The statement body under a (possibly null) governance context:
+  /// dispatch, paged persist, and — for governed mutating statements —
+  /// pre-statement capture plus rollback on any failure, so an aborted
+  /// statement leaves world-set, catalog, and views byte-identical.
+  Result<QueryResult> ExecuteGoverned(const sql::Statement& stmt,
+                                      base::QueryContext* ctx);
+
+  /// Resolves governance limits from options + environment (strict
+  /// parsing; failures are sticky in governance_status_).
+  void ResolveGovernance();
+
   Result<QueryResult> DispatchStatement(const sql::Statement& stmt);
   Result<QueryResult> EvaluateSelect(const sql::SelectStatement& stmt);
   Result<QueryResult> ExecuteCreateTable(const sql::CreateTableStatement& stmt);
@@ -237,6 +277,8 @@ class Session {
   std::unique_ptr<storage::PagedStore> store_;
   bool paged_ = false;         // resolved storage mode is kPaged
   Status storage_status_;      // sticky init failure, returned per statement
+  base::GovernanceLimits governance_limits_;
+  Status governance_status_;   // sticky malformed-governance-env failure
   std::string storage_dir_;
   bool owns_storage_dir_ = false;
 };

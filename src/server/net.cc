@@ -235,6 +235,27 @@ Status WriteFull(const Fd& fd, const void* data, size_t size,
   return Status::OK();
 }
 
+bool PeerClosed(int fd) {
+  struct pollfd pfd{fd, POLLIN, 0};
+  int rc;
+  do {
+    rc = ::poll(&pfd, 1, 0);
+  } while (rc < 0 && errno == EINTR);
+  if (rc <= 0) return false;  // quiet socket: the peer is still there
+  if ((pfd.revents & (POLLHUP | POLLERR | POLLNVAL)) != 0) return true;
+  if ((pfd.revents & POLLIN) != 0) {
+    // Readable can mean pipelined request bytes OR an orderly shutdown;
+    // only a zero-byte peek is a hangup.
+    char byte;
+    ssize_t n;
+    do {
+      n = ::recv(fd, &byte, 1, MSG_PEEK | MSG_DONTWAIT);
+    } while (n < 0 && errno == EINTR);
+    return n == 0;
+  }
+  return false;
+}
+
 Result<WakePipe> WakePipe::Create() {
   int fds[2];
   if (::pipe2(fds, O_CLOEXEC | O_NONBLOCK) < 0) return Errno("pipe2");

@@ -81,6 +81,13 @@ Result<ReadStatus> ReadFull(const Fd& fd, void* data, size_t size,
 /// chunk.
 Status WriteFull(const Fd& fd, const void* data, size_t size, int timeout_ms);
 
+/// Non-blocking hangup check: true iff the peer closed the connection
+/// (orderly shutdown or error). Pipelined request bytes waiting on the
+/// socket do NOT count as a hangup. This is the server's cancellation
+/// probe for in-flight statements (base::QueryContext::SetCancelProbe) —
+/// a client that vanished stops paying for its statement.
+bool PeerClosed(int fd);
+
 /// A self-pipe for waking pollers out of WaitReadable (the SIGTERM drain
 /// path): Wake() writes one byte, wake_fd() is the read end.
 class WakePipe {

@@ -1,6 +1,11 @@
 #include "server/protocol.h"
 
+#include <cerrno>
 #include <cstring>
+
+#include <poll.h>
+
+#include "base/rng.h"
 
 namespace maybms::server {
 
@@ -9,7 +14,8 @@ namespace {
 // The status-code byte must survive codec changes on one side only long
 // enough to be diagnosable; values beyond the known range decode to an
 // error instead of casting blindly.
-constexpr uint8_t kMaxStatusOrdinal = static_cast<uint8_t>(StatusCode::kDataLoss);
+constexpr uint8_t kMaxStatusOrdinal =
+    static_cast<uint8_t>(StatusCode::kDeadlineExceeded);
 
 void PutU32(std::string* out, uint32_t v) {
   // Little-endian, matching storage/codec.cc.
@@ -106,6 +112,86 @@ Result<std::pair<StatusCode, std::string>> RoundTrip(const Fd& fd,
   std::string text;
   MAYBMS_RETURN_NOT_OK(DecodeResponse(payload, &code, &text));
   return std::make_pair(code, std::move(text));
+}
+
+std::string EncodeGovernedRequest(uint32_t deadline_ms,
+                                  const std::string& sql) {
+  std::string payload;
+  payload.reserve(5 + sql.size());
+  payload.push_back(kGovernedRequestMagic);
+  PutU32(&payload, deadline_ms);
+  payload.append(sql);
+  return payload;
+}
+
+Status DecodeRequest(const std::string& payload, uint32_t* deadline_ms,
+                     std::string* sql) {
+  if (payload.empty() || payload[0] != kGovernedRequestMagic) {
+    *deadline_ms = 0;
+    *sql = payload;
+    return Status::OK();
+  }
+  if (payload.size() < 5) {
+    return Status::InvalidArgument(
+        "governed request frame of " + std::to_string(payload.size()) +
+        " bytes is shorter than its 5-byte header");
+  }
+  *deadline_ms =
+      GetU32(reinterpret_cast<const unsigned char*>(payload.data()) + 1);
+  sql->assign(payload, 5, payload.size() - 5);
+  return Status::OK();
+}
+
+namespace {
+
+/// True for the one reply the server emits BEFORE running anything: the
+/// connection-capacity refusal. Statement-level kResourceExhausted
+/// (budget exceeded) deliberately does not match — re-running a
+/// statement that exceeded its own budget cannot succeed.
+bool IsCapacityReply(StatusCode code, const std::string& text) {
+  return code == StatusCode::kResourceExhausted &&
+         text.find("retry later") != std::string::npos;
+}
+
+void SleepMs(uint64_t ms) {
+  // poll() with no fds is the sanctioned sleep here (no <thread> in this
+  // layer); EINTR just shortens one backoff step, which is harmless.
+  if (ms == 0) return;
+  (void)::poll(nullptr, 0, static_cast<int>(ms));
+}
+
+}  // namespace
+
+Result<std::pair<StatusCode, std::string>> RoundTripWithRetry(
+    const std::string& host, uint16_t port, const std::string& request,
+    int timeout_ms, const RetryPolicy& policy) {
+  base::SplitMix64 jitter(policy.jitter_seed);
+  uint64_t backoff_ms = policy.base_backoff_ms;
+  for (int attempt = 0;; ++attempt) {
+    Result<Fd> conn = ConnectTo(host, port);
+    bool transient = false;
+    Result<std::pair<StatusCode, std::string>> reply = [&]() ->
+        Result<std::pair<StatusCode, std::string>> {
+      if (!conn.ok()) {
+        // Nothing was sent, so retrying cannot double-execute anything.
+        transient = true;
+        return conn.status();
+      }
+      Result<std::pair<StatusCode, std::string>> r =
+          RoundTrip(*conn, request, timeout_ms);
+      // A transport failure AFTER the request went out is never retried:
+      // the statement may have executed. Only the server's deterministic
+      // pre-execution capacity refusal is.
+      if (r.ok()) transient = IsCapacityReply(r->first, r->second);
+      return r;
+    }();
+    if (!transient || attempt >= policy.max_retries) return reply;
+    // Full jitter over the current backoff window, then double it.
+    SleepMs(backoff_ms == 0 ? 0 : jitter() % backoff_ms + 1);
+    backoff_ms = backoff_ms >= policy.max_backoff_ms / 2
+                     ? policy.max_backoff_ms
+                     : backoff_ms * 2;
+  }
 }
 
 }  // namespace maybms::server

@@ -17,6 +17,14 @@
 // one request frame in, one response frame out, repeated until either
 // side closes. Statement semantics (snapshot reads, serialized writes)
 // live in server.h.
+//
+// Governed requests: a request payload whose first byte is
+// kGovernedRequestMagic (0x01 — never the first byte of I-SQL text)
+// carries a u32-LE per-statement deadline in milliseconds before the
+// statement text. The server combines it with its own configured limits
+// by taking the minimum — a client can shorten its deadline, never
+// extend the server's. Plain-text request frames are unchanged, so old
+// clients keep working against governed servers and vice versa.
 
 #include <cstdint>
 #include <string>
@@ -55,10 +63,55 @@ std::string EncodeResponse(StatusCode code, const std::string& text);
 Status DecodeResponse(const std::string& payload, StatusCode* code,
                       std::string* text);
 
-/// One request/response round trip (client side).
+/// One request/response round trip (client side). `request` is a raw
+/// request payload — plain statement text or an EncodeGovernedRequest
+/// frame.
 Result<std::pair<StatusCode, std::string>> RoundTrip(const Fd& fd,
                                                      const std::string& sql,
                                                      int timeout_ms);
+
+/// First byte of a governed request payload. 0x01 never begins I-SQL
+/// text, so plain requests stay unambiguous.
+inline constexpr char kGovernedRequestMagic = '\x01';
+
+/// Encodes a governed request: magic byte, u32-LE deadline_ms, statement
+/// text. deadline_ms == 0 means "no request deadline" (the server's own
+/// limits still apply).
+std::string EncodeGovernedRequest(uint32_t deadline_ms,
+                                  const std::string& sql);
+
+/// Decodes a request payload (server side). Plain text decodes with
+/// *deadline_ms = 0; a governed payload shorter than its 5-byte header
+/// is kInvalidArgument.
+Status DecodeRequest(const std::string& payload, uint32_t* deadline_ms,
+                     std::string* sql);
+
+/// Client-side retry for deterministic overload replies. Off unless
+/// max_retries > 0.
+struct RetryPolicy {
+  /// Additional attempts after the first (0 = never retry).
+  int max_retries = 0;
+
+  /// First backoff; doubles per failed attempt up to max_backoff_ms.
+  uint64_t base_backoff_ms = 50;
+  uint64_t max_backoff_ms = 2'000;
+
+  /// Seed for the jitter stream (base::SplitMix64); the same seed yields
+  /// the same backoff schedule, which tests rely on.
+  uint64_t jitter_seed = 0x6d617962'6d732101ull;
+};
+
+/// Connects and performs one round trip, retrying with exponential
+/// backoff + jitter on exactly the two transient overload outcomes:
+/// a failed connect (server not up yet / listen backlog exhausted) and
+/// the server's deterministic capacity reply (kResourceExhausted whose
+/// text asks to "retry later"). Every other reply — including resource
+/// exhaustion of the STATEMENT's budgets — returns immediately: retrying
+/// a statement that exceeded its own limits can never succeed. A fresh
+/// connection per attempt, because the server closes refused ones.
+Result<std::pair<StatusCode, std::string>> RoundTripWithRetry(
+    const std::string& host, uint16_t port, const std::string& request,
+    int timeout_ms, const RetryPolicy& policy);
 
 }  // namespace maybms::server
 

@@ -132,7 +132,18 @@ void Server::ServeConn(Fd conn) {
     }
     if (*frame != FrameStatus::kFrame) return;  // clean EOF
 
-    std::pair<StatusCode, std::string> response = Execute(request);
+    uint32_t request_deadline_ms = 0;
+    std::string sql;
+    Status decoded = DecodeRequest(request, &request_deadline_ms, &sql);
+    if (!decoded.ok()) {
+      MAYBMS_IGNORE_STATUS(WriteFrame(
+          conn, EncodeResponse(decoded.code(), decoded.message()),
+          options_.io_timeout_ms));
+      return;
+    }
+
+    std::pair<StatusCode, std::string> response =
+        ExecuteGoverned(sql, request_deadline_ms, conn.get());
     if (!WriteFrame(conn, EncodeResponse(response.first, response.second),
                     options_.io_timeout_ms)
              .ok()) {
@@ -142,6 +153,52 @@ void Server::ServeConn(Fd conn) {
 }
 
 std::pair<StatusCode, std::string> Server::Execute(const std::string& sql) {
+  return ExecuteGoverned(sql, 0, /*conn_fd=*/-1);
+}
+
+std::pair<StatusCode, std::string> Server::ExecuteGoverned(
+    const std::string& sql, uint32_t request_deadline_ms, int conn_fd) {
+  // The statement's limits: the shared session's resolved configuration,
+  // with the deadline tightened to the request's — min of the two
+  // nonzero values, so a client can only shorten what the server allows.
+  base::GovernanceLimits limits = session_.governance_limits();
+  if (request_deadline_ms != 0 && (limits.deadline_ms == 0 ||
+                                   request_deadline_ms < limits.deadline_ms)) {
+    limits.deadline_ms = request_deadline_ms;
+  }
+  base::QueryContext ctx(limits);
+  if (conn_fd >= 0) {
+    // A vanished client stops paying for its statement: the probe runs
+    // on every kProbeInterval-th poll from whichever thread polls, and
+    // the abort rolls back like any other cancellation.
+    ctx.SetCancelProbe([conn_fd] { return PeerClosed(conn_fd); },
+                       "client disconnected");
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      inflight_.insert(&ctx);
+      // Ordering: Shutdown() sets draining_ BEFORE sweeping inflight_,
+      // so a statement is either swept there or cancelled right here.
+      if (options_.cancel_statements_on_drain &&
+          draining_.load(std::memory_order_acquire)) {
+        ctx.Cancel("server draining");
+      }
+    }
+  } else if (!ctx.governed()) {
+    // In-process path with nothing to enforce: skip the context so
+    // benchmarks measure the engines, not the governor.
+    return ExecuteParsed(sql);
+  }
+  base::QueryContextScope scope(&ctx);
+  std::pair<StatusCode, std::string> response = ExecuteParsed(sql);
+  if (conn_fd >= 0) {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    inflight_.erase(&ctx);
+  }
+  return response;
+}
+
+std::pair<StatusCode, std::string> Server::ExecuteParsed(
+    const std::string& sql) {
   Result<std::vector<sql::StatementPtr>> parsed =
       sql::Parser::ParseScript(sql);
   if (!parsed.ok()) {
@@ -179,6 +236,16 @@ std::pair<StatusCode, std::string> Server::Execute(const std::string& sql) {
 void Server::Shutdown() {
   std::call_once(shutdown_once_, [this] {
     draining_.store(true, std::memory_order_release);
+    if (options_.cancel_statements_on_drain) {
+      // Cooperative cancellation of every in-flight statement: the next
+      // governance poll in each aborts with a deterministic error, the
+      // abort rolls back, and the worker still flushes that response
+      // before its connection closes.
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      for (base::QueryContext* ctx : inflight_) {
+        ctx->Cancel("server draining");
+      }
+    }
     // The unread wake byte is a level-triggered broadcast: every poller
     // (accept loop, every idle worker) sees the pipe readable until the
     // drain completes.

@@ -35,6 +35,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 // Long-lived session workers need a real thread type.
 // maybms-lint: allow(forbidden-api)
@@ -42,6 +43,7 @@
 #include <utility>
 #include <vector>
 
+#include "base/query_context.h"
 #include "base/result.h"
 #include "isql/session.h"
 #include "server/net.h"
@@ -69,8 +71,22 @@ struct ServerOptions {
   /// peer mid-frame is an error, not an idle wait).
   int io_timeout_ms = 10'000;
 
-  /// Engine/storage configuration of the shared session.
-  /// publish_snapshots is forced on — it is what the reader path pins.
+  /// Drain policy for in-flight statements. false (default) lets them
+  /// run to completion, PR-9 style. true cancels them cooperatively: the
+  /// next governance poll aborts with "statement cancelled: server
+  /// draining", the abort rolls back like any other (the client still
+  /// receives that complete error response before its connection
+  /// closes), and the drain finishes in ~one poll interval instead of a
+  /// statement's worst-case runtime.
+  bool cancel_statements_on_drain = false;
+
+  /// Engine/storage configuration of the shared session, including the
+  /// statement governance limits (statement_timeout_ms / max_worlds /
+  /// mem_budget_mb and their environment variables). Each network
+  /// request runs under a per-statement base::QueryContext built from
+  /// these; a governed request frame (protocol.h) may tighten — never
+  /// extend — the deadline. publish_snapshots is forced on — it is what
+  /// the reader path pins.
   isql::SessionOptions session;
 };
 
@@ -120,6 +136,17 @@ class Server {
   void WorkerLoop();
   void ServeConn(Fd conn);
 
+  /// Execute() under a per-statement governance context: limits from the
+  /// shared session tightened by the request deadline, a peer-hangup
+  /// cancel probe when `conn_fd` >= 0, and registration in the in-flight
+  /// set so a cancel-on-drain shutdown reaches it.
+  std::pair<StatusCode, std::string> ExecuteGoverned(
+      const std::string& sql, uint32_t request_deadline_ms, int conn_fd);
+
+  /// The parse/dispatch loop itself; runs under whatever QueryContext
+  /// the caller installed (possibly none).
+  std::pair<StatusCode, std::string> ExecuteParsed(const std::string& sql);
+
   // The sanctioned thread type of this file (see the header comment) —
   // single suppression point for the raw-thread lint rule.
   // maybms-lint: allow(forbidden-api)
@@ -132,6 +159,11 @@ class Server {
 
   isql::Session session_;
   std::mutex writer_mu_;  // serializes every non-SELECT statement
+
+  // Governance contexts of statements currently executing, so a
+  // cancel-on-drain Shutdown() can reach every one of them.
+  mutable std::mutex inflight_mu_;
+  std::set<base::QueryContext*> inflight_;
 
   mutable std::mutex mu_;  // guards queue_, workers_, active_
   std::condition_variable queue_cv_;

@@ -15,6 +15,13 @@ std::atomic<bool> FaultInjector::tripped_{false};
 std::atomic<uint64_t> FaultInjector::remaining_{0};
 std::atomic<uint64_t> FaultInjector::ops_{0};
 
+std::atomic<bool> FaultInjector::read_armed_{false};
+std::atomic<bool> FaultInjector::read_tripped_{false};
+std::atomic<int> FaultInjector::read_fault_{0};
+std::atomic<uint64_t> FaultInjector::read_remaining_{0};
+std::atomic<uint64_t> FaultInjector::read_ops_{0};
+std::atomic<uint64_t> FaultInjector::eintr_retries_{0};
+
 void FaultInjector::Arm(uint64_t fail_after, bool tear_killing_write) {
   remaining_.store(fail_after, std::memory_order_relaxed);
   tear_.store(tear_killing_write, std::memory_order_relaxed);
@@ -25,6 +32,61 @@ void FaultInjector::Arm(uint64_t fail_after, bool tear_killing_write) {
 
 void FaultInjector::Disarm() {
   armed_.store(false, std::memory_order_release);
+  read_armed_.store(false, std::memory_order_release);
+}
+
+void FaultInjector::ArmRead(uint64_t fail_after, ReadFault fault) {
+  read_remaining_.store(fail_after, std::memory_order_relaxed);
+  read_fault_.store(static_cast<int>(fault), std::memory_order_relaxed);
+  read_tripped_.store(false, std::memory_order_relaxed);
+  read_ops_.store(0, std::memory_order_relaxed);
+  eintr_retries_.store(0, std::memory_order_relaxed);
+  read_armed_.store(true, std::memory_order_release);
+}
+
+uint64_t FaultInjector::ReadOpsSinceArm() {
+  return read_ops_.load(std::memory_order_relaxed);
+}
+
+uint64_t FaultInjector::EintrRetries() {
+  return eintr_retries_.load(std::memory_order_relaxed);
+}
+
+void FaultInjector::CountEintrRetry() {
+  eintr_retries_.fetch_add(1, std::memory_order_relaxed);
+}
+
+FaultInjector::ReadDecision FaultInjector::NextReadOp() {
+  if (!read_armed_.load(std::memory_order_acquire)) {
+    return ReadDecision::kProceed;
+  }
+  read_ops_.fetch_add(1, std::memory_order_relaxed);
+  const auto fault = static_cast<ReadFault>(
+      read_fault_.load(std::memory_order_relaxed));
+  // kError/kShort are sticky once tripped (a dead device stays dead); an
+  // EINTR storm hits exactly one read, then the device behaves again.
+  if (read_tripped_.load(std::memory_order_relaxed)) {
+    if (fault == ReadFault::kError) return ReadDecision::kError;
+    if (fault == ReadFault::kShort) return ReadDecision::kShort;
+    return ReadDecision::kProceed;
+  }
+  uint64_t remaining = read_remaining_.load(std::memory_order_relaxed);
+  while (remaining > 0) {
+    if (read_remaining_.compare_exchange_weak(remaining, remaining - 1,
+                                              std::memory_order_relaxed)) {
+      return ReadDecision::kProceed;
+    }
+  }
+  read_tripped_.store(true, std::memory_order_relaxed);
+  switch (fault) {
+    case ReadFault::kError:
+      return ReadDecision::kError;
+    case ReadFault::kShort:
+      return ReadDecision::kShort;
+    case ReadFault::kEintrStorm:
+      return ReadDecision::kEintrStorm;
+  }
+  return ReadDecision::kProceed;
 }
 
 uint64_t FaultInjector::OpsSinceArm() {
@@ -70,13 +132,42 @@ File::~File() {
 }
 
 Status File::ReadAt(uint64_t offset, void* buf, size_t size) const {
+  int storm = 0;
+  switch (FaultInjector::NextReadOp()) {
+    case FaultInjector::ReadDecision::kProceed:
+      break;
+    case FaultInjector::ReadDecision::kError:
+      return Status::IOError("injected fault: pread failed (" + path_ + ")");
+    case FaultInjector::ReadDecision::kShort:
+      // The file ended inside the requested range: exactly what a real
+      // truncation produces, surfaced through the n == 0 branch below.
+      return Status::DataLoss("pread(" + path_ + "): unexpected EOF at " +
+                              std::to_string(offset) +
+                              " (injected short read)");
+    case FaultInjector::ReadDecision::kEintrStorm:
+      storm = FaultInjector::kEintrStormLength;
+      break;
+  }
   char* out = static_cast<char*>(buf);
   size_t done = 0;
   while (done < size) {
-    ssize_t n = ::pread(fd_, out + done, size - done,
-                        static_cast<off_t>(offset + done));
+    ssize_t n;
+    if (storm > 0) {
+      // An injected interrupted pread: no bytes moved, errno as a real
+      // signal interruption would leave it — the retry branch below must
+      // absorb the whole storm.
+      --storm;
+      errno = EINTR;
+      n = -1;
+    } else {
+      n = ::pread(fd_, out + done, size - done,
+                  static_cast<off_t>(offset + done));
+    }
     if (n < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR) {
+        FaultInjector::CountEintrRetry();
+        continue;
+      }
       return Status::IOError("pread(" + path_ + "): " + std::strerror(errno));
     }
     if (n == 0) {

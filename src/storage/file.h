@@ -41,12 +41,54 @@ class FaultInjector {
   enum class Decision { kProceed, kFail, kTear };
   static Decision NextOp();
 
+  // ---- Read-path faults (independent of the write/crash hook) ----
+
+  /// What the (fail_after + 1)-th File::ReadAt does.
+  enum class ReadFault {
+    kError,       // pread fails with EIO; this and every later read —
+                  // the device is gone. ReadAt surfaces kIOError.
+    kShort,       // pread hits EOF mid-range (sticky, like kError): the
+                  // file is shorter than the metadata promised. ReadAt
+                  // surfaces kDataLoss, never a silent partial buffer.
+    kEintrStorm,  // a bounded burst of EINTRs on ONE read, then normal
+                  // operation: ReadAt must retry through the storm and
+                  // succeed — a liveness check, not an error path.
+  };
+
+  /// Arms the read hook: the (fail_after + 1)-th ReadAt sees `fault`.
+  /// Disarm() clears both hooks.
+  static void ArmRead(uint64_t fail_after, ReadFault fault);
+
+  /// ReadAt calls intercepted since the last ArmRead.
+  static uint64_t ReadOpsSinceArm();
+
+  /// Simulated-EINTR retries ReadAt performed (the liveness assertion
+  /// of the kEintrStorm tests).
+  static uint64_t EintrRetries();
+
+  /// Length of an injected EINTR storm (per tripped read).
+  static constexpr int kEintrStormLength = 8;
+
+  /// Internal: called by File::ReadAt once per call.
+  enum class ReadDecision { kProceed, kError, kShort, kEintrStorm };
+  static ReadDecision NextReadOp();
+
+  /// Internal: ReadAt reports each simulated-EINTR retry it absorbed.
+  static void CountEintrRetry();
+
  private:
   static std::atomic<bool> armed_;
   static std::atomic<bool> tear_;
   static std::atomic<bool> tripped_;
   static std::atomic<uint64_t> remaining_;
   static std::atomic<uint64_t> ops_;
+
+  static std::atomic<bool> read_armed_;
+  static std::atomic<bool> read_tripped_;
+  static std::atomic<int> read_fault_;
+  static std::atomic<uint64_t> read_remaining_;
+  static std::atomic<uint64_t> read_ops_;
+  static std::atomic<uint64_t> eintr_retries_;
 };
 
 /// Thin POSIX file wrapper: positional read/write (pread/pwrite) with

@@ -3,6 +3,7 @@
 #include <string>
 #include <utility>
 
+#include "base/query_context.h"
 #include "storage/codec.h"
 
 namespace maybms::storage {
@@ -44,6 +45,11 @@ class RunWriter {
 
  private:
   Status OpenNextPage() {
+    // Page granularity is the storage write path's cancellation point.
+    // Aborting here only strands speculative pages past the committed
+    // root — the next successful commit reuses the file tail, so no
+    // durable state is torn (see PagedStore::Commit).
+    MAYBMS_RETURN_NOT_OK(base::GovernPoll());
     current_.Release();  // unpin before grabbing the next frame
     MAYBMS_ASSIGN_OR_RETURN(current_, pool_->NewPage((*next_page_id_)++));
     return Status::OK();
@@ -93,6 +99,9 @@ Result<Schema> PagedTable::ReadSchema() const {
 Status PagedTable::Scan(const std::function<Status(Tuple)>& fn) const {
   uint64_t rows_seen = 0;
   for (uint64_t p = 0; p < run_.page_count; ++p) {
+    // Page-granularity poll on the read path; scans feed local state
+    // only, so an abort mid-scan tears nothing.
+    MAYBMS_RETURN_NOT_OK(base::GovernPoll());
     MAYBMS_ASSIGN_OR_RETURN(PageRef ref, pool_->Pin(run_.first_page + p));
     const Page& page = ref.page();
     // Record 0 of the first page is the schema, not a row.

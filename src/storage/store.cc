@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "base/query_context.h"
 #include "storage/codec.h"
 #include "storage/page.h"
 
@@ -189,13 +190,19 @@ Result<std::unique_ptr<PagedStore>> PagedStore::Open(const std::string& path,
       new PagedStore(std::move(file), pool_pages));
 
   // Recovery: the valid root slot with the highest generation wins. An
-  // unreadable/invalid slot is not an error — it is a slot no commit ever
-  // completed into (or the slot torn by the crash that this reopen is
-  // recovering from).
+  // INVALID slot (bad checksum, bad magic, truncated) is not an error —
+  // it is a slot no commit ever completed into (or the slot torn by the
+  // crash this reopen is recovering from). An UNREADABLE slot is: a
+  // device-level kIOError must propagate, because "recovering" an empty
+  // store from a disk that merely failed to answer would let the next
+  // commit overwrite data that is still there.
   bool found = false;
   RootRecord best;
   for (uint64_t slot = 0; slot < 2; ++slot) {
     Result<RootRecord> root = store->ReadRootSlot(slot);
+    if (!root.ok() && root.status().code() == StatusCode::kIOError) {
+      return root.status();
+    }
     if (root.ok() && (!found || root.value().generation > best.generation)) {
       best = root.value();
       found = true;
@@ -323,6 +330,14 @@ Status PagedStore::Commit(const DurableSnapshot& snapshot) {
       } while (pos < bytes.size());
     }
     const uint64_t manifest_pages = next - manifest_start;
+
+    // LAST cancellation point of the commit. Everything before this —
+    // run writing, manifest chunking — only touched speculative pages
+    // the durable root does not reference, so an abort rolls back for
+    // free (InvalidateUnpinned below). From here on the commit NEVER
+    // polls: once the root slot flips, disk state has advanced and the
+    // in-memory install must follow unconditionally.
+    MAYBMS_RETURN_NOT_OK(base::GovernPoll());
 
     // 4. Durability barrier: every speculative page on disk before the
     // root can point at it.

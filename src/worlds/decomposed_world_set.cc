@@ -9,6 +9,7 @@
 #include <random>
 #include <utility>
 
+#include "base/query_context.h"
 #include "base/string_util.h"
 #include "base/thread_pool.h"
 #include "engine/dml.h"
@@ -189,6 +190,9 @@ Result<std::vector<World>> DecomposedWorldSet::MaterializeWorlds(
       if (truncated != nullptr) *truncated = true;
       break;
     }
+    // Each odometer step materializes one full world (a database copy):
+    // charge it against the world budget, which also polls.
+    MAYBMS_RETURN_NOT_OK(base::GovernChargeWorlds(1));
     std::vector<const Alternative*> chosen;
     double prob = 1.0;
     chosen.reserve(components_.size());
@@ -249,6 +253,7 @@ Result<std::vector<World>> DecomposedWorldSet::TopKWorlds(size_t k) const {
 
   std::vector<World> top;
   while (!frontier.empty() && top.size() < k) {
+    MAYBMS_RETURN_NOT_OK(base::GovernChargeWorlds(1));
     State state = frontier.top();
     frontier.pop();
     std::vector<const Alternative*> chosen;
@@ -277,6 +282,7 @@ Result<World> DecomposedWorldSet::SampleWorld(base::SplitMix64* rng) const {
   chosen.reserve(components_.size());
   double probability = 1.0;
   for (const Component& component : components_) {
+    MAYBMS_RETURN_NOT_OK(base::GovernPoll());
     if (component.alternatives.empty()) {
       return Status::EmptyWorldSet("component with no alternatives");
     }
@@ -306,6 +312,9 @@ Status DecomposedWorldSet::CreateBaseTable(const std::string& name,
 }
 
 Status DecomposedWorldSet::DropRelation(const std::string& name) {
+  // Poll BEFORE any mutation: erasing contributions from a prefix of the
+  // components and then aborting would tear the set.
+  MAYBMS_RETURN_NOT_OK(base::GovernPoll());
   MAYBMS_RETURN_NOT_OK(certain_.DropRelation(name));
   std::string lower = AsciiToLower(name);
   for (Component& c : components_) {
@@ -516,6 +525,12 @@ Result<DecomposedWorldSet::PipelineOutput> DecomposedWorldSet::RunPipeline(
       DecomposedResult result;
       result.schema = projection.output_schema();
       for (const PartitionBlock& block : blocks) {
+        // Each block becomes one component whose alternatives are this
+        // block's choices: charge them as the decomposition's unit of
+        // world fan-out (the explicit engine charges the full product;
+        // the decomposed representation IS the O(n·g) compression).
+        MAYBMS_RETURN_NOT_OK(
+            base::GovernChargeWorlds(block.choices.size()));
         Component comp;
         for (const WeightedChoice& choice : block.choices) {
           std::vector<Tuple> chosen;
@@ -523,6 +538,9 @@ Result<DecomposedWorldSet::PipelineOutput> DecomposedWorldSet::RunPipeline(
           for (size_t r : choice.row_indices) chosen.push_back(source.row(r));
           MAYBMS_ASSIGN_OR_RETURN(Table projected,
                                   projection.Execute(certain_, chosen));
+          MAYBMS_RETURN_NOT_OK(
+              base::GovernChargeBytes(base::EstimateTableBytes(
+                  projected.num_rows(), projected.schema().num_columns())));
           Alternative alt;
           alt.probability = choice.probability;
           alt.tuples[kResultKey] = projected.rows();
@@ -548,6 +566,7 @@ Result<DecomposedWorldSet::PipelineOutput> DecomposedWorldSet::RunPipeline(
       std::vector<std::optional<QuantifierCombiner>> chunk_combiners;
       size_t flat_count = 0;
       for (const Alternative& alt : merged_src.alternatives) {
+        MAYBMS_RETURN_NOT_OK(base::GovernPoll());
         Database local = BuildLocalDatabase({&alt});
         MAYBMS_ASSIGN_OR_RETURN(Table source, source_plan.Execute(local));
         std::vector<PartitionBlock> blocks;
@@ -580,6 +599,7 @@ Result<DecomposedWorldSet::PipelineOutput> DecomposedWorldSet::RunPipeline(
           }
         }
         const size_t base = merged.component.alternatives.size();
+        MAYBMS_RETURN_NOT_OK(base::GovernChargeWorlds(combos));
         if (stream_feed) {
           chunk_combiners.clear();
           chunk_combiners.resize(base::ThreadPool::NumChunks(combos));
@@ -612,6 +632,9 @@ Result<DecomposedWorldSet::PipelineOutput> DecomposedWorldSet::RunPipeline(
               for (size_t r : rows) chosen.push_back(source.row(r));
               MAYBMS_ASSIGN_OR_RETURN(
                   Table result, projections[slot]->Execute(local, chosen));
+              MAYBMS_RETURN_NOT_OK(
+                  base::GovernChargeBytes(base::EstimateTableBytes(
+                      result.num_rows(), result.schema().num_columns())));
               if (stream_feed) {
                 if (!chunk_combiners[chunk].has_value()) {
                   MAYBMS_ASSIGN_OR_RETURN(
@@ -671,12 +694,16 @@ Result<DecomposedWorldSet::PipelineOutput> DecomposedWorldSet::RunPipeline(
       std::vector<std::vector<Tuple>> per_alt;
       per_alt.reserve(components_[idx].size());
       for (const Alternative& alt : components_[idx].alternatives) {
+        MAYBMS_RETURN_NOT_OK(base::GovernPoll());
         const std::vector<Tuple>* rows = alt.TuplesFor(rel);
         std::vector<Tuple> projected;
         if (rows != nullptr) {
           MAYBMS_ASSIGN_OR_RETURN(
               projected, FilterProjectRows(*core, certain_, qualified, *rows,
                                            projection, &where_plans));
+          MAYBMS_RETURN_NOT_OK(
+              base::GovernChargeBytes(base::EstimateTableBytes(
+                  projected.size(), result.schema.num_columns())));
         }
         per_alt.push_back(std::move(projected));
       }
@@ -716,6 +743,9 @@ Result<DecomposedWorldSet::PipelineOutput> DecomposedWorldSet::RunPipeline(
           const Alternative& alt = merged_src.alternatives[i];
           Database local = BuildLocalDatabase({&alt});
           MAYBMS_ASSIGN_OR_RETURN(Table result, plans[slot]->Execute(local));
+          MAYBMS_RETURN_NOT_OK(
+              base::GovernChargeBytes(base::EstimateTableBytes(
+                  result.num_rows(), result.schema().num_columns())));
           if (stream_feed) {
             if (!chunk_combiners[chunk].has_value()) {
               MAYBMS_ASSIGN_OR_RETURN(
@@ -914,6 +944,7 @@ Result<DecomposedWorldSet::PipelineOutput> DecomposedWorldSet::RunPipeline(
         groups[std::move(key)].push_back(i);
       }
       for (const auto& [key, members] : groups) {
+        MAYBMS_RETURN_NOT_OK(base::GovernPoll());
         double group_prob = 0;
         for (size_t i : members) {
           group_prob += merged.component.alternatives[i].probability;
@@ -987,6 +1018,7 @@ Result<DecomposedWorldSet::PipelineOutput> DecomposedWorldSet::RunPipeline(
         Table result(dec.schema);
         for (const Tuple& t : dec.certain_rows) result.AppendUnchecked(t);
         for (const auto& view : views) {
+          MAYBMS_RETURN_NOT_OK(base::GovernPoll());
           for (const ContribView& cv : view) {
             for (const Tuple& t : *cv.rows) result.AppendUnchecked(t);
           }
@@ -1000,6 +1032,7 @@ Result<DecomposedWorldSet::PipelineOutput> DecomposedWorldSet::RunPipeline(
         std::set<Tuple> emitted;
         for (const Tuple& t : dec.certain_rows) emitted.insert(t);
         for (const auto& view : views) {
+          MAYBMS_RETURN_NOT_OK(base::GovernPoll());
           if (view.empty()) continue;
           std::set<Tuple> candidates(view[0].rows->begin(),
                                      view[0].rows->end());
@@ -1019,6 +1052,7 @@ Result<DecomposedWorldSet::PipelineOutput> DecomposedWorldSet::RunPipeline(
         std::set<Tuple> certain_set(dec.certain_rows.begin(),
                                     dec.certain_rows.end());
         for (const auto& view : views) {
+          MAYBMS_RETURN_NOT_OK(base::GovernPoll());
           std::map<Tuple, double> p_c;
           for (const ContribView& cv : view) {
             std::set<Tuple> distinct(cv.rows->begin(), cv.rows->end());
@@ -1134,6 +1168,9 @@ DecomposedWorldSet::EvaluateGroupedStreaming(
         const Alternative& alt = merged_src.alternatives[i];
         Database local = BuildLocalDatabase({&alt});
         MAYBMS_ASSIGN_OR_RETURN(Table result, core_plans[slot]->Execute(local));
+        MAYBMS_RETURN_NOT_OK(
+            base::GovernChargeBytes(base::EstimateTableBytes(
+                result.num_rows(), result.schema().num_columns())));
         if (stmt.assert_condition) {
           engine::SubqueryCache assert_cache(&assert_plans[slot]);
           engine::EvalContext ctx{&local,  nullptr, nullptr,
@@ -1197,6 +1234,7 @@ Result<SelectEvaluation> DecomposedWorldSet::EvaluateSelect(
         eval.truncated = true;
         break;
       }
+      MAYBMS_RETURN_NOT_OK(base::GovernPoll());
       eval.per_world.emplace_back(merged.component.alternatives[i].probability,
                                   merged.results[i]);
     }
@@ -1237,6 +1275,7 @@ Result<SelectEvaluation> DecomposedWorldSet::EvaluateSelect(
       eval.truncated = true;
       break;
     }
+    MAYBMS_RETURN_NOT_OK(base::GovernChargeWorlds(1));
     double prob = 1.0;
     Table result(dec.schema);
     for (const Tuple& t : dec.certain_rows) result.AppendUnchecked(t);
@@ -1359,6 +1398,7 @@ Result<storage::DurableSnapshot> DecomposedWorldSet::ToSnapshot() const {
   }
   snapshot.components.reserve(components_.size());
   for (const Component& component : components_) {
+    MAYBMS_RETURN_NOT_OK(base::GovernPoll());
     storage::DurableSnapshot::ComponentRef component_ref;
     component_ref.alternatives.reserve(component.alternatives.size());
     for (const Alternative& alt : component.alternatives) {
@@ -1394,6 +1434,10 @@ Status DecomposedWorldSet::FromSnapshot(
   std::vector<Component> components;
   components.reserve(snapshot.components.size());
   for (const auto& component_ref : snapshot.components) {
+    // Builds locals and swaps at the end — a poll abort here cannot tear
+    // the live set. The post-commit reload runs shielded (see
+    // isql::Session::PersistAndReload).
+    MAYBMS_RETURN_NOT_OK(base::GovernPoll());
     Component component;
     component.alternatives.reserve(component_ref.alternatives.size());
     for (const auto& alt_ref : component_ref.alternatives) {

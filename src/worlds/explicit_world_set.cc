@@ -7,6 +7,7 @@
 #include <random>
 #include <utility>
 
+#include "base/query_context.h"
 #include "base/string_util.h"
 #include "base/thread_pool.h"
 #include "engine/dml.h"
@@ -63,6 +64,7 @@ Status EnumerateRepairChoiceWorlds(base::ThreadPool& pool, size_t threads,
       pool.Slots(threads));
   uint64_t produced = 0;
   for (const World& world : input) {
+    MAYBMS_RETURN_NOT_OK(base::GovernPoll());
     if (!source_plan.has_value()) {
       MAYBMS_ASSIGN_OR_RETURN(
           source_plan, engine::PreparedFromWhere::Prepare(stmt, world.db));
@@ -95,6 +97,9 @@ Status EnumerateRepairChoiceWorlds(base::ThreadPool& pool, size_t threads,
     }
     const uint64_t base = produced;
     produced += combos;
+    // Fan-out is THE world-budget charge site: combos derived worlds come
+    // into existence here regardless of which pipeline consumes them.
+    MAYBMS_RETURN_NOT_OK(base::GovernChargeWorlds(combos));
 
     begin_world(static_cast<size_t>(combos));
     MAYBMS_RETURN_NOT_OK(pool.ParallelFor(
@@ -127,6 +132,11 @@ Status EnumerateRepairChoiceWorlds(base::ThreadPool& pool, size_t threads,
           for (size_t r : rows) chosen.push_back(source.row(r));
           MAYBMS_ASSIGN_OR_RETURN(Table result,
                                   projections[slot]->Execute(world.db, chosen));
+          // Memory-budget charge for the per-world answer, here so every
+          // consumer (materializing, streaming, grouped) pays it exactly
+          // once per combination.
+          MAYBMS_RETURN_NOT_OK(base::GovernChargeBytes(base::EstimateTableBytes(
+              result.num_rows(), result.schema().num_columns())));
           return emit(static_cast<size_t>(base) + c, slot, chunk, world, prob,
                       std::move(result));
         }));
@@ -186,6 +196,10 @@ Result<std::vector<World>> ExplicitWorldSet::TopKWorlds(size_t k) const {
   std::vector<World> top;
   top.reserve(std::min(k, order.size()));
   for (size_t i = 0; i < order.size() && top.size() < k; ++i) {
+    // Same budget semantics as the decomposed engine: one charge per
+    // enumerated world, so which engine holds the data cannot change
+    // whether a statement fits its world budget.
+    MAYBMS_RETURN_NOT_OK(base::GovernChargeWorlds(1));
     top.push_back(worlds_[order[i]]);
   }
   return top;
@@ -197,6 +211,7 @@ Result<World> ExplicitWorldSet::SampleWorld(base::SplitMix64* rng) const {
   double u = uniform(*rng);
   double cumulative = 0;
   for (const World& world : worlds_) {
+    MAYBMS_RETURN_NOT_OK(base::GovernPoll());
     cumulative += world.probability;
     if (u <= cumulative) return world;
   }
@@ -212,6 +227,10 @@ Status ExplicitWorldSet::CreateBaseTable(const std::string& name,
   // identical everywhere, so storing it is W handle bumps, not W copies.
   // The first world that mutates it clones its own copy (COW).
   auto shared = std::make_shared<Table>(prototype);
+  // One poll BEFORE the loop, none inside: each iteration is an O(1)
+  // handle bump, and aborting mid-loop would leave the relation present
+  // in some worlds only — a cancellation point must never tear state.
+  MAYBMS_RETURN_NOT_OK(base::GovernPoll());
   for (World& world : worlds_) world.db.PutRelation(name, shared);
   return Status::OK();
 }
@@ -220,6 +239,9 @@ Status ExplicitWorldSet::DropRelation(const std::string& name) {
   if (!HasRelation(name)) {
     return Status::NotFound("relation not found: " + name);
   }
+  // Poll before the loop only: dropping from a prefix of the worlds and
+  // then aborting would tear the set (see CreateBaseTable).
+  MAYBMS_RETURN_NOT_OK(base::GovernPoll());
   for (World& world : worlds_) {
     MAYBMS_RETURN_NOT_OK(world.db.DropRelation(name));
   }
@@ -275,9 +297,15 @@ Status ExplicitWorldSet::ApplyDml(const sql::Statement& stmt,
 }
 
 void ExplicitWorldSet::SetWorlds(std::vector<World> worlds) {
+  // Pure O(1)-per-world arithmetic over an already-materialized vector
+  // (whose construction was the governed, charged part), and the whole
+  // normalize-and-swap must be atomic — aborting between the two loops
+  // would install half-normalized probabilities.
   double total = 0;
+  // maybms-lint: allow(ungoverned-world-loop)
   for (const World& w : worlds) total += w.probability;
   if (total > 0) {
+    // maybms-lint: allow(ungoverned-world-loop)
     for (World& w : worlds) w.probability /= total;
   }
   worlds_ = std::move(worlds);
@@ -373,6 +401,9 @@ Result<ExplicitWorldSet::PipelineOutput> ExplicitWorldSet::RunPipeline(
           }
           MAYBMS_ASSIGN_OR_RETURN(Table result,
                                   plans[slot]->Execute(input[i].db));
+          MAYBMS_RETURN_NOT_OK(
+              base::GovernChargeBytes(base::EstimateTableBytes(
+                  result.num_rows(), result.schema().num_columns())));
           World derived(std::move(input[i].db), input[i].probability);
           if (stream_feed) {
             MAYBMS_RETURN_NOT_OK(feed_chunk(chunk, derived.probability,
@@ -422,6 +453,9 @@ Result<ExplicitWorldSet::PipelineOutput> ExplicitWorldSet::RunPipeline(
     if (!(total > 0)) {
       return Status::EmptyWorldSet("assert leaves no probability mass");
     }
+    // O(1)-per-world renormalization; a mid-loop abort would leave a
+    // half-normalized survivor set.
+    // maybms-lint: allow(ungoverned-world-loop)
     for (World& world : surviving) world.probability /= total;
     out.worlds = std::move(surviving);
   }
@@ -462,6 +496,7 @@ Result<ExplicitWorldSet::PipelineOutput> ExplicitWorldSet::RunPipeline(
       groups[std::move(key)].push_back(i);
     }
     for (const auto& [key, members] : groups) {
+      MAYBMS_RETURN_NOT_OK(base::GovernPoll());
       double group_prob = 0;
       for (size_t i : members) group_prob += out.worlds[i].probability;
       MAYBMS_ASSIGN_OR_RETURN(QuantifierCombiner combiner,
@@ -516,6 +551,7 @@ Result<ExplicitWorldSet::PipelineOutput> ExplicitWorldSet::RunPipeline(
     // them (W handle bumps, not W row copies).
     auto shared = std::make_shared<Table>(combined);
     for (World& world : out.worlds) {
+      MAYBMS_RETURN_NOT_OK(base::GovernPoll());
       world.db.PutRelation(result_name, shared);
     }
     out.combined = std::move(combined);
@@ -659,6 +695,9 @@ Result<Table> ExplicitWorldSet::EvaluateQuantifierStreaming(
           }
           MAYBMS_ASSIGN_OR_RETURN(Table result,
                                   plans[slot]->Execute(worlds_[i].db));
+          MAYBMS_RETURN_NOT_OK(
+              base::GovernChargeBytes(base::EstimateTableBytes(
+                  result.num_rows(), result.schema().num_columns())));
           return feed(worlds_[i].probability, std::move(result),
                       worlds_[i].db, slot, chunk);
         }));
@@ -758,6 +797,9 @@ ExplicitWorldSet::EvaluateGroupedStreaming(
           }
           MAYBMS_ASSIGN_OR_RETURN(Table result,
                                   plans[slot]->Execute(worlds_[i].db));
+          MAYBMS_RETURN_NOT_OK(
+              base::GovernChargeBytes(base::EstimateTableBytes(
+                  result.num_rows(), result.schema().num_columns())));
           return feed(worlds_[i].probability, std::move(result),
                       worlds_[i].db, slot, chunk);
         }));
@@ -831,6 +873,7 @@ Result<storage::DurableSnapshot> ExplicitWorldSet::ToSnapshot() const {
   std::map<const Table*, size_t> index;
   snapshot.worlds.reserve(worlds_.size());
   for (const World& world : worlds_) {
+    MAYBMS_RETURN_NOT_OK(base::GovernPoll());
     storage::DurableSnapshot::WorldRef world_ref;
     world_ref.probability = world.probability;
     for (const std::string& name : world.db.RelationNames()) {
@@ -859,6 +902,11 @@ Status ExplicitWorldSet::FromSnapshot(
   std::vector<World> worlds;
   worlds.reserve(snapshot.worlds.size());
   for (const auto& world_ref : snapshot.worlds) {
+    // Restore builds into a local vector and swaps at the end, so a poll
+    // aborting here leaves the live set untouched. (The post-commit
+    // reload in isql::Session runs SHIELDED — QueryContextScope(nullptr)
+    // — so a fired deadline can never abort it; see PersistAndReload.)
+    MAYBMS_RETURN_NOT_OK(base::GovernPoll());
     World world;
     world.probability = world_ref.probability;
     for (const auto& relation : world_ref.relations) {

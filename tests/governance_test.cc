@@ -1,0 +1,583 @@
+// Resource-governance battery (ISSUE 10).
+//
+// The central property: a statement aborted by ANY governance verdict —
+// an injected kill point, a real deadline, a world budget, a memory
+// budget, or an external cancellation — leaves the session exactly as it
+// was before the statement: same relations, same per-world answers, same
+// durable store generation, and (paged mode) the same state after a full
+// process restart. The kill-point battery proves it exhaustively: it
+// fires the trip at EVERY governed poll of a mutating statement, at
+// thread counts {1, 2, 4, 8}, on both engines, on memory and paged
+// storage.
+//
+// Determinism riders: the error STRING of a given verdict is identical
+// at every thread count, and the number of kill points of a statement
+// (its governed poll count) is a function of the statement and the data,
+// never the schedule.
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/query_context.h"
+#include "isql/formatter.h"
+#include "isql/session.h"
+#include "server/net.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "tests/test_util.h"
+
+namespace maybms::isql {
+namespace {
+
+using maybms::testing::EngineTest;
+using maybms::testing::Exec;
+using maybms::testing::ExecScript;
+
+/// Deterministic rendering of the session's visible state: the formatted
+/// answer of `select * from t` for every probe relation (missing tables
+/// render as their error). Engines render worlds deterministically, so
+/// equal strings mean equal state.
+std::string ProbeState(Session& session,
+                       const std::vector<std::string>& tables) {
+  std::string out;
+  for (const std::string& table : tables) {
+    auto r = session.Execute("select * from " + table + ";");
+    out += "== " + table + " ==\n";
+    out += r.ok() ? FormatQueryResult(*r) : r.status().ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+/// Loads a 4-worlds-per-key repair workload: key groups {1,2,3} of sizes
+/// {2,2,1} give 2*2*1 = 4 repairs.
+void LoadRepairFixture(Session& session) {
+  ExecScript(session, R"sql(
+    create table R (K integer, P text);
+    insert into R values
+      (1, 'a'), (1, 'b'), (2, 'c'), (2, 'd'), (3, 'e');
+    create table I as select * from R repair by key K;
+  )sql");
+}
+
+// ---------------------------------------------------------------------------
+// Environment validation (same strictness as MAYBMS_POOL_PAGES, PR 9)
+// ---------------------------------------------------------------------------
+
+class GovernanceEnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    ::unsetenv("MAYBMS_STATEMENT_TIMEOUT_MS");
+    ::unsetenv("MAYBMS_MAX_WORLDS");
+    ::unsetenv("MAYBMS_MEM_BUDGET_MB");
+  }
+};
+
+TEST_F(GovernanceEnvTest, MalformedValuesAreStickyInvalidArgument) {
+  for (const char* env : {"MAYBMS_STATEMENT_TIMEOUT_MS", "MAYBMS_MAX_WORLDS",
+                          "MAYBMS_MEM_BUDGET_MB"}) {
+    for (const char* bad : {"abc", "5s", "-1", "0", "", " 5", "5 ",
+                            "18446744073709551616"}) {
+      ASSERT_EQ(::setenv(env, bad, 1), 0);
+      Session session;
+      auto r = session.Execute("select 1;");
+      ASSERT_FALSE(r.ok()) << env << "=\"" << bad
+                           << "\" was silently accepted";
+      EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << bad;
+      EXPECT_NE(r.status().message().find(env), std::string::npos)
+          << "error should name the variable: " << r.status().ToString();
+      // Sticky: the next statement reports the same configuration error.
+      auto again = session.Execute("select 1;");
+      EXPECT_FALSE(again.ok()) << env << "=" << bad;
+      ::unsetenv(env);
+    }
+  }
+}
+
+TEST_F(GovernanceEnvTest, ExplicitOptionsIgnoreTheEnvironment) {
+  ASSERT_EQ(::setenv("MAYBMS_MAX_WORLDS", "garbage", 1), 0);
+  SessionOptions options;
+  options.max_worlds = 1000;
+  Session session(options);
+  auto r = session.Execute("select 1;");
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(session.governance_limits().max_worlds, 1000u);
+}
+
+TEST_F(GovernanceEnvTest, EnvironmentLimitsResolveIntoTheSession) {
+  ASSERT_EQ(::setenv("MAYBMS_STATEMENT_TIMEOUT_MS", "7000", 1), 0);
+  ASSERT_EQ(::setenv("MAYBMS_MAX_WORLDS", "4", 1), 0);
+  Session session;
+  EXPECT_EQ(session.governance_limits().deadline_ms, 7000u);
+  EXPECT_EQ(session.governance_limits().max_worlds, 4u);
+  // Statements that stay under the cap run normally...
+  ExecScript(session, R"sql(
+    create table R (K integer, P text);
+    insert into R values
+      (1, 'a'), (1, 'b'), (2, 'c'), (2, 'd'), (3, 'e');
+  )sql");
+  // ...and the env-resolved world budget governs the fan-out.
+  auto over = session.Execute(
+      "create table I as select * from R repair by key K;");
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(over.status().message().find(
+                "statement world budget of 4 worlds exceeded"),
+            std::string::npos)
+      << over.status().ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Budget verdicts: deterministic errors, thread-count invariance
+// ---------------------------------------------------------------------------
+
+class GovernanceTest : public EngineTest {};
+MAYBMS_INSTANTIATE_ENGINES(GovernanceTest);
+
+TEST_P(GovernanceTest, WorldBudgetErrorIsIdenticalAtEveryThreadCount) {
+  std::vector<std::string> errors;
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    SessionOptions options = Options();
+    options.max_worlds = 3;
+    options.threads = threads;
+    Session session(options);
+    ExecScript(session, R"sql(
+      create table R (K integer, P text);
+      insert into R values (1, 'a'), (1, 'b'), (2, 'c'), (2, 'd');
+    )sql");
+    auto r = session.Execute(
+        "create table I as select * from R repair by key K;");
+    ASSERT_FALSE(r.ok()) << "4 repairs must exceed a budget of 3";
+    EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+    errors.push_back(r.status().ToString());
+
+    // Rollback: the failed CREATE TABLE AS left nothing behind, and the
+    // source is untouched.
+    auto missing = session.Execute("select * from I;");
+    EXPECT_FALSE(missing.ok());
+    EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+    EXPECT_TRUE(session.Execute("select * from R;").ok());
+  }
+  for (const std::string& error : errors) {
+    EXPECT_EQ(error, errors[0]) << "verdict text must not depend on the "
+                                   "thread count";
+    EXPECT_NE(error.find("statement world budget of 3 worlds exceeded"),
+              std::string::npos)
+        << error;
+  }
+}
+
+TEST_P(GovernanceTest, GenerousLimitsChangeNothing) {
+  // Armed-but-unfired governance is invisible: identical answers with
+  // and without limits.
+  SessionOptions plain = Options();
+  Session ungoverned(plain);
+  SessionOptions limited = Options();
+  limited.statement_timeout_ms = 600'000;
+  limited.max_worlds = 1 << 20;
+  limited.mem_budget_mb = 4096;
+  Session governed(limited);
+  for (Session* session : {&ungoverned, &governed}) {
+    LoadRepairFixture(*session);
+  }
+  const std::vector<std::string> probes = {"R", "I"};
+  EXPECT_EQ(ProbeState(ungoverned, probes), ProbeState(governed, probes));
+}
+
+TEST_F(GovernanceEnvTest, MemoryBudgetAbortsExplicitMaterialization) {
+  // 12 two-way keys fan out to 4096 worlds of 12 rows x 2 columns:
+  // an estimated 4096 * 12 * 2 * 16 B = 1.5 MiB, over a 1 MiB budget.
+  // The decomposed engine represents the same world-set in O(keys) —
+  // not materializing this is exactly its job — so the memory-budget
+  // abort is an explicit-engine scenario (the decomposed analogue is
+  // the world budget on enumeration, covered elsewhere).
+  SessionOptions options;
+  options.engine = EngineMode::kExplicit;
+  options.mem_budget_mb = 1;
+  Session session(options);
+  std::string values;
+  for (int k = 0; k < 12; ++k) {
+    for (const char* p : {"x", "y"}) {
+      values += (values.empty() ? "" : ", ") + std::string("(") +
+                std::to_string(k) + ", '" + p + "')";
+    }
+  }
+  ExecScript(session, "create table R (K integer, P text);"
+                      "insert into R values " + values + ";");
+  auto r = session.Execute(
+      "create table I as select * from R repair by key K;");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(r.status().message().find("statement memory budget of 1 MiB "
+                                      "exceeded"),
+            std::string::npos)
+      << r.status().ToString();
+  // Rollback proof.
+  auto missing = session.Execute("select * from I;");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(GovernanceEnvTest, RealDeadlineAbortsLongMaterialization) {
+  // 4096 explicit worlds take well over a millisecond to materialize;
+  // the 1 ms deadline must fire at some chunk-boundary poll.
+  SessionOptions options;
+  options.engine = EngineMode::kExplicit;
+  options.statement_timeout_ms = 1;
+  Session session(options);
+  std::string values;
+  for (int k = 0; k < 12; ++k) {
+    for (const char* p : {"x", "y"}) {
+      values += (values.empty() ? "" : ", ") + std::string("(") +
+                std::to_string(k) + ", '" + p + "')";
+    }
+  }
+  ExecScript(session, "create table R (K integer, P text);"
+                      "insert into R values " + values + ";");
+  auto r = session.Execute(
+      "create table I as select * from R repair by key K;");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(r.status().message().find("statement deadline of 1 ms exceeded"),
+            std::string::npos)
+      << r.status().ToString();
+  auto missing = session.Execute("select * from I;");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// The kill-point battery
+// ---------------------------------------------------------------------------
+
+struct BatteryResult {
+  uint64_t kill_points = 0;  // trips survived before the clean run
+  std::string error;         // the (single) verdict text observed
+};
+
+/// Runs `statement` under PollTrip::Arm(trip) for trip = 0, 1, 2, ...
+/// until it succeeds. Every failed attempt must leave the probed state
+/// byte-identical and (paged) the store generation unchanged.
+BatteryResult RunKillPointBattery(Session& session,
+                                  const std::string& statement,
+                                  const std::vector<std::string>& probes) {
+  BatteryResult result;
+  const std::string before = ProbeState(session, probes);
+  const uint64_t generation_before =
+      session.is_paged() ? session.paged_store()->generation() : 0;
+  for (uint64_t trip = 0;; ++trip) {
+    EXPECT_LT(trip, 100'000u) << "battery did not terminate";
+    if (trip >= 100'000u) break;
+    base::PollTrip::Arm(trip);
+    auto r = session.Execute(statement);
+    base::PollTrip::Disarm();
+    if (r.ok()) {
+      result.kill_points = trip;
+      break;
+    }
+    EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded)
+        << "trip " << trip << ": " << r.status().ToString();
+    if (result.error.empty()) {
+      result.error = r.status().ToString();
+    } else {
+      EXPECT_EQ(result.error, r.status().ToString())
+          << "every kill point surfaces the identical verdict";
+    }
+    EXPECT_EQ(ProbeState(session, probes), before)
+        << "state changed after the abort at trip " << trip;
+    if (session.is_paged()) {
+      EXPECT_EQ(session.paged_store()->generation(), generation_before)
+          << "a failed statement advanced the durable root at trip " << trip;
+    }
+  }
+  EXPECT_GT(result.kill_points, 0u)
+      << "the statement never polled — it is ungoverned";
+  return result;
+}
+
+class KillPointBatteryTest : public EngineTest {
+ protected:
+  void SetUp() override {
+    base::PollTrip::Disarm();
+    dir_ = std::filesystem::temp_directory_path() /
+           ("maybms-governance-test-" +
+            std::to_string(reinterpret_cast<uintptr_t>(this)));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    base::PollTrip::Disarm();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::filesystem::path dir_;
+};
+MAYBMS_INSTANTIATE_ENGINES(KillPointBatteryTest);
+
+TEST_P(KillPointBatteryTest, EveryKillPointRollsBackMemoryMode) {
+  const std::vector<std::string> probes = {"R", "I", "J"};
+  const std::string statement =
+      "create table J as select K, P from I where K <= 2;";
+  std::vector<uint64_t> kill_points;
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    SessionOptions options = Options();
+    options.threads = threads;
+    Session session(options);
+    LoadRepairFixture(session);
+    BatteryResult result = RunKillPointBattery(session, statement, probes);
+    kill_points.push_back(result.kill_points);
+    // The clean run went through: J exists now.
+    EXPECT_TRUE(session.Execute("select * from J;").ok());
+  }
+  for (uint64_t n : kill_points) {
+    EXPECT_EQ(n, kill_points[0])
+        << "the governed poll count of a statement must be a function of "
+           "the data, not the thread count";
+  }
+}
+
+TEST_P(KillPointBatteryTest, EveryKillPointRollsBackPagedMode) {
+  const std::vector<std::string> probes = {"R", "I", "J"};
+  const std::string statement =
+      "create table J as select K, P from I where K <= 2;";
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    const std::filesystem::path store_dir =
+        dir_ / ("t" + std::to_string(threads));
+    std::filesystem::create_directories(store_dir);
+    SessionOptions options = Options();
+    options.threads = threads;
+    options.storage = StorageMode::kPaged;
+    options.storage_dir = store_dir.string();
+    std::string final_state;
+    {
+      Session session(options);
+      ASSERT_TRUE(session.is_paged());
+      LoadRepairFixture(session);
+      RunKillPointBattery(session, statement, probes);
+      final_state = ProbeState(session, probes);
+    }
+    // Restart equivalence: a fresh session over the same store sees the
+    // exact post-battery state (every kill point left the disk clean).
+    Session reopened(options);
+    EXPECT_EQ(ProbeState(reopened, probes), final_state);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Server: governed frames, statement budgets on the wire, drain, retry
+// ---------------------------------------------------------------------------
+
+std::pair<maybms::StatusCode, std::string> ClientRoundTrip(
+    uint16_t port, const std::string& request) {
+  auto conn = server::ConnectTo("127.0.0.1", port);
+  EXPECT_TRUE(conn.ok()) << conn.status().ToString();
+  auto reply = server::RoundTrip(*conn, request, 10'000);
+  EXPECT_TRUE(reply.ok()) << reply.status().ToString();
+  return reply.ok() ? *reply
+                    : std::pair<maybms::StatusCode, std::string>{};
+}
+
+TEST(ServerGovernanceTest, StatementBudgetSurfacesOnTheWire) {
+  server::ServerOptions options;
+  options.session.max_worlds = 3;
+  auto server = server::Server::Start(options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  const uint16_t port = (*server)->port();
+
+  auto setup = ClientRoundTrip(
+      port, "create table R (K integer, P text);"
+            "insert into R values (1,'a'),(1,'b'),(2,'c'),(2,'d');");
+  ASSERT_EQ(setup.first, StatusCode::kOk) << setup.second;
+
+  auto over = ClientRoundTrip(
+      port, "create table I as select * from R repair by key K;");
+  EXPECT_EQ(over.first, StatusCode::kResourceExhausted);
+  EXPECT_NE(over.second.find("statement world budget of 3 worlds exceeded"),
+            std::string::npos)
+      << over.second;
+
+  // Rollback happened behind the wire: I does not exist, R does.
+  auto missing = ClientRoundTrip(port, "select * from I;");
+  EXPECT_EQ(missing.first, StatusCode::kNotFound);
+  auto still = ClientRoundTrip(port, "select * from R;");
+  EXPECT_EQ(still.first, StatusCode::kOk);
+  (*server)->Shutdown();
+}
+
+TEST(ServerGovernanceTest, GovernedFrameTightensTheDeadline) {
+  server::ServerOptions options;
+  options.session.engine = EngineMode::kExplicit;
+  auto server = server::Server::Start(options);
+  ASSERT_TRUE(server.ok());
+  const uint16_t port = (*server)->port();
+
+  std::string values;
+  for (int k = 0; k < 12; ++k) {
+    for (const char* p : {"x", "y"}) {
+      values += (values.empty() ? "" : ", ") + std::string("(") +
+                std::to_string(k) + ", '" + p + "')";
+    }
+  }
+  auto setup = ClientRoundTrip(port, "create table R (K integer, P text);"
+                                     "insert into R values " + values + ";");
+  ASSERT_EQ(setup.first, StatusCode::kOk) << setup.second;
+
+  // A 1 ms request deadline against a 4096-world materialization: the
+  // server must return the deadline verdict, not the answer.
+  auto governed = ClientRoundTrip(
+      port, server::EncodeGovernedRequest(
+                1, "create table I as select * from R repair by key K;"));
+  EXPECT_EQ(governed.first, StatusCode::kDeadlineExceeded);
+  EXPECT_NE(governed.second.find("statement deadline of 1 ms exceeded"),
+            std::string::npos)
+      << governed.second;
+
+  // The same request with a generous deadline succeeds — the request
+  // frame, not the server config, carried the 1 ms limit.
+  auto relaxed = ClientRoundTrip(
+      port, server::EncodeGovernedRequest(
+                60'000,
+                "create table I as select * from R repair by key K;"));
+  EXPECT_EQ(relaxed.first, StatusCode::kOk) << relaxed.second;
+  (*server)->Shutdown();
+}
+
+TEST(ServerGovernanceTest, MalformedGovernedFrameIsRejected) {
+  auto server = server::Server::Start(server::ServerOptions{});
+  ASSERT_TRUE(server.ok());
+  auto conn = server::ConnectTo("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(conn.ok());
+  // Magic byte with a truncated deadline field.
+  std::string torn(1, server::kGovernedRequestMagic);
+  torn += "\x01\x02";
+  auto reply = server::RoundTrip(*conn, torn, 10'000);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->first, StatusCode::kInvalidArgument);
+  (*server)->Shutdown();
+}
+
+TEST(ServerGovernanceTest, RetryRidesOutTheCapacityReply) {
+  server::ServerOptions options;
+  options.max_connections = 1;
+  auto server = server::Server::Start(options);
+  ASSERT_TRUE(server.ok());
+  const uint16_t port = (*server)->port();
+
+  // Occupy the single slot with an idle connection (a request pins the
+  // worker; idle is enough — capacity counts connections, not load).
+  auto holder = server::ConnectTo("127.0.0.1", port);
+  ASSERT_TRUE(holder.ok());
+  auto held = server::RoundTrip(*holder, "select 1;", 10'000);
+  ASSERT_TRUE(held.ok());
+  ASSERT_EQ(held->first, StatusCode::kOk);
+
+  // No retries: the deterministic busy reply surfaces immediately.
+  server::RetryPolicy no_retry;
+  auto refused = server::RoundTripWithRetry(
+      "127.0.0.1", port, "select 1;", 10'000, no_retry);
+  ASSERT_TRUE(refused.ok()) << refused.status().ToString();
+  EXPECT_EQ(refused->first, StatusCode::kResourceExhausted);
+  EXPECT_EQ(refused->second, server::Server::BusyMessage(1));
+
+  // Bounded retries against a still-full server: every attempt connects,
+  // gets refused, and backs off — then the LAST reply surfaces.
+  server::RetryPolicy bounded;
+  bounded.max_retries = 2;
+  bounded.base_backoff_ms = 1;
+  bounded.max_backoff_ms = 4;
+  const uint64_t refused_before = (*server)->connections_refused();
+  auto exhausted = server::RoundTripWithRetry(
+      "127.0.0.1", port, "select 1;", 10'000, bounded);
+  ASSERT_TRUE(exhausted.ok()) << exhausted.status().ToString();
+  EXPECT_EQ(exhausted->first, StatusCode::kResourceExhausted);
+  EXPECT_EQ((*server)->connections_refused() - refused_before, 3u)
+      << "1 initial attempt + 2 retries, each its own connection";
+
+  // Free the slot; the retry loop now lands a clean attempt.
+  holder->Close();
+  server::RetryPolicy patient;
+  patient.max_retries = 20;
+  patient.base_backoff_ms = 1;
+  patient.max_backoff_ms = 50;
+  auto recovered = server::RoundTripWithRetry(
+      "127.0.0.1", port, "select 1;", 10'000, patient);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered->first, StatusCode::kOk) << recovered->second;
+  (*server)->Shutdown();
+}
+
+TEST(ServerGovernanceTest, ErrorRepliesAreNotRetried) {
+  auto server = server::Server::Start(server::ServerOptions{});
+  ASSERT_TRUE(server.ok());
+  server::RetryPolicy policy;
+  policy.max_retries = 5;
+  policy.base_backoff_ms = 1;
+  const uint64_t accepted_before = (*server)->connections_accepted();
+  auto reply = server::RoundTripWithRetry(
+      "127.0.0.1", (*server)->port(), "selec nonsense;", 10'000, policy);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->first, StatusCode::kParseError);
+  EXPECT_EQ((*server)->connections_accepted() - accepted_before, 1u)
+      << "a parse error is final; retrying it cannot help";
+  (*server)->Shutdown();
+}
+
+TEST(ServerGovernanceTest, DrainWithCancellationStaysCleanAndTerminates) {
+  // Statements in flight when a cancel-on-drain shutdown lands either
+  // complete or abort with the drain verdict — and the server always
+  // drains promptly instead of waiting out the statement. The race
+  // between "finished first" and "cancelled first" is inherent; the test
+  // accepts both outcomes but requires a clean drained server.
+  server::ServerOptions options;
+  options.session.engine = EngineMode::kExplicit;
+  options.cancel_statements_on_drain = true;
+  auto server = server::Server::Start(options);
+  ASSERT_TRUE(server.ok());
+  const uint16_t port = (*server)->port();
+
+  std::string values;
+  for (int k = 0; k < 12; ++k) {
+    for (const char* p : {"x", "y"}) {
+      values += (values.empty() ? "" : ", ") + std::string("(") +
+                std::to_string(k) + ", '" + p + "')";
+    }
+  }
+  auto setup = ClientRoundTrip(port, "create table R (K integer, P text);"
+                                     "insert into R values " + values + ";");
+  ASSERT_EQ(setup.first, StatusCode::kOk);
+
+  // Fire the heavy statement, then shut down while it runs.
+  auto conn = server::ConnectTo("127.0.0.1", port);
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(server::WriteFrame(
+                  *conn, "create table I as select * from R repair by key K;",
+                  10'000)
+                  .ok());
+  (*server)->Shutdown();
+
+  std::string payload;
+  auto frame = server::ReadFrame(*conn, &payload, 10'000);
+  if (frame.ok() && *frame == server::FrameStatus::kFrame) {
+    maybms::StatusCode code;
+    std::string text;
+    ASSERT_TRUE(server::DecodeResponse(payload, &code, &text).ok());
+    if (code != StatusCode::kOk) {
+      EXPECT_EQ(code, StatusCode::kDeadlineExceeded) << text;
+      EXPECT_NE(text.find("statement cancelled: server draining"),
+                std::string::npos)
+          << text;
+    }
+  }
+  // Clean EOF and a connection reset are both acceptable too: a drain
+  // that lands before the worker reads the request closes WITHOUT
+  // reading it (the statement provably never ran), and the unread frame
+  // turns the close into a reset on this side.
+}
+
+}  // namespace
+}  // namespace maybms::isql

@@ -1,0 +1,73 @@
+// maybms-lint-fixture: src/worlds/fixture_world_set.cc
+// Known-bad fixture: per-world loops with no governance. A range-for
+// over a worlds collection must poll the statement budget — in the
+// body, or directly above it (the poll-before-mutate idiom for loops a
+// mid-loop abort would tear) — or be routed through ParallelFor. The
+// fixture pretends to live in src/worlds/, where the rule applies, and
+// includes the governed shapes to prove they are NOT flagged.
+
+namespace maybms::worlds {
+
+struct World {
+  double probability;
+};
+
+struct Fixture {
+  int worlds_[4];
+
+  void Violations(int (&worlds)[4], World (&set)[4]) {
+    int sum = 0;
+    for (int w : worlds) sum += w;  // expect-lint: ungoverned-world-loop
+
+    for (int w : worlds_) {  // expect-lint: ungoverned-world-loop
+      sum += w;
+    }
+
+    // The loop variable being a World is enough, whatever the range is
+    // called.
+    for (World& w : set) {  // expect-lint: ungoverned-world-loop
+      w.probability = 0;
+    }
+
+    // A loop over a non-worlds range is out of scope however large it
+    // is: the rule targets per-world fan-out, not iteration in general.
+    int items[4] = {0, 1, 2, 3};
+    for (int i : items) sum += i;
+
+    (void)sum;
+  }
+
+  void GovernedShapes(int (&worlds)[4]) {
+    int sum = 0;
+    // Governed in the body: the canonical shape.
+    for (int w : worlds) {
+      GovernPoll();
+      sum += w;
+    }
+
+    // Poll-before-mutate: one poll directly above a loop whose
+    // iterations must be all-or-nothing.
+    GovernPoll();
+    for (int w : worlds) sum += w;
+
+    // Charging counts as governance too.
+    for (int w : worlds) {
+      GovernChargeWorlds(1);
+      sum += w;
+    }
+
+    (void)sum;
+  }
+
+  void Sanctioned(World (&set)[4]) {
+    // O(1)-per-world arithmetic whose atomicity a mid-loop abort would
+    // break: the justified-allow() escape hatch.
+    // maybms-lint: allow(ungoverned-world-loop)
+    for (World& w : set) w.probability /= 2;
+  }
+
+  static void GovernPoll() {}
+  static void GovernChargeWorlds(int) {}
+};
+
+}  // namespace maybms::worlds

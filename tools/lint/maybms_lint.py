@@ -29,6 +29,22 @@ rules over `src/` (see docs/architecture.md, "Invariant enforcement"):
                      compile error too; the lint keeps it testable via
                      fixtures and catches pre-compile review diffs.)
 
+  ungoverned-world-loop
+                     A range-for in src/worlds/*.cc iterating a worlds
+                     collection (range names `worlds`/`worlds_`/
+                     `.worlds`/`Worlds()`, or the loop variable is a
+                     World) must be governed: GovernPoll / GovernCharge*
+                     / ParallelFor in the loop body, or — for loops
+                     whose iterations must not be torn apart by a
+                     mid-loop abort — immediately before the loop (the
+                     poll-before-mutate idiom of CreateBaseTable). A
+                     per-world loop with no poll anywhere is how an
+                     exponential fan-out escapes the statement deadline
+                     (base/query_context.h). Loops that are genuinely
+                     O(1)-per-iteration arithmetic can annotate
+                     `maybms-lint: allow(ungoverned-world-loop)` with a
+                     justification.
+
 Suppressions: a comment `maybms-lint: allow(rule-a, rule-b)` on the same
 line or the line directly above suppresses those rules for that line.
 
@@ -72,6 +88,17 @@ VOID_HARVEST_RE = re.compile(r"\bvoid\s+([A-Za-z_]\w*)\s*\(")
 # name, then '('. Anchored manually at statement boundaries.
 CALL_RE = re.compile(
     r"\s*((?:[A-Za-z_]\w*\s*(?:\.|->|::)\s*)*)([A-Za-z_]\w*)\s*\(")
+
+# ungoverned-world-loop: scope, worlds-ish range detection, and what
+# counts as governance. The pre-loop window covers the sanctioned
+# poll-before-mutate idiom (one GovernPoll right above a loop whose
+# iterations must be all-or-nothing).
+WORLD_LOOP_SCOPE = re.compile(r"src/worlds/[^/]+\.cc$")
+WORLD_RANGE_RE = re.compile(r"\b(worlds_?|Worlds)\b")
+WORLD_DECL_RE = re.compile(r"\bWorld\b")
+GOVERN_RE = re.compile(
+    r"\b(GovernPoll|GovernChargeWorlds|GovernChargeBytes|ParallelFor)\b")
+WORLD_LOOP_PRE_CONTEXT = 300  # chars of stripped code before the `for`
 
 FORBIDDEN_API_PATTERNS = [
     # (regex, exempt_path_prefix, message): a match is ignored when the
@@ -389,6 +416,81 @@ def match_paren_close(text, open_idx):
     return -1
 
 
+def match_brace_close(text, open_idx):
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def range_for_split(header):
+    """Splits a for-header at the range-for ':' (top nesting level, not
+    part of '::'). Returns (decl, range_expr) or None for a classic for."""
+    depth = 0
+    i, n = 0, len(header)
+    while i < n:
+        c = header[i]
+        if c in "([{<":
+            depth += 1
+        elif c in ")]}>":
+            depth -= 1
+        elif c == ":" and depth <= 0:
+            if i + 1 < n and header[i + 1] == ":":
+                i += 2
+                continue
+            if i > 0 and header[i - 1] == ":":
+                i += 1
+                continue
+            return header[:i], header[i + 1:]
+        i += 1
+    return None
+
+
+def check_ungoverned_world_loop(path_for_rules, stripped, line_starts,
+                                findings, allows):
+    if not WORLD_LOOP_SCOPE.search(path_for_rules):
+        return
+    for m in re.finditer(r"\bfor\s*\(", stripped):
+        open_idx = stripped.index("(", m.end() - 1)
+        close_idx = match_paren_close(stripped, open_idx)
+        if close_idx < 0:
+            continue
+        split = range_for_split(stripped[open_idx + 1:close_idx])
+        if split is None:
+            continue
+        decl, range_expr = split
+        if not (WORLD_RANGE_RE.search(range_expr)
+                or WORLD_DECL_RE.search(decl)):
+            continue
+        k = close_idx + 1
+        while k < len(stripped) and stripped[k].isspace():
+            k += 1
+        if k < len(stripped) and stripped[k] == "{":
+            end = match_brace_close(stripped, k)
+            body = stripped[k:end + 1] if end >= 0 else stripped[k:]
+        else:
+            semi = stripped.find(";", k)
+            body = stripped[k:semi + 1] if semi >= 0 else stripped[k:]
+        pre = stripped[max(0, m.start() - WORLD_LOOP_PRE_CONTEXT):m.start()]
+        if GOVERN_RE.search(body) or GOVERN_RE.search(pre):
+            continue
+        line = line_of(stripped, m.start(), line_starts)
+        if not suppressed(allows, line, "ungoverned-world-loop"):
+            findings.append(Finding(
+                path_for_rules, line, "ungoverned-world-loop",
+                "per-world loop with no governance: add GovernPoll/"
+                "GovernCharge* in the body (or one GovernPoll directly "
+                "before the loop if a mid-loop abort would tear state), "
+                "route it through ParallelFor, or justify an O(1)-"
+                "arithmetic loop with maybms-lint: "
+                "allow(ungoverned-world-loop)"))
+
+
 def check_unchecked_status(path_for_rules, stripped, line_starts, findings,
                            allows, status_names):
     # Statement anchors: file start and positions right after ; { } : ).
@@ -448,6 +550,8 @@ def analyze_file(disk_path, path_for_rules, status_names):
                            allows)
     check_forbidden_api(path_for_rules, stripped, line_starts, findings,
                         allows)
+    check_ungoverned_world_loop(path_for_rules, stripped, line_starts,
+                                findings, allows)
     check_unchecked_status(path_for_rules, stripped, line_starts, findings,
                            allows, status_names)
     # Overlapping anchors (e.g. both colons of a `::`) can report the same

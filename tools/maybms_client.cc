@@ -1,13 +1,21 @@
 // maybms_client: a small I-SQL wire client for maybms_server.
 //
-//   maybms_client [--host H] [--port P] [--timeout-ms MS] -e "statement;"
-//   maybms_client [--host H] [--port P] < script.sql
+//   maybms_client [--host H] [--port P] [--timeout-ms MS]
+//                 [--deadline-ms MS] [--retries N] -e "statement;"
+//   maybms_client [--host H] [--port P] [...] < script.sql
 //
 // With -e, sends exactly one request and prints the response. Without,
 // reads stdin, sends one request per ';'-terminated statement (so a
 // multi-statement script round-trips statement by statement, matching
 // the interactive shell), and prints each response. Exits nonzero on a
 // transport failure or any error response.
+//
+// --deadline-ms attaches a per-statement deadline to every request (a
+// governed frame, protocol.h); the server enforces the tighter of this
+// and its own configured limit. --retries N retries transient overload
+// outcomes only — connect failure and the server's capacity refusal —
+// with exponential backoff + jitter; a statement's own resource errors
+// are final. Off by default.
 
 #include <cstdint>
 #include <cstdio>
@@ -24,16 +32,35 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--host H] [--port P] [--timeout-ms MS] "
-               "[-e \"statement;\"]\n",
+               "[--deadline-ms MS] [--retries N] [-e \"statement;\"]\n",
                argv0);
   return 2;
 }
 
+struct ClientConfig {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  int timeout_ms = 30'000;
+  uint32_t deadline_ms = 0;  // 0 = no request deadline
+  maybms::server::RetryPolicy retry;
+};
+
 /// Sends one request; prints the response text. Returns 0 on an OK
-/// response, 1 otherwise.
-int RunStatement(const maybms::server::Fd& conn, const std::string& sql,
-                 int timeout_ms) {
-  auto reply = maybms::server::RoundTrip(conn, sql, timeout_ms);
+/// response, 1 otherwise. `conn` is the persistent connection for the
+/// no-retry path; with retries enabled each attempt reconnects (the
+/// server closes refused connections, so reuse is impossible anyway).
+int RunStatement(const ClientConfig& config, const maybms::server::Fd* conn,
+                 const std::string& sql) {
+  const std::string request =
+      config.deadline_ms == 0
+          ? sql
+          : maybms::server::EncodeGovernedRequest(config.deadline_ms, sql);
+  auto reply = config.retry.max_retries > 0
+                   ? maybms::server::RoundTripWithRetry(
+                         config.host, config.port, request, config.timeout_ms,
+                         config.retry)
+                   : maybms::server::RoundTrip(*conn, request,
+                                               config.timeout_ms);
   if (!reply.ok()) {
     std::fprintf(stderr, "maybms_client: %s\n",
                  reply.status().ToString().c_str());
@@ -55,9 +82,7 @@ int RunStatement(const maybms::server::Fd& conn, const std::string& sql,
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string host = "127.0.0.1";
-  uint16_t port = 0;
-  int timeout_ms = 30'000;
+  ClientConfig config;
   std::string statement;
   bool have_statement = false;
 
@@ -69,15 +94,23 @@ int main(int argc, char** argv) {
     if (arg == "--host") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
-      host = v;
+      config.host = v;
     } else if (arg == "--port") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
-      port = static_cast<uint16_t>(std::atoi(v));
+      config.port = static_cast<uint16_t>(std::atoi(v));
     } else if (arg == "--timeout-ms") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
-      timeout_ms = std::atoi(v);
+      config.timeout_ms = std::atoi(v);
+    } else if (arg == "--deadline-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      config.deadline_ms = static_cast<uint32_t>(std::atoll(v));
+    } else if (arg == "--retries") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      config.retry.max_retries = std::atoi(v);
     } else if (arg == "-e") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
@@ -87,20 +120,26 @@ int main(int argc, char** argv) {
       return Usage(argv[0]);
     }
   }
-  if (port == 0) {
+  if (config.port == 0) {
     std::fprintf(stderr, "maybms_client: --port is required\n");
     return Usage(argv[0]);
   }
 
-  auto conn = maybms::server::ConnectTo(host, port);
-  if (!conn.ok()) {
-    std::fprintf(stderr, "maybms_client: %s\n",
-                 conn.status().ToString().c_str());
-    return 1;
+  // The persistent connection of the no-retry path; the retry path
+  // connects per attempt inside RoundTripWithRetry.
+  maybms::server::Fd conn;
+  if (config.retry.max_retries == 0) {
+    auto connected = maybms::server::ConnectTo(config.host, config.port);
+    if (!connected.ok()) {
+      std::fprintf(stderr, "maybms_client: %s\n",
+                   connected.status().ToString().c_str());
+      return 1;
+    }
+    conn = std::move(*connected);
   }
 
   if (have_statement) {
-    return RunStatement(*conn, statement, timeout_ms);
+    return RunStatement(config, &conn, statement);
   }
 
   // Stdin mode: buffer until a line ends the current statement with ';'.
@@ -113,11 +152,11 @@ int main(int argc, char** argv) {
     // Send once the buffered text ends in ';' (ignoring trailing blanks).
     size_t end = pending.find_last_not_of(" \t\r\n");
     if (end == std::string::npos || pending[end] != ';') continue;
-    rc |= RunStatement(*conn, pending, timeout_ms);
+    rc |= RunStatement(config, &conn, pending);
     pending.clear();
   }
   if (pending.find_first_not_of(" \t\r\n") != std::string::npos) {
-    rc |= RunStatement(*conn, pending, timeout_ms);
+    rc |= RunStatement(config, &conn, pending);
   }
   return rc;
 }

@@ -3,7 +3,8 @@
 //   maybms_server [--host H] [--port P] [--engine explicit|decomposed]
 //                 [--max-connections N] [--idle-timeout-ms MS]
 //                 [--storage memory|paged] [--storage-dir DIR]
-//                 [--threads N]
+//                 [--threads N] [--statement-timeout-ms MS]
+//                 [--max-worlds N] [--mem-budget-mb MB] [--cancel-on-drain]
 //
 // Prints "maybms_server listening on H:P" once serving (port 0 binds an
 // ephemeral port and prints the real one — scripts parse this line).
@@ -39,7 +40,9 @@ int Usage(const char* argv0) {
       stderr,
       "usage: %s [--host H] [--port P] [--engine explicit|decomposed]\n"
       "          [--max-connections N] [--idle-timeout-ms MS]\n"
-      "          [--storage memory|paged] [--storage-dir DIR] [--threads N]\n",
+      "          [--storage memory|paged] [--storage-dir DIR] [--threads N]\n"
+      "          [--statement-timeout-ms MS] [--max-worlds N]\n"
+      "          [--mem-budget-mb MB] [--cancel-on-drain]\n",
       argv0);
   return 2;
 }
@@ -97,6 +100,21 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       options.session.threads = static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--statement-timeout-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.session.statement_timeout_ms =
+          static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--max-worlds") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.session.max_worlds = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--mem-budget-mb") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.session.mem_budget_mb = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--cancel-on-drain") {
+      options.cancel_statements_on_drain = true;
     } else {
       return Usage(argv[0]);
     }
